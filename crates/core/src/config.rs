@@ -1,0 +1,111 @@
+//! Configuration of the light-weight group service.
+
+use plwg_naming::NamingConfig;
+use plwg_sim::SimDuration;
+use plwg_vsync::VsyncConfig;
+
+/// Tunables of the LWG service (paper §3.2 parameters plus protocol
+/// timeouts).
+#[derive(Debug, Clone)]
+pub struct LwgConfig {
+    /// HWG-layer configuration. `auto_stop_ok` is forced to `false` by the
+    /// service — it answers `Stop` itself after piggybacking its view
+    /// advertisement.
+    pub vsync: VsyncConfig,
+    /// Naming-service client configuration.
+    pub naming: NamingConfig,
+    /// Minority threshold `k_m` (paper Fig. 1): `g1` is a minority of `g2`
+    /// iff `|g1| <= |g2| / k_m`. The paper's prototype used 4.
+    pub k_m: u32,
+    /// Closeness threshold `k_c` (paper Fig. 1): `g1 ⊆ g2` are close iff
+    /// `|g2| - |g1| <= |g2| / k_c`. The paper's prototype used 4.
+    pub k_c: u32,
+    /// Period of the mapping heuristics (paper ran them once a minute; the
+    /// simulator default is faster so experiments converge quickly).
+    pub policy_interval: SimDuration,
+    /// Grace before the shrink rule makes a process leave an HWG with no
+    /// LWG mapped onto it ("if this situation persists for some time").
+    pub shrink_grace: SimDuration,
+    /// How long a joiner waits for LWG admission before retrying, and after
+    /// the retries, founding its own LWG view.
+    pub lwg_join_timeout: SimDuration,
+    /// Admission retries before founding a view.
+    pub lwg_join_retries: u32,
+    /// Watchdog for LWG-level flushes and switches; on expiry the
+    /// coordinator restarts and stuck members fall back to re-joining.
+    pub lwg_flush_timeout: SimDuration,
+    /// How long a view-tagged message for an unknown concurrent view may
+    /// sit before it triggers MERGE-VIEWS (local peer discovery fallback).
+    pub foreign_data_timeout: SimDuration,
+    /// Internal housekeeping tick.
+    pub tick_interval: SimDuration,
+    /// When set, LWG coordinators periodically poll `ns.read` for their
+    /// groups instead of relying on server callbacks — the alternative the
+    /// paper rejects in §6.1 ("this could load the servers with
+    /// unnecessary requests"); kept for the ablation that quantifies it.
+    pub ns_poll_interval: Option<SimDuration>,
+}
+
+impl Default for LwgConfig {
+    fn default() -> Self {
+        LwgConfig {
+            vsync: VsyncConfig::default(),
+            naming: NamingConfig::default(),
+            k_m: 4,
+            k_c: 4,
+            policy_interval: SimDuration::from_secs(10),
+            shrink_grace: SimDuration::from_secs(15),
+            lwg_join_timeout: SimDuration::from_millis(800),
+            lwg_join_retries: 2,
+            lwg_flush_timeout: SimDuration::from_secs(3),
+            foreign_data_timeout: SimDuration::from_secs(2),
+            tick_interval: SimDuration::from_millis(200),
+            ns_poll_interval: None,
+        }
+    }
+}
+
+impl LwgConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sub-configurations are invalid, if `k_m`/`k_c` are zero,
+    /// or any period is zero.
+    pub fn validate(&self) {
+        self.vsync.validate();
+        self.naming.validate();
+        assert!(self.k_m >= 1 && self.k_c >= 1, "k_m and k_c must be >= 1");
+        assert!(
+            self.policy_interval > SimDuration::ZERO
+                && self.tick_interval > SimDuration::ZERO
+                && self.lwg_join_timeout > SimDuration::ZERO
+                && self.lwg_flush_timeout > SimDuration::ZERO
+                && self.foreign_data_timeout > SimDuration::ZERO,
+            "LWG periods must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_uses_paper_parameters() {
+        let cfg = LwgConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.k_m, 4);
+        assert_eq!(cfg.k_c, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_m and k_c")]
+    fn zero_km_rejected() {
+        LwgConfig {
+            k_m: 0,
+            ..LwgConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,33 @@
+//! Upcalls from the LWG service to the application — the user-facing half
+//! of paper Table 1 (`View`, `Data`; `Stop` is hidden by the service, as
+//! the paper permits).
+
+use plwg_naming::LwgId;
+use plwg_sim::{NodeId, Payload};
+use plwg_vsync::View;
+
+/// An event delivered to the application by [`crate::LwgService`].
+#[derive(Debug)]
+pub enum LwgEvent {
+    /// A new view of `lwg` was installed at this member.
+    View {
+        /// The light-weight group.
+        lwg: LwgId,
+        /// The installed view (id, members, predecessors).
+        view: View,
+    },
+    /// A multicast sent on `lwg` was delivered.
+    Data {
+        /// The light-weight group.
+        lwg: LwgId,
+        /// The member that sent it.
+        src: NodeId,
+        /// Opaque application payload.
+        data: Payload,
+    },
+    /// This process is no longer a member of `lwg` (leave completed).
+    Left {
+        /// The light-weight group.
+        lwg: LwgId,
+    },
+}

@@ -1,0 +1,60 @@
+//! # plwg-core — the partitionable light-weight group service
+//!
+//! This crate is the reproduction of the paper's contribution: a
+//! *Light-Weight Group Service* that maps many user-level groups (LWGs)
+//! onto a small pool of virtually-synchronous heavy-weight groups (HWGs,
+//! provided by [`plwg_vsync`]), preserving the full group interface of
+//! paper Table 1 towards the user while sharing failure detection,
+//! flushes and transport — and that keeps working across **network
+//! partitions**, reconciling the inconsistent mapping decisions concurrent
+//! partitions inevitably make (paper §4–§6).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   application            LwgEvent::{View,Data,Left}   join/leave/send
+//!        ▲                                                   │
+//!   ┌────┴───────────────────────────────────────────────────▼────┐
+//!   │ LwgService   mapping table · policies (Fig. 1) · heal steps │
+//!   ├──────────────────────────┬───────────────────────────────────┤
+//!   │ VsyncStack (HWG layer)   │ NsClient → replicated NameServers  │
+//!   └──────────────────────────┴───────────────────────────────────┘
+//! ```
+//!
+//! The service multiplexes each LWG's traffic onto its HWG as
+//! [`LwgMsg::Data`] messages tagged with the **LWG view id** they were sent
+//! in — delivered upward only to members of that view, which is what lets
+//! concurrent LWG views coexist on one HWG and be discovered (paper §6.3).
+//!
+//! ## Partition healing (paper §6)
+//!
+//! 1. **Global peer discovery** — the naming service detects concurrent
+//!    mappings during reconciliation and calls members back with
+//!    MULTIPLE-MAPPINGS.
+//! 2. **Mapping reconciliation** — the coordinator of each concurrent view
+//!    switches its view to the HWG with the *highest group id*.
+//! 3. **Local peer discovery** — a view-tagged message (or an HWG merge)
+//!    reveals concurrent views sharing one HWG view.
+//! 4. **Merge-views** — one forced HWG flush (paper Fig. 5) merges *all*
+//!    concurrent views of *all* LWGs on that HWG at once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod events;
+mod msg;
+mod node;
+mod policy;
+mod service;
+
+pub use config::LwgConfig;
+pub use events::LwgEvent;
+pub use msg::LwgMsg;
+pub use node::LwgNode;
+pub use policy::{closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction};
+pub use service::{LwgService, LwgStatus, ServiceStats};
+
+// Re-export the identifier and view types user code needs.
+pub use plwg_naming::{LwgId, Mapping};
+pub use plwg_vsync::{HwgId, View, ViewId};

@@ -1,0 +1,181 @@
+//! LWG-layer protocol messages.
+//!
+//! Most of these travel *inside* HWG multicasts (the payload of a
+//! [`plwg_vsync::VsMsg::Data`]); `Redirect` is the only one sent directly
+//! node-to-node (the forward-pointer reply of paper §3.1).
+
+use plwg_naming::LwgId;
+use plwg_sim::{NodeId, Payload};
+use plwg_vsync::{HwgId, View, ViewId};
+use std::fmt;
+
+/// Identifies one LWG-level flush round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LFlushId {
+    /// The LWG coordinator driving the flush.
+    pub initiator: NodeId,
+    /// Initiator-local round counter.
+    pub nonce: u64,
+}
+
+impl fmt::Display for LFlushId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}~{}", self.initiator, self.nonce)
+    }
+}
+
+/// The messages of the light-weight group service.
+#[derive(Clone)]
+pub enum LwgMsg {
+    /// A user multicast, encapsulated as `(DATA, lwg_id, data)` (paper
+    /// §3.1) and additionally tagged with the LWG **view** it was sent in
+    /// (the partitionable extension of §5.1): members of other concurrent
+    /// views must not deliver it — receiving one is exactly how concurrent
+    /// views discover each other (paper Fig. 5, local peer discovery).
+    Data {
+        /// The light-weight group.
+        lwg: LwgId,
+        /// The LWG view the sender was in.
+        lwg_view: ViewId,
+        /// Application payload.
+        data: Payload,
+    },
+    /// A process (already an HWG member) asks the LWG coordinator for
+    /// admission.
+    JoinReq {
+        /// Group to join.
+        lwg: LwgId,
+    },
+    /// A member asks to be excluded from the next LWG view.
+    LeaveReq {
+        /// Group to leave.
+        lwg: LwgId,
+    },
+    /// LWG-level flush: members stop sending on `lwg` and answer
+    /// [`LwgMsg::FlushOk`]. Because the HWG multicast is FIFO per sender, a
+    /// member that has seen every `FlushOk` has also seen every message
+    /// sent before them — the flush makes "all in-transit messages
+    /// delivered before the new view" (paper §3.1) without touching the
+    /// HWG.
+    Flush {
+        /// The group being flushed.
+        lwg: LwgId,
+        /// Round identifier.
+        flush: LFlushId,
+        /// Members of the view being flushed (the set whose `FlushOk`s are
+        /// awaited).
+        members: Vec<NodeId>,
+    },
+    /// A member's confirmation that it stopped sending in the old view.
+    FlushOk {
+        /// The group being flushed.
+        lwg: LwgId,
+        /// Round identifier.
+        flush: LFlushId,
+    },
+    /// Installs a new LWG view. With `flush: Some(..)` the receiver waits
+    /// until the flush's `FlushOk`s are complete (ordinary join/leave/
+    /// switch); with `None` it installs immediately (merge path — the HWG
+    /// flush already drained the old views).
+    NewLwgView {
+        /// The group.
+        lwg: LwgId,
+        /// The flush this view concludes, if any.
+        flush: Option<LFlushId>,
+        /// The view to install.
+        view: View,
+        /// The HWG the view is mapped onto.
+        hwg: HwgId,
+    },
+    /// Coordinator tells the members of `lwg` to re-map onto `to`: the
+    /// switching protocol (paper §3, §6.2). Doubles as a `Flush` of the
+    /// old mapping.
+    SwitchTo {
+        /// The group being switched.
+        lwg: LwgId,
+        /// Flush round on the *old* HWG.
+        flush: LFlushId,
+        /// Target HWG.
+        to: HwgId,
+        /// Members expected to move.
+        members: Vec<NodeId>,
+    },
+    /// A member reports (on the *target* HWG) that it has joined and is
+    /// ready to install the switched view.
+    SwitchReady {
+        /// The group being switched.
+        lwg: LwgId,
+        /// The switch's flush round.
+        flush: LFlushId,
+    },
+    /// MERGE-VIEWS (paper Fig. 5): asks the HWG coordinator to force a
+    /// flush so all concurrent LWG views on this HWG merge at once.
+    MergeViews,
+    /// ALL-VIEWS (paper Fig. 5): the sender's current LWG views mapped on
+    /// this HWG, exchanged during the flush so every member can merge
+    /// deterministically.
+    AllViews {
+        /// `(lwg, current view)` pairs of the sender.
+        views: Vec<(LwgId, View)>,
+    },
+    /// The group dissolved: every member of the flushed view asked to
+    /// leave, so there is no successor view.
+    Dissolved {
+        /// The group.
+        lwg: LwgId,
+        /// The flush this concludes.
+        flush: LFlushId,
+    },
+    /// Forward-pointer reply (paper §3.1): the LWG asked about has been
+    /// switched to `to`; sent directly to a joiner that used an outdated
+    /// mapping.
+    Redirect {
+        /// The group asked about.
+        lwg: LwgId,
+        /// Where it lives now.
+        to: HwgId,
+    },
+}
+
+impl fmt::Debug for LwgMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LwgMsg::Data { lwg, lwg_view, .. } => write!(f, "LData({lwg},{lwg_view})"),
+            LwgMsg::JoinReq { lwg } => write!(f, "LJoinReq({lwg})"),
+            LwgMsg::LeaveReq { lwg } => write!(f, "LLeaveReq({lwg})"),
+            LwgMsg::Flush { lwg, flush, .. } => write!(f, "LFlush({lwg},{flush})"),
+            LwgMsg::FlushOk { lwg, flush } => write!(f, "LFlushOk({lwg},{flush})"),
+            LwgMsg::NewLwgView { lwg, view, hwg, .. } => {
+                write!(f, "LNewView({lwg},{view} on {hwg})")
+            }
+            LwgMsg::SwitchTo { lwg, to, .. } => write!(f, "LSwitchTo({lwg}->{to})"),
+            LwgMsg::SwitchReady { lwg, .. } => write!(f, "LSwitchReady({lwg})"),
+            LwgMsg::Dissolved { lwg, .. } => write!(f, "LDissolved({lwg})"),
+            LwgMsg::MergeViews => write!(f, "LMergeViews"),
+            LwgMsg::AllViews { views } => write!(f, "LAllViews({} views)", views.len()),
+            LwgMsg::Redirect { lwg, to } => write!(f, "LRedirect({lwg}->{to})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        let m = LwgMsg::Redirect {
+            lwg: LwgId(3),
+            to: HwgId(9),
+        };
+        assert_eq!(format!("{m:?}"), "LRedirect(lwg3->hwg9)");
+        assert_eq!(
+            LFlushId {
+                initiator: NodeId(1),
+                nonce: 2
+            }
+            .to_string(),
+            "n1~2"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! A ready-made [`plwg_sim::Process`] wrapping an [`LwgService`] — the
+//! easiest way to put the light-weight group service on a simulated node.
+//!
+//! Applications either embed [`LwgService`] in their own process type (for
+//! custom reaction logic) or use [`LwgNode`] and inspect its recorded
+//! upcalls / drive it with [`plwg_sim::World::invoke`].
+
+use crate::config::LwgConfig;
+use crate::events::LwgEvent;
+use crate::service::LwgService;
+use plwg_naming::LwgId;
+use plwg_sim::{Context, NodeId, Payload, Process, TimerToken};
+use plwg_vsync::View;
+use std::any::Any;
+
+/// A simulated node running the LWG service, recording all upcalls.
+pub struct LwgNode {
+    service: LwgService,
+    /// Every view installed, in order.
+    views: Vec<(LwgId, View)>,
+    /// Every delivery, in order.
+    delivered: Vec<(LwgId, NodeId, Payload)>,
+    /// Groups left.
+    lefts: Vec<LwgId>,
+}
+
+impl LwgNode {
+    /// Creates a node for `me`, using the given name servers.
+    pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
+        LwgNode {
+            service: LwgService::new(me, servers, cfg),
+            views: Vec::new(),
+            delivered: Vec::new(),
+            lefts: Vec::new(),
+        }
+    }
+
+    /// The wrapped service (join/leave/send and introspection).
+    pub fn service(&mut self) -> &mut LwgService {
+        &mut self.service
+    }
+
+    /// Immutable access to the wrapped service.
+    pub fn service_ref(&self) -> &LwgService {
+        &self.service
+    }
+
+    /// The group's *live* view at this node (`None` once the node has left
+    /// the group). For the historic record use [`LwgNode::views`].
+    pub fn current_view(&self, lwg: LwgId) -> Option<&View> {
+        self.service.view_of(lwg)
+    }
+
+    /// All recorded view installations.
+    pub fn views(&self) -> &[(LwgId, View)] {
+        &self.views
+    }
+
+    /// All recorded deliveries.
+    pub fn delivered(&self) -> &[(LwgId, NodeId, Payload)] {
+        &self.delivered
+    }
+
+    /// Payloads delivered for `lwg` from `src`, downcast to `T` (test
+    /// convenience; panics on a type mismatch).
+    pub fn delivered_values<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
+        self.delivered
+            .iter()
+            .filter(|(l, s, _)| *l == lwg && *s == src)
+            .map(|(_, _, p)| plwg_sim::cast::<T>(p).expect("payload type").clone())
+            .collect()
+    }
+
+    /// Groups this node has left.
+    pub fn lefts(&self) -> &[LwgId] {
+        &self.lefts
+    }
+
+    fn drain(&mut self) {
+        for ev in self.service.drain_events() {
+            match ev {
+                LwgEvent::View { lwg, view } => self.views.push((lwg, view)),
+                LwgEvent::Data { lwg, src, data } => self.delivered.push((lwg, src, data)),
+                LwgEvent::Left { lwg } => self.lefts.push(lwg),
+            }
+        }
+    }
+}
+
+impl Process for LwgNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.service.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        if self.service.on_message(ctx, from, &msg) {
+            self.drain();
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if self.service.on_timer(ctx, token) {
+            self.drain();
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for LwgNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LwgNode")
+            .field("service", &self.service)
+            .field("views", &self.views.len())
+            .field("delivered", &self.delivered.len())
+            .finish()
+    }
+}

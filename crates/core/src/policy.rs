@@ -1,0 +1,280 @@
+//! The mapping policies of paper Figure 1, as pure functions over
+//! membership sets — deterministic, locally evaluated, unit-testable.
+//!
+//! The twin goals (paper §2): **increase resource sharing** (map LWGs with
+//! similar membership onto one HWG — the share rule) and **minimise
+//! interference** (don't make a small LWG ride a much larger HWG — the
+//! interference rule); the shrink rule cleans up HWGs nobody maps onto.
+
+use plwg_sim::NodeId;
+use plwg_vsync::HwgId;
+use std::collections::BTreeSet;
+
+/// `g1` is a *minority* of `g2` iff `|g1| <= |g2| / k_m` (paper Fig. 1).
+///
+/// Both the share and interference rules use this to detect a small group
+/// riding a much larger one.
+///
+/// ```
+/// // The paper's k_m = 4: "the mapping remains stable until this number
+/// // is reduced to 25%".
+/// assert!(plwg_core::is_minority(2, 8, 4));
+/// assert!(!plwg_core::is_minority(3, 8, 4));
+/// ```
+pub fn is_minority(g1_len: usize, g2_len: usize, k_m: u32) -> bool {
+    g1_len * (k_m as usize) <= g2_len
+}
+
+/// `g1 ⊆ g2` are *close enough* iff `|g2| - |g1| <= |g2| / k_c`
+/// (paper Fig. 1) — the interference rule's fit test for a candidate HWG.
+///
+/// ```
+/// // k_c = 4: a 6-member group fits an 8-member HWG…
+/// assert!(plwg_core::closeness(6, 8, 4));
+/// // …but a 5-member group does not (3 > 8/4).
+/// assert!(!plwg_core::closeness(5, 8, 4));
+/// ```
+pub fn closeness(g1_len: usize, g2_len: usize, k_c: u32) -> bool {
+    debug_assert!(g1_len <= g2_len, "closeness requires g1 ⊆ g2");
+    (g2_len - g1_len) * (k_c as usize) <= g2_len
+}
+
+/// The share rule's collapse test for an HWG pair (paper Fig. 1): with
+/// `|hwg1| = n1 + k`, `|hwg2| = n2 + k` and `k = |hwg1 ∩ hwg2|`, the pair
+/// collapses when the overlap is large — `k > sqrt(2·n1·n2)` — unless one
+/// is a minority subset of the other (in which case collapsing would just
+/// re-create interference).
+pub fn share_rule_collapses(
+    hwg1: &BTreeSet<NodeId>,
+    hwg2: &BTreeSet<NodeId>,
+    k_m: u32,
+) -> bool {
+    let k = hwg1.intersection(hwg2).count();
+    let n1 = hwg1.len() - k;
+    let n2 = hwg2.len() - k;
+    let minority_subset = (hwg1.is_subset(hwg2) && is_minority(hwg1.len(), hwg2.len(), k_m))
+        || (hwg2.is_subset(hwg1) && is_minority(hwg2.len(), hwg1.len(), k_m));
+    if minority_subset {
+        return false;
+    }
+    (k * k) as f64 > 2.0 * n1 as f64 * n2 as f64
+}
+
+/// A decision produced by the policy evaluation for one LWG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Leave the mapping as is.
+    Stay,
+    /// Switch the LWG to an existing HWG.
+    SwitchTo(HwgId),
+    /// Create a fresh HWG with membership identical to the LWG and switch
+    /// to it (interference rule's else-branch).
+    CreateAndSwitch,
+}
+
+/// Evaluates the interference rule (paper Fig. 1) for one LWG.
+///
+/// * `lwg_members` — the LWG view's membership;
+/// * `current` — its current HWG and membership;
+/// * `known_hwgs` — every `(id, membership)` this process knows (paper:
+///   the heuristics compare "all LWGs and HWGs that are known to that
+///   process"), including the current one.
+///
+/// If the LWG is a minority of its HWG, pick the *close-enough* candidate
+/// that contains all LWG members, breaking ties by the total order of
+/// group identifiers (highest id wins — the same deterministic rule the
+/// reconciliation step uses); if none fits, ask for a fresh HWG.
+pub fn interference_rule(
+    lwg_members: &BTreeSet<NodeId>,
+    current: (HwgId, &BTreeSet<NodeId>),
+    known_hwgs: &[(HwgId, BTreeSet<NodeId>)],
+    k_m: u32,
+    k_c: u32,
+) -> PolicyAction {
+    let (current_id, current_members) = current;
+    if !is_minority(lwg_members.len(), current_members.len(), k_m) {
+        return PolicyAction::Stay;
+    }
+    let mut best: Option<HwgId> = None;
+    for (id, members) in known_hwgs {
+        if *id == current_id {
+            continue;
+        }
+        if lwg_members.is_subset(members) && closeness(lwg_members.len(), members.len(), k_c) {
+            best = Some(best.map_or(*id, |b: HwgId| b.max(*id)));
+        }
+    }
+    match best {
+        Some(id) => PolicyAction::SwitchTo(id),
+        None => PolicyAction::CreateAndSwitch,
+    }
+}
+
+/// Evaluates the share rule (paper Fig. 1) for one LWG mapped on
+/// `current`: if some other known HWG overlaps `current` enough to
+/// collapse, move toward the HWG with the *higher* group id (each LWG
+/// coordinator applying the same deterministic rule makes the pair
+/// collapse without central coordination).
+pub fn share_rule(
+    current: (HwgId, &BTreeSet<NodeId>),
+    known_hwgs: &[(HwgId, BTreeSet<NodeId>)],
+    k_m: u32,
+) -> PolicyAction {
+    let (current_id, current_members) = current;
+    let mut best: Option<HwgId> = None;
+    for (id, members) in known_hwgs {
+        if *id <= current_id {
+            // Only ever move "up" the id order; the lower-id HWG of a
+            // collapsing pair is the one that empties out.
+            continue;
+        }
+        if share_rule_collapses(current_members, members, k_m) {
+            best = Some(best.map_or(*id, |b: HwgId| b.max(*id)));
+        }
+    }
+    best.map_or(PolicyAction::Stay, PolicyAction::SwitchTo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn minority_threshold_matches_paper_prose() {
+        // k_m = 4: "common members must be greater than 75% of the size of
+        // the HWG" — a 1-member LWG on a 4-member HWG is a minority…
+        assert!(is_minority(1, 4, 4));
+        // …while 2 of 4 is not.
+        assert!(!is_minority(2, 4, 4));
+        assert!(!is_minority(4, 4, 4));
+    }
+
+    #[test]
+    fn closeness_threshold() {
+        // k_c = 4: |g2| - |g1| <= |g2|/4.
+        assert!(closeness(4, 4, 4));
+        assert!(closeness(3, 4, 4)); // 1 <= 1
+        assert!(!closeness(2, 4, 4)); // 2 > 1
+        assert!(closeness(6, 8, 4)); // 2 <= 2
+        assert!(!closeness(5, 8, 4));
+    }
+
+    #[test]
+    fn share_rule_collapses_identical_groups() {
+        let a = set(&[0, 1, 2, 3]);
+        // k = 4, n1 = n2 = 0: 16 > 0 and not a minority subset.
+        assert!(share_rule_collapses(&a, &a.clone(), 4));
+    }
+
+    #[test]
+    fn share_rule_ignores_disjoint_groups() {
+        let a = set(&[0, 1, 2, 3]);
+        let b = set(&[4, 5, 6, 7]);
+        // k = 0: 0 > 2·16 is false.
+        assert!(!share_rule_collapses(&a, &b, 4));
+    }
+
+    #[test]
+    fn share_rule_spares_minority_subset() {
+        let small = set(&[0]);
+        let big = set(&[0, 1, 2, 3]);
+        // small ⊂ big and |small| <= |big|/4: collapsing would merge a tiny
+        // group into a big one — exactly the interference the rule avoids.
+        assert!(!share_rule_collapses(&small, &big, 4));
+        // With k_m = 1 the minority exemption disappears (1*1 <= 4 still
+        // minority at k_m=1? 1 <= 4 yes). Use a 2-of-4 subset: not minority.
+        let half = set(&[0, 1]);
+        // k = 2, n1 = 0, n2 = 2: 4 > 0 → collapse.
+        assert!(share_rule_collapses(&half, &big, 4));
+    }
+
+    #[test]
+    fn share_rule_threshold_boundary() {
+        // |h1| = 3, |h2| = 3, overlap k = 2, n1 = n2 = 1: k² = 4 > 2 → yes.
+        assert!(share_rule_collapses(&set(&[0, 1, 2]), &set(&[1, 2, 3]), 4));
+        // overlap 1 of 3+3: k² = 1 > 2·2·2 = 8? no.
+        assert!(!share_rule_collapses(&set(&[0, 1, 2]), &set(&[2, 3, 4]), 4));
+    }
+
+    #[test]
+    fn interference_rule_stays_when_not_minority() {
+        let lwg = set(&[0, 1, 2, 3]);
+        let hwg = set(&[0, 1, 2, 3, 4]);
+        let action = interference_rule(&lwg, (HwgId(1), &hwg), &[], 4, 4);
+        assert_eq!(action, PolicyAction::Stay);
+    }
+
+    #[test]
+    fn interference_rule_switches_to_close_candidate() {
+        let lwg = set(&[0, 1]);
+        let big = set(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let snug = set(&[0, 1]);
+        let known = vec![(HwgId(1), big.clone()), (HwgId(5), snug)];
+        let action = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        assert_eq!(action, PolicyAction::SwitchTo(HwgId(5)));
+    }
+
+    #[test]
+    fn interference_rule_creates_when_no_candidate_fits() {
+        let lwg = set(&[0, 1]);
+        let big = set(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let known = vec![(HwgId(1), big.clone())];
+        let action = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        assert_eq!(action, PolicyAction::CreateAndSwitch);
+    }
+
+    #[test]
+    fn interference_rule_ties_break_to_highest_id() {
+        let lwg = set(&[0, 1]);
+        let big = set(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let known = vec![
+            (HwgId(1), big.clone()),
+            (HwgId(3), set(&[0, 1])),
+            (HwgId(9), set(&[0, 1])),
+        ];
+        let action = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        assert_eq!(action, PolicyAction::SwitchTo(HwgId(9)));
+    }
+
+    #[test]
+    fn interference_candidate_must_contain_lwg() {
+        let lwg = set(&[0, 1]);
+        let big = set(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let known = vec![(HwgId(1), big.clone()), (HwgId(9), set(&[2, 3]))];
+        let action = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        assert_eq!(action, PolicyAction::CreateAndSwitch);
+    }
+
+    #[test]
+    fn share_rule_moves_up_the_id_order_only() {
+        let mine = set(&[0, 1, 2, 3]);
+        let same = mine.clone();
+        // An identical HWG with a *lower* id: my LWG stays; the other HWG's
+        // LWGs will move to me.
+        let known_low = vec![(HwgId(1), same.clone())];
+        assert_eq!(
+            share_rule((HwgId(5), &mine), &known_low, 4),
+            PolicyAction::Stay
+        );
+        // With a higher id, I move.
+        let known_high = vec![(HwgId(9), same)];
+        assert_eq!(
+            share_rule((HwgId(5), &mine), &known_high, 4),
+            PolicyAction::SwitchTo(HwgId(9))
+        );
+    }
+
+    #[test]
+    fn policy_is_deterministic() {
+        let lwg = set(&[0, 1]);
+        let big = set(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let known = vec![(HwgId(1), big.clone()), (HwgId(7), set(&[0, 1, 2]))];
+        let a1 = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        let a2 = interference_rule(&lwg, (HwgId(1), &big), &known, 4, 4);
+        assert_eq!(a1, a2, "same configuration, same decision (paper §3.2)");
+    }
+}

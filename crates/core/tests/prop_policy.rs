@@ -1,0 +1,124 @@
+//! Property tests for the Figure-1 mapping policies: determinism, the
+//! minority/closeness algebra, and the structural guarantees the service
+//! relies on (a chosen candidate always contains the LWG, moves only go up
+//! the id order, …).
+
+use plwg_core::{closeness, is_minority, share_rule_collapses, PolicyAction};
+use plwg_sim::NodeId;
+use plwg_vsync::HwgId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn node_set() -> impl Strategy<Value = BTreeSet<NodeId>> {
+    proptest::collection::btree_set((0u32..12).prop_map(NodeId), 1..8)
+}
+
+fn known_hwgs() -> impl Strategy<Value = Vec<(HwgId, BTreeSet<NodeId>)>> {
+    proptest::collection::vec((1u64..50, node_set()), 0..6).prop_map(|v| {
+        v.into_iter()
+            .map(|(id, members)| (HwgId(id), members))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Minority is monotone: growing the big group (or shrinking the small
+    /// one) never removes minority status.
+    #[test]
+    fn minority_is_monotone(g1 in 0usize..20, g2 in 0usize..20, k_m in 1u32..8) {
+        if is_minority(g1, g2, k_m) {
+            prop_assert!(is_minority(g1, g2 + 1, k_m));
+            if g1 > 0 {
+                prop_assert!(is_minority(g1 - 1, g2, k_m));
+            }
+        }
+    }
+
+    /// Closeness is monotone in the subset's size: if `g1 ⊆ g2` is close,
+    /// any larger subset of the same `g2` is too.
+    #[test]
+    fn closeness_is_monotone(g1 in 0usize..20, g2 in 0usize..20, k_c in 1u32..8) {
+        prop_assume!(g1 <= g2);
+        if closeness(g1, g2, k_c) && g1 < g2 {
+            prop_assert!(closeness(g1 + 1, g2, k_c));
+        }
+        // A perfect fit is always close.
+        prop_assert!(closeness(g2, g2, k_c));
+    }
+
+    /// The share-rule collapse test is symmetric in its two groups.
+    #[test]
+    fn share_collapse_is_symmetric(a in node_set(), b in node_set(), k_m in 1u32..8) {
+        prop_assert_eq!(
+            share_rule_collapses(&a, &b, k_m),
+            share_rule_collapses(&b, &a, k_m)
+        );
+    }
+
+    /// Identical membership always collapses (overlap k = |g|, n1 = n2 = 0);
+    /// disjoint membership never does. (k_m = 1 is excluded: it is the
+    /// degenerate setting where every subset counts as a minority, so the
+    /// minority-subset exemption fires even for equal groups.)
+    #[test]
+    fn share_collapse_extremes(a in node_set(), k_m in 2u32..8) {
+        prop_assert!(share_rule_collapses(&a, &a.clone(), k_m));
+        let shifted: BTreeSet<NodeId> =
+            a.iter().map(|n| NodeId(n.0 + 100)).collect();
+        prop_assert!(!share_rule_collapses(&a, &shifted, k_m));
+    }
+
+    /// The interference rule is deterministic, never selects a candidate
+    /// that misses LWG members, and stays put when the LWG is not a
+    /// minority of its HWG (paper Fig. 1 structure).
+    #[test]
+    fn interference_rule_is_sound(
+        lwg in node_set(),
+        extra in node_set(),
+        known in known_hwgs(),
+        k_m in 1u32..8,
+        k_c in 1u32..8,
+    ) {
+        // Current HWG ⊇ LWG by construction.
+        let current_members: BTreeSet<NodeId> =
+            lwg.union(&extra).copied().collect();
+        let current = (HwgId(0), &current_members);
+        let a1 = plwg_core::interference_rule(&lwg, current, &known, k_m, k_c);
+        let a2 = plwg_core::interference_rule(&lwg, current, &known, k_m, k_c);
+        prop_assert_eq!(a1.clone(), a2, "determinism");
+        if !is_minority(lwg.len(), current_members.len(), k_m) {
+            prop_assert_eq!(a1, PolicyAction::Stay);
+        } else if let PolicyAction::SwitchTo(target) = a1 {
+            let (_, members) = known
+                .iter()
+                .find(|(id, _)| *id == target)
+                .expect("target must be a known HWG");
+            prop_assert!(lwg.is_subset(members), "target must contain the LWG");
+            prop_assert!(
+                closeness(lwg.len(), members.len(), k_c),
+                "target must be close enough"
+            );
+        }
+    }
+
+    /// The share rule only ever moves an LWG toward a *higher* HWG id —
+    /// the property that makes decentralised collapse convergent (both
+    /// coordinators pick the same survivor).
+    #[test]
+    fn share_rule_moves_up_only(
+        current in node_set(),
+        known in known_hwgs(),
+        k_m in 1u32..8,
+        current_id in 1u64..50,
+    ) {
+        match plwg_core::share_rule((HwgId(current_id), &current), &known, k_m) {
+            PolicyAction::SwitchTo(target) => {
+                prop_assert!(target > HwgId(current_id));
+                prop_assert!(known.iter().any(|(id, _)| *id == target));
+            }
+            PolicyAction::Stay => {}
+            PolicyAction::CreateAndSwitch => {
+                prop_assert!(false, "share rule never creates HWGs");
+            }
+        }
+    }
+}

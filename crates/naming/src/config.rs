@@ -1,0 +1,62 @@
+//! Naming-service timing parameters.
+
+use plwg_sim::SimDuration;
+
+/// Tunables of the naming service.
+#[derive(Debug, Clone)]
+pub struct NamingConfig {
+    /// Anti-entropy period between name servers.
+    pub gossip_interval: SimDuration,
+    /// Client-side timeout before a request is retried (possibly against
+    /// another server).
+    pub request_timeout: SimDuration,
+    /// Whether servers push MULTIPLE-MAPPINGS callbacks (paper §6.1).
+    /// Disabled only by the callback-vs-polling ablation, which makes
+    /// group coordinators poll `ns.read` instead.
+    pub push_callbacks: bool,
+}
+
+impl Default for NamingConfig {
+    fn default() -> Self {
+        NamingConfig {
+            gossip_interval: SimDuration::from_millis(500),
+            request_timeout: SimDuration::from_millis(400),
+            push_callbacks: true,
+        }
+    }
+}
+
+impl NamingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any period is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.gossip_interval > SimDuration::ZERO
+                && self.request_timeout > SimDuration::ZERO,
+            "naming periods must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        NamingConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        NamingConfig {
+            gossip_interval: SimDuration::ZERO,
+            ..NamingConfig::default()
+        }
+        .validate();
+    }
+}

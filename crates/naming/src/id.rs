@@ -1,0 +1,30 @@
+//! Light-weight group identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a light-weight group (a *user-level* group).
+///
+/// Totally ordered, like [`plwg_vsync::HwgId`]; the order is used for
+/// deterministic policy tie-breaks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LwgId(pub u64);
+
+impl fmt::Display for LwgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lwg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_and_displayed() {
+        assert!(LwgId(1) < LwgId(2));
+        assert_eq!(LwgId(5).to_string(), "lwg5");
+    }
+}

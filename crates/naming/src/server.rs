@@ -1,0 +1,191 @@
+//! The name-server process.
+//!
+//! Each server owns a [`MappingDb`] replica, answers client requests from
+//! its own replica (weak consistency — paper §3.1 explicitly allows clients
+//! to read outdated mappings), gossips with its peers, and emits
+//! `MULTIPLE-MAPPINGS` callbacks to affected group members whenever its
+//! replica holds concurrent mappings for a group.
+
+use crate::config::NamingConfig;
+use crate::db::MappingDb;
+use crate::id::LwgId;
+use crate::msg::NsMsg;
+use plwg_sim::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
+use std::any::Any;
+use std::collections::BTreeSet;
+
+const TOK_GOSSIP: TimerToken = TimerToken(0x0200_0000_0000_0001);
+
+/// A replicated name server (one per designated node).
+pub struct NameServer {
+    me: NodeId,
+    peers: Vec<NodeId>,
+    cfg: NamingConfig,
+    db: MappingDb,
+    gossip_rounds: u64,
+}
+
+impl NameServer {
+    /// Creates a server; `peers` are the *other* server nodes it gossips
+    /// with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `peers` contains `me`.
+    pub fn new(me: NodeId, peers: Vec<NodeId>, cfg: NamingConfig) -> Self {
+        cfg.validate();
+        assert!(!peers.contains(&me), "peer list must not include self");
+        NameServer {
+            me,
+            peers,
+            cfg,
+            db: MappingDb::new(),
+            gossip_rounds: 0,
+        }
+    }
+
+    /// Read access to the replica (tests and experiment probes).
+    pub fn db(&self) -> &MappingDb {
+        &self.db
+    }
+
+    /// Sends `MULTIPLE-MAPPINGS` callbacks for every LWG whose entry holds
+    /// concurrent mappings, to every member of every such mapping.
+    ///
+    /// Callbacks are re-sent on every gossip tick while the inconsistency
+    /// persists: they are idempotent triggers, and repetition makes the
+    /// mechanism robust to callback loss during the heal itself.
+    fn notify_inconsistencies(&mut self, ctx: &mut Context<'_>) {
+        if !self.cfg.push_callbacks {
+            return;
+        }
+        for lwg in self.db.inconsistent() {
+            let mappings = self.db.read(lwg);
+            let targets: BTreeSet<NodeId> = mappings
+                .iter()
+                .flat_map(|m| m.members.iter().copied())
+                .collect();
+            ctx.metrics().incr("ns.callbacks");
+            ctx.trace("ns.multiple_mappings", || {
+                format!("{lwg}: {} mappings -> {targets:?}", mappings.len())
+            });
+            for t in targets {
+                ctx.send(
+                    t,
+                    payload(NsMsg::MultipleMappings {
+                        lwg,
+                        mappings: mappings.clone(),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Context<'_>, to: NodeId, req: crate::RequestId, lwg: LwgId) {
+        let mappings = self.db.read(lwg);
+        ctx.send(to, payload(NsMsg::Reply { req, lwg, mappings }));
+    }
+}
+
+impl Process for NameServer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.cfg.gossip_interval, TOK_GOSSIP);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        let Some(ns) = cast::<NsMsg>(&msg) else { return };
+        match ns {
+            NsMsg::Set {
+                req,
+                lwg,
+                mapping,
+                preds,
+            } => {
+                ctx.metrics().incr("ns.sets");
+                self.db.set(*lwg, mapping.clone(), preds);
+                self.reply(ctx, from, *req, *lwg);
+                self.notify_inconsistencies(ctx);
+            }
+            NsMsg::Read { req, lwg } => {
+                ctx.metrics().incr("ns.reads");
+                self.reply(ctx, from, *req, *lwg);
+            }
+            NsMsg::TestSet {
+                req,
+                lwg,
+                mapping,
+                preds,
+            } => {
+                ctx.metrics().incr("ns.testsets");
+                let winners = self.db.testset(*lwg, mapping.clone(), preds);
+                ctx.send(
+                    from,
+                    payload(NsMsg::Reply {
+                        req: *req,
+                        lwg: *lwg,
+                        mappings: winners,
+                    }),
+                );
+                self.notify_inconsistencies(ctx);
+            }
+            NsMsg::Unset { req, lwg, lwg_view } => {
+                ctx.metrics().incr("ns.unsets");
+                self.db.unset(*lwg, *lwg_view);
+                self.reply(ctx, from, *req, *lwg);
+            }
+            NsMsg::Gossip { db } => {
+                let changed = self.db.merge(db);
+                if !changed.is_empty() {
+                    ctx.metrics().incr("ns.reconciliations");
+                    ctx.trace("ns.reconcile", || format!("changed {changed:?}"));
+                    self.notify_inconsistencies(ctx);
+                }
+            }
+            NsMsg::Reply { .. } | NsMsg::MultipleMappings { .. } => {
+                // Client-bound messages; a server ignores strays.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token != TOK_GOSSIP {
+            return;
+        }
+        for &p in &self.peers {
+            ctx.metrics().incr("ns.gossip_sent");
+            ctx.send(
+                p,
+                payload(NsMsg::Gossip {
+                    db: self.db.clone(),
+                }),
+            );
+        }
+        // Re-notify while inconsistencies persist (robust to lost
+        // callbacks around the heal).
+        self.notify_inconsistencies(ctx);
+        // Periodic housekeeping: drop lineage bookkeeping nothing can
+        // reach any more.
+        self.gossip_rounds += 1;
+        if self.gossip_rounds.is_multiple_of(32) {
+            let removed = self.db.compact();
+            if removed > 0 {
+                ctx.metrics().add("ns.compacted_edges", removed as u64);
+            }
+        }
+        ctx.set_timer(self.cfg.gossip_interval, TOK_GOSSIP);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for NameServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameServer")
+            .field("me", &self.me)
+            .field("peers", &self.peers)
+            .field("mappings", &self.db.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the mapping database: reconciliation is a proper
+//! join (commutative, idempotent), tombstones win, and garbage collection
+//! only ever removes true ancestors.
+
+use plwg_naming::{LwgId, Mapping, MappingDb};
+use plwg_sim::NodeId;
+use plwg_vsync::{HwgId, ViewId};
+use proptest::prelude::*;
+
+/// A small operation language over the database.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register mapping of view `v` with predecessors chosen among earlier
+    /// view indices.
+    Set { lwg: u8, v: u8, preds: Vec<u8>, hwg: u8 },
+    /// Dissolve view `v`.
+    Unset { lwg: u8, v: u8 },
+}
+
+fn vid(i: u8) -> ViewId {
+    // Deterministic distinct view ids: coordinator = i % 4, seq = i.
+    ViewId::new(NodeId(u32::from(i % 4)), u64::from(i))
+}
+
+fn mapping(v: u8, hwg: u8) -> Mapping {
+    Mapping {
+        lwg_view: vid(v),
+        members: vec![NodeId(u32::from(v % 4))],
+        hwg: HwgId(u64::from(hwg)),
+        hwg_view: vid(v),
+    }
+}
+
+fn apply(db: &mut MappingDb, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Set { lwg, v, preds, hwg } => {
+                let preds: Vec<ViewId> = preds.iter().map(|&p| vid(p)).collect();
+                db.set(LwgId(u64::from(*lwg)), mapping(*v, *hwg), &preds);
+            }
+            Op::Unset { lwg, v } => db.unset(LwgId(u64::from(*lwg)), vid(*v)),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0u8..3,
+            1u8..16,
+            proptest::collection::vec(0u8..16, 0..3),
+            0u8..4
+        )
+            .prop_map(|(lwg, v, preds, hwg)| Op::Set {
+                lwg,
+                v,
+                // Predecessors are causally earlier views: real view
+                // lineages are acyclic by construction, so the generator
+                // only points "backwards".
+                preds: preds.into_iter().map(|p| p % v).collect(),
+                hwg,
+            }),
+        (0u8..3, 0u8..16).prop_map(|(lwg, v)| Op::Unset { lwg, v }),
+    ]
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a): the replicas converge regardless of
+    /// gossip direction.
+    #[test]
+    fn merge_is_commutative(
+        ops_a in proptest::collection::vec(op_strategy(), 0..25),
+        ops_b in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let mut a = MappingDb::new();
+        apply(&mut a, &ops_a);
+        let mut b = MappingDb::new();
+        apply(&mut b, &ops_b);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging the same replica again changes nothing (anti-entropy can
+    /// repeat safely).
+    #[test]
+    fn merge_is_idempotent(
+        ops_a in proptest::collection::vec(op_strategy(), 0..25),
+        ops_b in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let mut a = MappingDb::new();
+        apply(&mut a, &ops_a);
+        let mut b = MappingDb::new();
+        apply(&mut b, &ops_b);
+        a.merge(&b);
+        let snapshot = a.clone();
+        let changed = a.merge(&b);
+        prop_assert!(changed.is_empty());
+        prop_assert_eq!(a, snapshot);
+    }
+
+    /// Three-replica convergence: merging in any grouping yields the same
+    /// database (associativity up to state).
+    #[test]
+    fn merge_converges_three_ways(
+        ops_a in proptest::collection::vec(op_strategy(), 0..15),
+        ops_b in proptest::collection::vec(op_strategy(), 0..15),
+        ops_c in proptest::collection::vec(op_strategy(), 0..15),
+    ) {
+        let mut a = MappingDb::new();
+        apply(&mut a, &ops_a);
+        let mut b = MappingDb::new();
+        apply(&mut b, &ops_b);
+        let mut c = MappingDb::new();
+        apply(&mut c, &ops_c);
+
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        prop_assert_eq!(abc, cba);
+    }
+
+    /// A dissolved view never reappears, no matter what is merged in.
+    #[test]
+    fn tombstones_are_permanent(
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+        resurrect_hwg in 0u8..4,
+    ) {
+        let lwg = LwgId(1);
+        let mut a = MappingDb::new();
+        apply(&mut a, &ops);
+        a.set(lwg, mapping(3, 0), &[]);
+        a.unset(lwg, vid(3));
+        // Another replica still believes in view 3.
+        let mut b = MappingDb::new();
+        b.set(lwg, mapping(3, resurrect_hwg), &[]);
+        a.merge(&b);
+        prop_assert!(
+            a.read(lwg).iter().all(|m| m.lwg_view != vid(3)),
+            "tombstoned view must not resurrect"
+        );
+        // Direct re-set is also refused.
+        a.set(lwg, mapping(3, resurrect_hwg), &[]);
+        prop_assert!(a.read(lwg).iter().all(|m| m.lwg_view != vid(3)));
+    }
+
+    /// After any operation sequence, no current mapping is an ancestor of
+    /// another current mapping of the same LWG (GC invariant).
+    #[test]
+    fn no_current_mapping_is_an_ancestor(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        // Rebuild the predecessor relation from the op log to check
+        // independently of the database's own bookkeeping.
+        let mut db = MappingDb::new();
+        apply(&mut db, &ops);
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut preds: BTreeMap<(u8, u8), BTreeSet<u8>> = BTreeMap::new();
+        for op in &ops {
+            if let Op::Set { lwg, v, preds: p, .. } = op {
+                preds.entry((*lwg, *v)).or_default().extend(p.iter().copied());
+            }
+        }
+        let ancestor = |lwg: u8, a: u8, b: u8| -> bool {
+            // is `a` a strict ancestor of `b`?
+            let mut stack = vec![b];
+            let mut seen = BTreeSet::new();
+            while let Some(v) = stack.pop() {
+                if let Some(ps) = preds.get(&(lwg, v)) {
+                    for &p in ps {
+                        if p == a { return true; }
+                        if seen.insert(p) { stack.push(p); }
+                    }
+                }
+            }
+            false
+        };
+        for lwg in 0u8..3 {
+            let current: Vec<u8> = db
+                .read(LwgId(u64::from(lwg)))
+                .iter()
+                .map(|m| m.lwg_view.seq as u8)
+                .collect();
+            for &x in &current {
+                for &y in &current {
+                    prop_assert!(
+                        !ancestor(lwg, x, y),
+                        "view {x} is an ancestor of {y} yet both are current"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence-number)`: ties in virtual time are
+//! broken by insertion order, which makes every run with the same seed and
+//! the same schedule bit-for-bit reproducible.
+
+use crate::node::{NodeId, Payload, TimerToken};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a queued event does when it is popped.
+pub(crate) enum EventKind {
+    /// Deliver a message to a node.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Source node.
+        from: NodeId,
+        /// The payload.
+        msg: Payload,
+    },
+    /// Fire a timer slot on a node (stale if `generation` no longer matches).
+    Timer {
+        /// Node owning the timer.
+        node: NodeId,
+        /// The process-chosen slot.
+        token: TimerToken,
+        /// Slot generation at arm time; used for lazy cancellation.
+        generation: u64,
+    },
+    /// Run a control action (topology change, crash, invoke, …) against the
+    /// whole world. Boxed so experiment schedules can capture state.
+    Control(Box<dyn FnOnce(&mut crate::world::World)>),
+}
+
+/// An event with its firing time and tie-break sequence number.
+pub struct QueuedEvent {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { time, seq, kind });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(
+            t(30),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(3),
+                generation: 1,
+            },
+        );
+        q.push(
+            t(10),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(1),
+                generation: 1,
+            },
+        );
+        q.push(
+            t(20),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(2),
+                generation: 1,
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(
+                t(42),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: TimerToken(i),
+                    generation: 1,
+                },
+            );
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(
+            t(99),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(0),
+                generation: 1,
+            },
+        );
+        q.push(
+            t(7),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(0),
+                generation: 2,
+            },
+        );
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # plwg-sim — deterministic discrete-event simulation substrate
+//!
+//! This crate provides the execution substrate on which the whole PLWG stack
+//! (heavy-weight groups, naming service, light-weight group service) runs:
+//! a single-threaded, fully deterministic discrete-event simulator with an
+//! explicit network model that supports **partitions** — the phenomenon the
+//! reproduced paper (Rodrigues & Guo, *Partitionable Light-Weight Groups*,
+//! ICDCS 2000) is about.
+//!
+//! The simulator replaces the paper's physical testbed (Horus on SPARC
+//! workstations over 10 Mbps Ethernet). Protocol code written against the
+//! [`Process`] trait and [`Context`] handle is oblivious to the fact that it
+//! runs in virtual time.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use plwg_sim::{World, WorldConfig, Process, Context, TimerToken, Payload};
+//!
+//! /// A process that says hello to its peer once.
+//! struct Hello { peer: Option<plwg_sim::NodeId> }
+//!
+//! impl Process for Hello {
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         if let Some(peer) = self.peer {
+//!             ctx.send(peer, plwg_sim::payload("hi"));
+//!         }
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_>, from: plwg_sim::NodeId, msg: Payload) {
+//!         let text: &&str = plwg_sim::cast(&msg).expect("string payload");
+//!         assert_eq!(*text, "hi");
+//!         println!("got {text} from {from}");
+//!     }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! let b = world.add_node(Box::new(Hello { peer: None }));
+//! let _a = world.add_node(Box::new(Hello { peer: Some(b) }));
+//! world.run_for(plwg_sim::SimDuration::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod net;
+mod node;
+mod rng;
+mod time;
+mod topology;
+mod trace;
+mod world;
+
+pub use event::{EventQueue, QueuedEvent};
+pub use metrics::{Histogram, HistogramSummary, Metrics};
+pub use net::{DeliveryDecision, NetConfig};
+pub use node::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use topology::{ComponentId, LinkState, Topology};
+pub use trace::{Trace, TraceEvent};
+pub use world::{World, WorldConfig};

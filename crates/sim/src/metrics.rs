@@ -1,0 +1,223 @@
+//! Counters and histograms collected during a run.
+//!
+//! The experiment harness reads these to regenerate the paper's figures:
+//! latency histograms, message counts, throughput, recovery times.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of values summarised by quantiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    values: Vec<u64>,
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over samples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Computes summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        if self.values.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+            };
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
+            sorted[idx]
+        };
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        HistogramSummary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sum as f64 / sorted.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// The world's metric sink: named counters and histograms.
+///
+/// Names are free-form dotted strings (`"net.sent"`, `"lwg.switches"`).
+/// `BTreeMap` keeps report output deterministically ordered.
+///
+/// ```
+/// let mut m = plwg_sim::Metrics::new();
+/// m.incr("net.sent");
+/// m.add("net.sent", 2);
+/// m.observe("latency_us", 1_500);
+/// assert_eq!(m.counter("net.sent"), 3);
+/// assert_eq!(m.histogram("latency_us").unwrap().summary().max, 1_500);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merges `other` into `self` (counters add, histograms concatenate).
+    /// Used when aggregating repeated trials of one experiment.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            for v in h.iter() {
+                self.observe(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_quantiles() {
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Metrics::new();
+        a.add("c", 2);
+        a.observe("h", 10);
+        let mut b = Metrics::new();
+        b.add("c", 3);
+        b.observe("h", 20);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(2));
+    }
+
+    #[test]
+    fn counters_iteration_is_sorted() {
+        let mut m = Metrics::new();
+        m.incr("z");
+        m.incr("a");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The message-level network model: latency sampling and loss.
+//!
+//! Stands in for the paper's loaded 10 Mbps Ethernet (UDP/IP with IP
+//! multicast). Latency is `base + U[0, jitter) `, scaled by the topology's
+//! congestion factor; messages are dropped with probability `loss` and, of
+//! course, whenever sender and receiver are in different components.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Network model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Fixed one-way latency component.
+    pub base_latency: SimDuration,
+    /// Uniform jitter added on top of `base_latency`.
+    pub jitter: SimDuration,
+    /// Independent per-message loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Default for NetConfig {
+    /// A LAN-ish default: 1 ms ± 0.5 ms, lossless.
+    fn default() -> Self {
+        NetConfig {
+            base_latency: SimDuration::from_micros(1_000),
+            jitter: SimDuration::from_micros(500),
+            loss: 0.0,
+        }
+    }
+}
+
+/// The outcome of the network model for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryDecision {
+    /// Deliver after this sampled latency.
+    Deliver(SimDuration),
+    /// Drop silently (loss or partition).
+    Drop,
+}
+
+impl NetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss),
+            "loss probability must be in [0,1], got {}",
+            self.loss
+        );
+    }
+
+    /// Decides the fate of a message from `from` to `to` right now.
+    pub fn decide(
+        &self,
+        topology: &Topology,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+    ) -> DeliveryDecision {
+        if !topology.can_reach(from, to) {
+            return DeliveryDecision::Drop;
+        }
+        if self.loss > 0.0 && rng.chance(self.loss) {
+            return DeliveryDecision::Drop;
+        }
+        let jitter_us = if self.jitter == SimDuration::ZERO {
+            0
+        } else {
+            rng.range(0, self.jitter.as_micros())
+        };
+        let raw = self.base_latency + SimDuration::from_micros(jitter_us);
+        DeliveryDecision::Deliver(raw.mul_f64(topology.congestion()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, SimRng) {
+        (Topology::fully_connected(2), SimRng::from_seed(11))
+    }
+
+    #[test]
+    fn lossless_always_delivers_within_bounds() {
+        let (topo, mut rng) = setup();
+        let cfg = NetConfig::default();
+        for _ in 0..200 {
+            match cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)) {
+                DeliveryDecision::Deliver(lat) => {
+                    assert!(lat >= cfg.base_latency);
+                    assert!(lat < cfg.base_latency + cfg.jitter);
+                }
+                DeliveryDecision::Drop => panic!("lossless net dropped a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_drops_everything() {
+        let (mut topo, mut rng) = setup();
+        topo.split(&[&[NodeId(0)], &[NodeId(1)]]);
+        let cfg = NetConfig::default();
+        for _ in 0..50 {
+            assert_eq!(
+                cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)),
+                DeliveryDecision::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let (topo, mut rng) = setup();
+        let cfg = NetConfig {
+            loss: 0.3,
+            ..NetConfig::default()
+        };
+        let trials = 5_000;
+        let dropped = (0..trials)
+            .filter(|_| {
+                cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)) == DeliveryDecision::Drop
+            })
+            .count();
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed loss {rate}");
+    }
+
+    #[test]
+    fn congestion_inflates_latency() {
+        let (mut topo, mut rng) = setup();
+        let cfg = NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        };
+        topo.set_congestion(10.0);
+        match cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)) {
+            DeliveryDecision::Deliver(lat) => {
+                assert_eq!(lat, cfg.base_latency.mul_f64(10.0));
+            }
+            DeliveryDecision::Drop => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_latency() {
+        let (topo, mut rng) = setup();
+        let cfg = NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        };
+        let a = cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1));
+        let b = cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn validate_rejects_bad_loss() {
+        NetConfig {
+            loss: 1.5,
+            ..NetConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,279 @@
+//! Connectivity model: partitions, link cuts and congestion.
+//!
+//! The paper's setting is a network that can split into *components* (real
+//! partitions, e.g. router crashes) or merely *appear* to split (virtual
+//! partitions caused by load-induced timeouts, §4 of the paper). Both are
+//! modelled here:
+//!
+//! * [`Topology::split`] / [`Topology::heal_all`] change which nodes can
+//!   exchange messages at all — a hard partition;
+//! * [`Topology::set_congestion`] inflates every latency sample by a factor —
+//!   messages still flow, but slowly enough that failure detectors time out,
+//!   which is exactly a virtual partition.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifies a connected component of the network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ComponentId(pub u32);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// State of a directed link, used for selective (per-pair) faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Messages flow (subject to the component check and loss model).
+    Up,
+    /// Messages on this directed link are silently dropped.
+    Down,
+}
+
+/// The network connectivity model.
+///
+/// ```
+/// use plwg_sim::{NodeId, Topology};
+///
+/// let mut topo = Topology::fully_connected(4);
+/// topo.split(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+/// assert!(topo.can_reach(NodeId(0), NodeId(1)));
+/// assert!(!topo.can_reach(NodeId(0), NodeId(2)));
+/// topo.heal_all();
+/// assert!(topo.can_reach(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    components: Vec<ComponentId>,
+    cut_links: HashSet<(NodeId, NodeId)>,
+    congestion: f64,
+}
+
+impl Topology {
+    /// A fully-connected topology over `n` nodes (all in component 0).
+    pub fn fully_connected(n: usize) -> Self {
+        Topology {
+            components: vec![ComponentId(0); n],
+            cut_links: HashSet::new(),
+            congestion: 1.0,
+        }
+    }
+
+    /// Number of nodes the topology knows about.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Registers one more node, placed in component 0.
+    pub(crate) fn grow(&mut self) {
+        self.components.push(ComponentId(0));
+    }
+
+    /// The component `node` currently belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid node id.
+    pub fn component_of(&self, node: NodeId) -> ComponentId {
+        self.components[node.index()]
+    }
+
+    /// Whether a message sent from `a` can (currently) reach `b`.
+    ///
+    /// True iff both are in the same component and the directed link is not
+    /// individually cut. Note `can_reach(a, a)` is true: loopback always
+    /// works.
+    pub fn can_reach(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.components[a.index()] == self.components[b.index()]
+            && !self.cut_links.contains(&(a, b))
+    }
+
+    /// Splits the network: each slice in `groups` becomes its own component.
+    ///
+    /// Every node must appear in exactly one group — partial specifications
+    /// are rejected to prevent silently mis-specified experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups do not form a partition of all nodes.
+    pub fn split(&mut self, groups: &[&[NodeId]]) {
+        let n = self.components.len();
+        let mut seen = vec![false; n];
+        for group in groups {
+            for node in *group {
+                assert!(
+                    node.index() < n,
+                    "split mentions unknown node {node}"
+                );
+                assert!(
+                    !seen[node.index()],
+                    "split mentions node {node} twice"
+                );
+                seen[node.index()] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "split must mention every node exactly once"
+        );
+        for (cid, group) in groups.iter().enumerate() {
+            for node in *group {
+                self.components[node.index()] = ComponentId(cid as u32);
+            }
+        }
+    }
+
+    /// Heals all partitions: every node returns to component 0. Individual
+    /// link cuts are *not* restored (use [`Topology::restore_link`]).
+    pub fn heal_all(&mut self) {
+        for c in &mut self.components {
+            *c = ComponentId(0);
+        }
+    }
+
+    /// Cuts the directed link `a → b` (messages from `a` to `b` are lost).
+    /// For a symmetric cut call this twice, once per direction.
+    pub fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.insert((a, b));
+    }
+
+    /// Restores a previously cut directed link.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.remove(&(a, b));
+    }
+
+    /// Sets the global congestion factor: every subsequent latency sample is
+    /// multiplied by `factor`. `1.0` is the calm network; large factors
+    /// create *virtual partitions* (timeouts fire although messages still
+    /// eventually arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or is less than `1.0`.
+    pub fn set_congestion(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "congestion factor must be >= 1.0, got {factor}"
+        );
+        self.congestion = factor;
+    }
+
+    /// The current congestion factor.
+    pub fn congestion(&self) -> f64 {
+        self.congestion
+    }
+
+    /// The members of each current component, in node-id order.
+    pub fn components(&self) -> Vec<(ComponentId, Vec<NodeId>)> {
+        let mut out: Vec<(ComponentId, Vec<NodeId>)> = Vec::new();
+        for (i, &c) in self.components.iter().enumerate() {
+            match out.iter_mut().find(|(cid, _)| *cid == c) {
+                Some((_, members)) => members.push(NodeId(i as u32)),
+                None => out.push((c, vec![NodeId(i as u32)])),
+            }
+        }
+        out.sort_by_key(|(cid, _)| *cid);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn fully_connected_reaches_everywhere() {
+        let t = Topology::fully_connected(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(t.can_reach(n(a), n(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_isolates_components() {
+        let mut t = Topology::fully_connected(4);
+        t.split(&[&[n(0), n(1)], &[n(2), n(3)]]);
+        assert!(t.can_reach(n(0), n(1)));
+        assert!(t.can_reach(n(2), n(3)));
+        assert!(!t.can_reach(n(0), n(2)));
+        assert!(!t.can_reach(n(3), n(1)));
+        assert_ne!(t.component_of(n(0)), t.component_of(n(2)));
+    }
+
+    #[test]
+    fn heal_restores_full_connectivity() {
+        let mut t = Topology::fully_connected(3);
+        t.split(&[&[n(0)], &[n(1), n(2)]]);
+        assert!(!t.can_reach(n(0), n(1)));
+        t.heal_all();
+        assert!(t.can_reach(n(0), n(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "every node")]
+    fn split_rejects_partial_cover() {
+        let mut t = Topology::fully_connected(3);
+        t.split(&[&[n(0)], &[n(1)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn split_rejects_duplicates() {
+        let mut t = Topology::fully_connected(2);
+        t.split(&[&[n(0), n(0)], &[n(1)]]);
+    }
+
+    #[test]
+    fn link_cut_is_directional() {
+        let mut t = Topology::fully_connected(2);
+        t.cut_link(n(0), n(1));
+        assert!(!t.can_reach(n(0), n(1)));
+        assert!(t.can_reach(n(1), n(0)));
+        t.restore_link(n(0), n(1));
+        assert!(t.can_reach(n(0), n(1)));
+    }
+
+    #[test]
+    fn loopback_survives_partition() {
+        let mut t = Topology::fully_connected(2);
+        t.split(&[&[n(0)], &[n(1)]]);
+        assert!(t.can_reach(n(0), n(0)));
+    }
+
+    #[test]
+    fn components_listing() {
+        let mut t = Topology::fully_connected(4);
+        t.split(&[&[n(0), n(3)], &[n(1), n(2)]]);
+        let comps = t.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].1, vec![n(0), n(3)]);
+        assert_eq!(comps[1].1, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion factor")]
+    fn congestion_below_one_rejected() {
+        Topology::fully_connected(1).set_congestion(0.5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Structured event trace for debugging and assertions.
+//!
+//! Tracing is off by default (the detail closures are never invoked), so
+//! benchmark runs pay almost nothing for it. Tests enable it to assert on
+//! protocol behaviour ("exactly one flush ran", "the merge happened after
+//! the heal").
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which node emitted it (`None` for world-level events such as
+    /// partition changes).
+    pub node: Option<NodeId>,
+    /// A short machine-matchable kind, e.g. `"hwg.flush.start"`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{} {}] {}: {}", self.time, n, self.kind, self.detail),
+            None => write!(f, "[{} world] {}: {}", self.time, self.kind, self.detail),
+        }
+    }
+}
+
+/// The world's trace sink.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a sink; pass `enabled = false` for benchmark runs.
+    pub fn new(enabled: bool) -> Self {
+        Trace {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. `detail` is only evaluated when tracing is enabled.
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        node: Option<NodeId>,
+        kind: &str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                node,
+                kind: kind.to_owned(),
+                detail: detail(),
+            });
+        }
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose kind matches `kind` exactly.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Counts events of a kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// The first event of a kind, if any.
+    pub fn first(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// The last event of a kind, if any.
+    pub fn last(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.kind == kind)
+    }
+
+    /// Drops all recorded events (e.g. after a warm-up phase).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing_and_skips_detail() {
+        let mut t = Trace::new(false);
+        t.emit(SimTime::ZERO, None, "x", || {
+            panic!("detail closure must not run when disabled")
+        });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(true);
+        t.emit(SimTime::from_micros(1), Some(NodeId(0)), "a", || "one".into());
+        t.emit(SimTime::from_micros(2), None, "b", || "two".into());
+        t.emit(SimTime::from_micros(3), Some(NodeId(1)), "a", || "three".into());
+        assert_eq!(t.count("a"), 2);
+        assert_eq!(t.first("a").map(|e| e.detail.as_str()), Some("one"));
+        assert_eq!(t.last("a").map(|e| e.detail.as_str()), Some("three"));
+        assert_eq!(t.count("missing"), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            time: SimTime::from_micros(1_000_000),
+            node: Some(NodeId(2)),
+            kind: "k".into(),
+            detail: "d".into(),
+        };
+        assert_eq!(e.to_string(), "[1.000000s n2] k: d");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::new(true);
+        t.emit(SimTime::ZERO, None, "a", String::new);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Protocol timing parameters.
+
+use plwg_sim::SimDuration;
+
+/// Tunables of the HWG layer.
+///
+/// Defaults are sized for the simulator's LAN-ish latency (~1 ms): failure
+/// detection within a second, beacons twice a second.
+#[derive(Debug, Clone)]
+pub struct VsyncConfig {
+    /// Heartbeat send period of the failure detector.
+    pub hb_interval: SimDuration,
+    /// Silence after which a monitored peer is suspected.
+    pub suspect_timeout: SimDuration,
+    /// Period of coordinator view beacons (peer discovery, paper §4).
+    pub beacon_interval: SimDuration,
+    /// How long a joiner waits for a `JoinOffer` before retrying.
+    pub probe_timeout: SimDuration,
+    /// Probe attempts before the joiner forms a singleton view.
+    pub probe_retries: u32,
+    /// Coordinator-side timeout for a flush round; laggards are suspected
+    /// and the flush restarts without them.
+    pub flush_timeout: SimDuration,
+    /// Leader-side timeout for a merge; on expiry the merge aborts and each
+    /// participant installs a local view.
+    pub merge_timeout: SimDuration,
+    /// If `true` (plain applications), the endpoint acknowledges `Stop`
+    /// itself. The LWG layer sets this to `false` and calls
+    /// [`crate::VsyncStack::stop_ok`] once its own groups are quiescent.
+    pub auto_stop_ok: bool,
+    /// How long a FIFO gap may sit in the hold-back queue before the
+    /// receiver asks the sender to retransmit. Without NACKs a message
+    /// lost mid-view would block its sender's stream until the next flush.
+    pub nack_delay: SimDuration,
+    /// Period of the stability exchange: members advertise their delivered
+    /// prefixes so everyone can discard retransmission state that is
+    /// stable everywhere (bounds per-view memory).
+    pub stability_interval: SimDuration,
+}
+
+impl Default for VsyncConfig {
+    fn default() -> Self {
+        VsyncConfig {
+            hb_interval: SimDuration::from_millis(100),
+            suspect_timeout: SimDuration::from_millis(500),
+            beacon_interval: SimDuration::from_millis(400),
+            probe_timeout: SimDuration::from_millis(150),
+            probe_retries: 3,
+            flush_timeout: SimDuration::from_millis(1_500),
+            merge_timeout: SimDuration::from_millis(3_000),
+            auto_stop_ok: true,
+            nack_delay: SimDuration::from_millis(200),
+            stability_interval: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl VsyncConfig {
+    /// Validates invariants between the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suspect timeout is not strictly larger than the
+    /// heartbeat interval (the detector would suspect healthy peers), or if
+    /// any period is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.hb_interval > SimDuration::ZERO
+                && self.beacon_interval > SimDuration::ZERO
+                && self.probe_timeout > SimDuration::ZERO
+                && self.flush_timeout > SimDuration::ZERO
+                && self.merge_timeout > SimDuration::ZERO
+                && self.nack_delay > SimDuration::ZERO
+                && self.stability_interval > SimDuration::ZERO,
+            "vsync periods must be positive"
+        );
+        assert!(
+            self.suspect_timeout > self.hb_interval,
+            "suspect_timeout ({}) must exceed hb_interval ({})",
+            self.suspect_timeout,
+            self.hb_interval
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        VsyncConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect_timeout")]
+    fn tight_suspicion_rejected() {
+        VsyncConfig {
+            suspect_timeout: SimDuration::from_millis(50),
+            ..VsyncConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,349 @@
+//! The per-node protocol stack: multiplexes group endpoints, runs the
+//! shared failure detector, and exposes the Table-1 interface of the paper
+//! (`Join`, `Leave`, `Send`, `StopOk` down; `View`, `Data`, `Stop` up).
+
+use crate::config::VsyncConfig;
+use crate::fd::{FailureDetector, FdEvent};
+use crate::group::{GroupEndpoint, GroupStatus};
+use crate::id::{HwgId, ViewId};
+use crate::msg::VsMsg;
+use crate::view::View;
+use plwg_sim::{cast, payload, Context, NodeId, Payload, TimerToken};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upcalls from the HWG layer to its owner (paper Table 1).
+#[derive(Debug)]
+pub enum VsEvent {
+    /// A new view was installed for `hwg`.
+    View {
+        /// Group.
+        hwg: HwgId,
+        /// The installed view.
+        view: View,
+    },
+    /// A multicast was delivered.
+    Data {
+        /// Group.
+        hwg: HwgId,
+        /// View the message was sent (and delivered) in.
+        view_id: ViewId,
+        /// Original sender.
+        src: NodeId,
+        /// Opaque payload.
+        data: Payload,
+    },
+    /// Traffic on `hwg` must stop (a view change is in progress). The
+    /// owner confirms with [`VsyncStack::stop_ok`] unless
+    /// [`VsyncConfig::auto_stop_ok`] is set.
+    Stop {
+        /// Group.
+        hwg: HwgId,
+    },
+    /// This node is no longer a member of `hwg` (leave completed, or the
+    /// group dissolved).
+    Left {
+        /// Group.
+        hwg: HwgId,
+    },
+}
+
+/// Timer token used for the failure-detector / protocol tick.
+const TOK_FD: TimerToken = TimerToken(0x0100_0000_0000_0001);
+/// Timer token used for coordinator view beacons.
+const TOK_BEACON: TimerToken = TimerToken(0x0100_0000_0000_0002);
+
+/// One node's HWG protocol stack.
+///
+/// The owner (a [`plwg_sim::Process`]) must forward messages and timers:
+///
+/// ```ignore
+/// fn on_message(&mut self, ctx, from, msg) {
+///     if self.stack.on_message(ctx, from, &msg) {
+///         for ev in self.stack.drain_events() { /* handle upcalls */ }
+///     }
+/// }
+/// ```
+pub struct VsyncStack {
+    me: NodeId,
+    cfg: VsyncConfig,
+    fd: FailureDetector,
+    groups: BTreeMap<HwgId, GroupEndpoint>,
+    events: Vec<VsEvent>,
+}
+
+impl VsyncStack {
+    /// Creates a stack for node `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`VsyncConfig::validate`]).
+    pub fn new(me: NodeId, cfg: VsyncConfig) -> Self {
+        cfg.validate();
+        VsyncStack {
+            me,
+            cfg,
+            fd: FailureDetector::new(),
+            groups: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The node this stack runs on.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VsyncConfig {
+        &self.cfg
+    }
+
+    /// Must be called from the owner's [`plwg_sim::Process::on_start`]:
+    /// arms the periodic protocol timers.
+    pub fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.cfg.hb_interval, TOK_FD);
+        ctx.set_timer(self.cfg.beacon_interval, TOK_BEACON);
+    }
+
+    // ------------------------------------------------------------------
+    // Down-calls (paper Table 1)
+    // ------------------------------------------------------------------
+
+    /// Joins `hwg`: probes for an existing view; if none answers, forms a
+    /// singleton view. No-op if already a member or joining.
+    pub fn join(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        match self.groups.get(&hwg).map(GroupEndpoint::status) {
+            Some(GroupStatus::Member | GroupStatus::Joining | GroupStatus::Leaving) => {}
+            Some(GroupStatus::Left) | None => {
+                let ep = GroupEndpoint::new_joining(hwg, self.me, ctx, &self.cfg);
+                self.groups.insert(hwg, ep);
+            }
+        }
+    }
+
+    /// Creates `hwg` with an immediate singleton view (the caller knows the
+    /// group is fresh — e.g. the LWG layer allocating a new HWG).
+    ///
+    /// If concurrent creations race, the resulting concurrent views merge
+    /// via the beacon protocol exactly like healed partitions do.
+    pub fn create(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        match self.groups.get(&hwg).map(GroupEndpoint::status) {
+            Some(GroupStatus::Member | GroupStatus::Joining | GroupStatus::Leaving) => {}
+            Some(GroupStatus::Left) | None => {
+                let ep = GroupEndpoint::new_created(hwg, self.me, ctx, &mut self.events);
+                self.groups.insert(hwg, ep);
+                self.sync_watches(ctx);
+            }
+        }
+    }
+
+    /// Leaves `hwg` (the `Left` upcall confirms completion).
+    pub fn leave(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        if let Some(ep) = self.groups.get_mut(&hwg) {
+            ep.leave(ctx, &self.fd, &mut self.events);
+        }
+        self.sync_watches(ctx);
+    }
+
+    /// Sends a virtually-synchronous multicast on `hwg`. Messages sent
+    /// while the group has no installed view or is flushing are buffered
+    /// and sent in the next view. Silently ignored if not a member.
+    pub fn send(&mut self, ctx: &mut Context<'_>, hwg: HwgId, data: Payload) {
+        if let Some(ep) = self.groups.get_mut(&hwg) {
+            ep.send_payload(ctx, data, &mut self.events);
+        }
+    }
+
+    /// Forces a no-change flush of `hwg` (a synchronisation barrier for the
+    /// layer above — the LWG merge-views protocol). Honoured only by the
+    /// acting coordinator; a no-op while a flush or merge is in progress.
+    pub fn force_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        if let Some(ep) = self.groups.get_mut(&hwg) {
+            ep.force_flush(ctx, &self.fd, &mut self.events);
+        }
+    }
+
+    /// Confirms a `Stop` upcall (only needed when
+    /// [`VsyncConfig::auto_stop_ok`] is `false`).
+    pub fn stop_ok(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        if let Some(ep) = self.groups.get_mut(&hwg) {
+            ep.stop_ok(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The current view of `hwg`, if this node has one installed.
+    pub fn view_of(&self, hwg: HwgId) -> Option<&View> {
+        self.groups.get(&hwg).and_then(GroupEndpoint::view)
+    }
+
+    /// This node's status in `hwg`.
+    pub fn status_of(&self, hwg: HwgId) -> GroupStatus {
+        self.groups
+            .get(&hwg)
+            .map_or(GroupStatus::Left, GroupEndpoint::status)
+    }
+
+    /// Whether this node currently acts as coordinator of `hwg` (most
+    /// senior member it does not suspect).
+    pub fn is_coordinator(&self, hwg: HwgId) -> bool {
+        self.groups
+            .get(&hwg)
+            .is_some_and(|ep| ep.i_am_acting_coordinator(&self.fd))
+    }
+
+    /// Groups this stack currently participates in (any non-`Left` status).
+    pub fn groups(&self) -> impl Iterator<Item = HwgId> + '_ {
+        self.groups
+            .iter()
+            .filter(|(_, ep)| ep.status() != GroupStatus::Left)
+            .map(|(&h, _)| h)
+    }
+
+    /// Whether a merge is in progress on `hwg` (test/diagnostic hook).
+    pub fn merge_in_progress(&self, hwg: HwgId) -> bool {
+        self.groups
+            .get(&hwg)
+            .is_some_and(GroupEndpoint::has_merge_in_progress)
+    }
+
+    /// Whether the local failure detector currently suspects `peer`.
+    pub fn suspects(&self, peer: NodeId) -> bool {
+        self.fd.is_suspected(peer)
+    }
+
+    /// Messages currently retained for retransmission on `hwg` — bounded
+    /// by the stability exchange (diagnostics and tests).
+    pub fn retransmit_buffer_len(&self, hwg: HwgId) -> usize {
+        self.groups.get(&hwg).map_or(0, GroupEndpoint::store_len)
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing from the owning process
+    // ------------------------------------------------------------------
+
+    /// Handles an incoming message if it belongs to this stack.
+    /// Returns `true` when consumed (the owner should then drain upcalls).
+    pub fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+        let Some(vs) = cast::<VsMsg>(msg) else {
+            return false;
+        };
+        // Any traffic is evidence of life.
+        if let Some(FdEvent::Alive(_)) = self.fd.heard_from(from, ctx.now()) {
+            ctx.trace("fd.alive", || format!("{from}"));
+        }
+        match vs {
+            VsMsg::Heartbeat => {}
+            VsMsg::JoinProbe { hwg } => {
+                if let Some(ep) = self.groups.get_mut(hwg) {
+                    ep.on_msg(ctx, from, vs, &self.fd, &self.cfg, &mut self.events);
+                }
+            }
+            VsMsg::JoinOffer { hwg, .. }
+            | VsMsg::JoinReq { hwg }
+            | VsMsg::LeaveReq { hwg }
+            | VsMsg::Data { hwg, .. }
+            | VsMsg::FlushReq { hwg, .. }
+            | VsMsg::FlushDigest { hwg, .. }
+            | VsMsg::FlushTarget { hwg, .. }
+            | VsMsg::FlushPull { hwg, .. }
+            | VsMsg::FlushFill { hwg, .. }
+            | VsMsg::FlushDone { hwg, .. }
+            | VsMsg::NewView { hwg, .. }
+            | VsMsg::Nack { hwg, .. }
+            | VsMsg::Stability { hwg, .. }
+            | VsMsg::Beacon { hwg, .. }
+            | VsMsg::MergeReq { hwg, .. }
+            | VsMsg::MergeReady { hwg, .. }
+            | VsMsg::MergeNack { hwg, .. } => {
+                if let Some(ep) = self.groups.get_mut(hwg) {
+                    ep.on_msg(ctx, from, vs, &self.fd, &self.cfg, &mut self.events);
+                }
+            }
+        }
+        self.sync_watches(ctx);
+        true
+    }
+
+    /// Handles a timer if it belongs to this stack. Returns `true` when
+    /// consumed.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+        match token {
+            TOK_FD => {
+                self.fd_tick(ctx);
+                ctx.set_timer(self.cfg.hb_interval, TOK_FD);
+                true
+            }
+            TOK_BEACON => {
+                for ep in self.groups.values() {
+                    ep.send_beacon(ctx, &self.fd);
+                }
+                ctx.set_timer(self.cfg.beacon_interval, TOK_BEACON);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Takes the upcalls produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<VsEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn fd_tick(&mut self, ctx: &mut Context<'_>) {
+        // Heartbeats to everything we monitor.
+        let peers: Vec<NodeId> = self.fd.watched().collect();
+        for p in peers {
+            ctx.send(p, payload(VsMsg::Heartbeat));
+        }
+        // Fresh suspicions drive view changes in all affected groups.
+        let fd_events = self.fd.check(ctx.now(), self.cfg.suspect_timeout);
+        for ev in &fd_events {
+            if let FdEvent::Suspect(p) = ev {
+                ctx.trace("fd.suspect", || format!("{p}"));
+                ctx.metrics().incr("fd.suspicions");
+            }
+        }
+        let now = ctx.now();
+        for ep in self.groups.values_mut() {
+            ep.on_tick(ctx, now, &self.fd, &self.cfg, &mut self.events);
+        }
+        self.sync_watches(ctx);
+    }
+
+    /// Re-derives the failure-detector watch set from current group
+    /// membership (and drops endpoints that have terminally left).
+    fn sync_watches(&mut self, ctx: &mut Context<'_>) {
+        let mut wanted: BTreeSet<NodeId> = BTreeSet::new();
+        for ep in self.groups.values() {
+            if let Some(view) = ep.view() {
+                for &m in &view.members {
+                    if m != self.me {
+                        wanted.insert(m);
+                    }
+                }
+            }
+        }
+        let current: BTreeSet<NodeId> = self.fd.watched().collect();
+        for &p in wanted.difference(&current) {
+            self.fd.watch(p, ctx.now());
+        }
+        for &p in current.difference(&wanted) {
+            self.fd.unwatch(p);
+        }
+        self.groups
+            .retain(|_, ep| ep.status() != GroupStatus::Left);
+    }
+}
+
+impl std::fmt::Debug for VsyncStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VsyncStack")
+            .field("me", &self.me)
+            .field("groups", &self.groups.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}

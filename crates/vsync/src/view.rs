@@ -1,0 +1,164 @@
+//! Group views: the membership snapshots delivered by virtual synchrony.
+
+use crate::id::ViewId;
+use plwg_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A view of a group: an identified membership snapshot.
+///
+/// `members` is ordered by *seniority* (oldest first); the coordinator of a
+/// view is its most senior member, `members[0]`. Views record the ids of
+/// the views they succeed (`predecessors`) — one predecessor for an
+/// ordinary view change, several when concurrent views merge. This is the
+/// partial order of views the paper's naming service uses to garbage-collect
+/// obsolete mappings (§5.2, §7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct View {
+    /// The view identifier `(coordinator, seq)`.
+    pub id: ViewId,
+    /// Members in seniority order (oldest first).
+    pub members: Vec<NodeId>,
+    /// Ids of the immediately preceding view(s). Empty for an initial view.
+    pub predecessors: Vec<ViewId>,
+}
+
+impl View {
+    /// Builds an initial (singleton-lineage) view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn initial(id: ViewId, members: Vec<NodeId>) -> Self {
+        View::with_predecessors(id, members, Vec::new())
+    }
+
+    /// Builds a view succeeding `predecessors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn with_predecessors(
+        id: ViewId,
+        members: Vec<NodeId>,
+        predecessors: Vec<ViewId>,
+    ) -> Self {
+        assert!(!members.is_empty(), "a view must have at least one member");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            members.len(),
+            "view members must be distinct"
+        );
+        View {
+            id,
+            members,
+            predecessors,
+        }
+    }
+
+    /// The coordinator: the most senior member.
+    pub fn coordinator(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is a singleton — never truly "empty" (see
+    /// [`View::initial`]), provided for idiom completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Seniority rank of `node` (0 = coordinator), or `None` if absent.
+    pub fn rank(&self, node: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == node)
+    }
+
+    /// The most senior member of `self.members ∩ alive` where `alive`
+    /// is a predicate — used to decide who should coordinate a view change
+    /// when the coordinator itself is suspected.
+    pub fn senior_member_where(&self, mut alive: impl FnMut(NodeId) -> bool) -> Option<NodeId> {
+        self.members.iter().copied().find(|&m| alive(m))
+    }
+
+    /// Membership as a sorted vector (for set comparisons in policies).
+    pub fn sorted_members(&self) -> Vec<NodeId> {
+        let mut m = self.members.clone();
+        m.sort_unstable();
+        m
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn coordinator_is_first_member() {
+        let v = View::initial(ViewId::new(n(3), 1), vec![n(3), n(1), n(2)]);
+        assert_eq!(v.coordinator(), n(3));
+        assert_eq!(v.rank(n(1)), Some(1));
+        assert_eq!(v.rank(n(9)), None);
+        assert!(v.contains(n(2)));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn senior_member_skips_dead() {
+        let v = View::initial(ViewId::new(n(3), 1), vec![n(3), n(1), n(2)]);
+        assert_eq!(v.senior_member_where(|m| m != n(3)), Some(n(1)));
+        assert_eq!(v.senior_member_where(|_| false), None);
+    }
+
+    #[test]
+    fn sorted_members_sorts() {
+        let v = View::initial(ViewId::new(n(3), 1), vec![n(3), n(1), n(2)]);
+        assert_eq!(v.sorted_members(), vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_view_rejected() {
+        let _ = View::initial(ViewId::new(n(0), 1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_members_rejected() {
+        let _ = View::initial(ViewId::new(n(0), 1), vec![n(1), n(1)]);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let v = View::initial(ViewId::new(n(1), 2), vec![n(1), n(4)]);
+        assert_eq!(v.to_string(), "n1#2{n1,n4}");
+    }
+}

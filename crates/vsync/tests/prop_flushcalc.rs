@@ -1,0 +1,126 @@
+//! Property tests for the flush-plan computation: the plan must make the
+//! closing view's delivery **consistent** (every member can reach exactly
+//! the target), **complete** (nothing anyone delivered is dropped), and
+//! **serviceable** (every pulled message has a holder).
+
+use plwg_sim::NodeId;
+use plwg_vsync::flushcalc::{compute_plan, Digest};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Generates a plausible digest set: a few members, a few senders, each
+/// member holding a random prefix of each sender's stream plus random
+/// out-of-order extras.
+fn digests_strategy() -> impl Strategy<Value = BTreeMap<NodeId, Digest>> {
+    let member_count = 1usize..5;
+    let sender_count = 1usize..4;
+    (member_count, sender_count).prop_flat_map(|(mc, sc)| {
+        let per_member = (
+            proptest::collection::vec(0u64..10, sc..=sc),
+            proptest::collection::vec(
+                ((0u32..sc as u32), 1u64..14),
+                0..6,
+            ),
+        );
+        proptest::collection::vec(per_member, mc..=mc).prop_map(move |members| {
+            let mut out = BTreeMap::new();
+            for (mi, (prefixes, extras)) in members.into_iter().enumerate() {
+                let prefix: BTreeMap<NodeId, u64> = prefixes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(si, p)| (NodeId(100 + si as u32), p))
+                    .collect();
+                // Extras must lie beyond the member's own prefix (a held
+                // message below the prefix would have been delivered).
+                let extras: Vec<(NodeId, u64)> = extras
+                    .into_iter()
+                    .map(|(si, q)| (NodeId(100 + si), q))
+                    .filter(|(s, q)| *q > prefix.get(s).copied().unwrap_or(0))
+                    .collect();
+                out.insert(NodeId(mi as u32), (prefix, extras));
+            }
+            out
+        })
+    })
+}
+
+proptest! {
+    /// Soundness of the plan, for arbitrary digest sets.
+    #[test]
+    fn plan_is_sound(digests in digests_strategy()) {
+        let plan = compute_plan(&digests);
+
+        // What exists, per sender.
+        let mut exists: BTreeMap<NodeId, BTreeSet<u64>> = BTreeMap::new();
+        for (prefix, extras) in digests.values() {
+            for (&s, &p) in prefix {
+                exists.entry(s).or_default().extend(1..=p);
+            }
+            for &(s, q) in extras {
+                exists.entry(s).or_default().insert(q);
+            }
+        }
+
+        for (&s, &t) in &plan.target {
+            // 1. Reachable: every message up to the target exists somewhere.
+            for seq in 1..=t {
+                prop_assert!(
+                    exists.get(&s).is_some_and(|e| e.contains(&seq)),
+                    "target includes {s}#{seq} which nobody holds"
+                );
+            }
+            // 2. Complete: the target is never below something a member has
+            //    *delivered* (prefixes are delivered; dropping them would
+            //    contradict delivery).
+            for (prefix, _) in digests.values() {
+                let delivered = prefix.get(&s).copied().unwrap_or(0);
+                prop_assert!(
+                    t >= delivered,
+                    "target {t} for {s} below a delivered prefix {delivered}"
+                );
+            }
+            // 3. Maximal-contiguous: target + 1 must not exist contiguously
+            //    (otherwise the plan drops a recoverable message).
+            let next_exists = exists.get(&s).is_some_and(|e| e.contains(&(t + 1)));
+            prop_assert!(!next_exists, "target for {s} stops early at {t}");
+        }
+
+        // 4. Serviceable: every member can reach the target using its own
+        //    state plus the pulled retransmissions.
+        let pulled: BTreeSet<(NodeId, u64)> = plan
+            .pulls
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        for (m, (prefix, extras)) in &digests {
+            let held: BTreeSet<(NodeId, u64)> = extras.iter().copied().collect();
+            for (&s, &t) in &plan.target {
+                let have = prefix.get(&s).copied().unwrap_or(0);
+                for seq in have + 1..=t {
+                    prop_assert!(
+                        held.contains(&(s, seq)) || pulled.contains(&(s, seq)),
+                        "member {m} cannot obtain {s}#{seq}"
+                    );
+                }
+            }
+        }
+
+        // 5. Honest holders: a member scheduled to retransmit actually has
+        //    the message.
+        for (holder, wants) in &plan.pulls {
+            let (prefix, extras) = &digests[holder];
+            let held: BTreeSet<(NodeId, u64)> = extras.iter().copied().collect();
+            for &(s, seq) in wants {
+                let has = prefix.get(&s).copied().unwrap_or(0) >= seq
+                    || held.contains(&(s, seq));
+                prop_assert!(has, "holder {holder} lacks {s}#{seq}");
+            }
+        }
+    }
+
+    /// The plan is a pure function of the digests (same input, same plan).
+    #[test]
+    fn plan_is_deterministic(digests in digests_strategy()) {
+        prop_assert_eq!(compute_plan(&digests), compute_plan(&digests));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property test of the virtual-synchrony invariant: across randomly timed
+//! crashes, randomly sized bursts, and random loss, processes that install
+//! the same pair of consecutive views deliver exactly the same messages in
+//! between.
+
+use plwg_sim::{
+    cast, payload, Context, NetConfig, NodeId, Payload, Process, SimDuration, SimTime,
+    TimerToken, World, WorldConfig,
+};
+use plwg_vsync::{HwgId, VsEvent, ViewId, VsyncConfig, VsyncStack};
+use proptest::prelude::*;
+use std::any::Any;
+
+const G: HwgId = HwgId(1);
+
+/// Records, per installed view, the messages delivered while it was
+/// current.
+struct Harness {
+    stack: VsyncStack,
+    /// (view id, messages delivered in that view).
+    epochs: Vec<(ViewId, Vec<(NodeId, u64)>)>,
+}
+
+impl Harness {
+    fn new(me: NodeId) -> Self {
+        Harness {
+            stack: VsyncStack::new(me, VsyncConfig::default()),
+            epochs: Vec::new(),
+        }
+    }
+    fn drain(&mut self) {
+        for ev in self.stack.drain_events() {
+            match ev {
+                VsEvent::View { view, .. } => self.epochs.push((view.id, Vec::new())),
+                VsEvent::Data { src, data, .. } => {
+                    let v = *cast::<u64>(&data).expect("u64");
+                    if let Some((_, msgs)) = self.epochs.last_mut() {
+                        msgs.push((src, v));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Process for Harness {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stack.start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        if self.stack.on_message(ctx, from, &msg) {
+            self.drain();
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if self.stack.on_timer(ctx, token) {
+            self.drain();
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random crash time, random traffic, optional loss: for every pair of
+    /// survivors and every pair of *consecutive* views both installed, the
+    /// delivered message sets in between are identical.
+    #[test]
+    fn same_views_same_messages(
+        seed in 0u64..10_000,
+        crash_ms in 500u64..4_000,
+        bursts in 1u64..12,
+        loss_pct in 0u32..5,
+    ) {
+        let mut w = World::new(WorldConfig {
+            seed,
+            net: NetConfig {
+                loss: f64::from(loss_pct) / 100.0,
+                ..NetConfig::default()
+            },
+            ..WorldConfig::default()
+        });
+        let nodes: Vec<NodeId> = (0..4)
+            .map(|i| w.add_node(Box::new(Harness::new(NodeId(i)))))
+            .collect();
+        w.invoke(nodes[0], |h: &mut Harness, ctx| h.stack.create(ctx, G));
+        for &n in &nodes[1..] {
+            w.invoke(n, move |h: &mut Harness, ctx| h.stack.join(ctx, G));
+        }
+        w.run_for(SimDuration::from_secs(5));
+        // Traffic from two senders; node 3 crashes at a random moment.
+        for b in 0..bursts {
+            let t = SimTime::from_micros(5_000_000 + b * 300_000);
+            for (si, &sender) in nodes[..2].iter().enumerate() {
+                let base = (si as u64) * 1_000 + b * 10;
+                w.invoke_at(t, sender, move |h: &mut Harness, ctx| {
+                    for k in 0..5u64 {
+                        h.stack.send(ctx, G, payload(base + k));
+                    }
+                });
+            }
+        }
+        w.crash_at(SimTime::from_micros(5_000_000 + crash_ms * 1_000), nodes[3]);
+        w.run_for(SimDuration::from_secs(15));
+
+        // Collect per-node epochs and compare common consecutive pairs.
+        type Epochs = Vec<(ViewId, Vec<(NodeId, u64)>)>;
+        let all: Vec<Epochs> = nodes[..3]
+            .iter()
+            .map(|&n| w.inspect(n, |h: &Harness| h.epochs.clone()))
+            .collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let (a, b) = (&all[i], &all[j]);
+                for wa in a.windows(2) {
+                    for wb in b.windows(2) {
+                        if wa[0].0 == wb[0].0 && wa[1].0 == wb[1].0 {
+                            let mut ma = wa[0].1.clone();
+                            let mut mb = wb[0].1.clone();
+                            ma.sort_unstable();
+                            mb.sort_unstable();
+                            prop_assert_eq!(
+                                ma,
+                                mb,
+                                "nodes {} and {} delivered different sets between \
+                                 views {} and {}",
+                                i,
+                                j,
+                                wa[0].0,
+                                wa[1].0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! End-to-end scenarios for the HWG layer: joins, multicast, crashes,
+//! partitions and merges, driven through the deterministic simulator.
+
+use plwg_sim::{
+    cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World,
+    WorldConfig,
+};
+use plwg_vsync::{GroupStatus, HwgId, VsEvent, VsyncConfig, VsyncStack, View};
+use std::any::Any;
+
+/// A test application owning a vsync stack; records every upcall.
+struct App {
+    stack: VsyncStack,
+    views: Vec<(HwgId, View)>,
+    delivered: Vec<(HwgId, NodeId, u64)>,
+    lefts: Vec<HwgId>,
+    stops: usize,
+}
+
+impl App {
+    fn new(me: NodeId, cfg: VsyncConfig) -> Self {
+        App {
+            stack: VsyncStack::new(me, cfg),
+            views: Vec::new(),
+            delivered: Vec::new(),
+            lefts: Vec::new(),
+            stops: 0,
+        }
+    }
+
+    fn drain(&mut self) {
+        for ev in self.stack.drain_events() {
+            match ev {
+                VsEvent::View { hwg, view } => self.views.push((hwg, view)),
+                VsEvent::Data {
+                    hwg, src, data, ..
+                } => {
+                    let v = *cast::<u64>(&data).expect("u64 payloads in tests");
+                    self.delivered.push((hwg, src, v));
+                }
+                VsEvent::Stop { .. } => self.stops += 1,
+                VsEvent::Left { hwg } => self.lefts.push(hwg),
+            }
+        }
+    }
+
+    fn current_view(&self, hwg: HwgId) -> Option<&View> {
+        self.views
+            .iter()
+            .rev()
+            .find(|(h, _)| *h == hwg)
+            .map(|(_, v)| v)
+    }
+}
+
+impl Process for App {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stack.start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        if self.stack.on_message(ctx, from, &msg) {
+            self.drain();
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if self.stack.on_timer(ctx, token) {
+            self.drain();
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const G: HwgId = HwgId(1);
+
+fn world_with(n: u32, seed: u64) -> (World, Vec<NodeId>) {
+    let mut w = World::new(WorldConfig {
+        seed,
+        trace: true,
+        ..WorldConfig::default()
+    });
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| w.add_node(Box::new(App::new(NodeId(i), VsyncConfig::default()))))
+        .collect();
+    (w, nodes)
+}
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn at(s: u64) -> SimTime {
+    SimTime::from_micros(s * 1_000_000)
+}
+
+/// Everyone creates-or-joins `G`; after settling, all share one view.
+fn bring_up(w: &mut World, nodes: &[NodeId]) {
+    let first = nodes[0];
+    w.invoke(first, |a: &mut App, ctx| a.stack.create(ctx, G));
+    for &n in &nodes[1..] {
+        w.invoke(n, |a: &mut App, ctx| a.stack.join(ctx, G));
+    }
+    w.run_for(secs(5));
+}
+
+fn assert_common_view(w: &mut World, nodes: &[NodeId], expect_members: usize) -> View {
+    let view = w
+        .inspect(nodes[0], |a: &App| a.current_view(G).cloned())
+        .expect("node 0 has a view");
+    assert_eq!(view.len(), expect_members, "view size: {view}");
+    for &n in nodes {
+        let v = w.inspect(n, |a: &App| a.current_view(G).cloned());
+        assert_eq!(v.as_ref(), Some(&view), "node {n} diverges");
+    }
+    view
+}
+
+#[test]
+fn create_then_join_forms_two_member_view() {
+    let (mut w, nodes) = world_with(2, 7);
+    bring_up(&mut w, &nodes);
+    let view = assert_common_view(&mut w, &nodes, 2);
+    assert_eq!(view.coordinator(), nodes[0], "creator stays senior");
+}
+
+#[test]
+fn four_nodes_converge_to_one_view() {
+    let (mut w, nodes) = world_with(4, 8);
+    bring_up(&mut w, &nodes);
+    let view = assert_common_view(&mut w, &nodes, 4);
+    assert_eq!(view.members[0], nodes[0]);
+}
+
+#[test]
+fn join_without_existing_group_forms_singleton() {
+    let (mut w, nodes) = world_with(1, 9);
+    w.invoke(nodes[0], |a: &mut App, ctx| a.stack.join(ctx, G));
+    w.run_for(secs(3));
+    let v = assert_common_view(&mut w, &nodes, 1);
+    assert!(v.predecessors.is_empty());
+}
+
+#[test]
+fn multicast_is_fifo_and_self_delivered() {
+    let (mut w, nodes) = world_with(3, 10);
+    bring_up(&mut w, &nodes);
+    w.invoke(nodes[1], |a: &mut App, ctx| {
+        for i in 0..20u64 {
+            a.stack.send(ctx, G, payload(i));
+        }
+    });
+    w.run_for(secs(2));
+    for &n in &nodes {
+        let seq: Vec<u64> = w.inspect(n, |a: &App| {
+            a.delivered
+                .iter()
+                .filter(|(h, s, _)| *h == G && *s == nodes[1])
+                .map(|(_, _, v)| *v)
+                .collect()
+        });
+        assert_eq!(seq, (0..20).collect::<Vec<u64>>(), "FIFO at {n}");
+    }
+}
+
+#[test]
+fn interleaved_senders_keep_per_sender_fifo() {
+    let (mut w, nodes) = world_with(4, 11);
+    bring_up(&mut w, &nodes);
+    for (k, &n) in nodes.iter().enumerate() {
+        let base = (k as u64) * 1000;
+        w.invoke(n, move |a: &mut App, ctx| {
+            for i in 0..10u64 {
+                a.stack.send(ctx, G, payload(base + i));
+            }
+        });
+    }
+    w.run_for(secs(2));
+    for &n in &nodes {
+        for &s in &nodes {
+            let seq: Vec<u64> = w.inspect(n, |a: &App| {
+                a.delivered
+                    .iter()
+                    .filter(|(h, src, _)| *h == G && *src == s)
+                    .map(|(_, _, v)| *v % 1000)
+                    .collect()
+            });
+            assert_eq!(seq, (0..10).collect::<Vec<u64>>());
+        }
+    }
+}
+
+#[test]
+fn crash_is_excluded_from_next_view() {
+    let (mut w, nodes) = world_with(4, 12);
+    bring_up(&mut w, &nodes);
+    w.crash(nodes[3]);
+    w.run_for(secs(5));
+    let survivors = &nodes[..3];
+    let view = {
+        let v = w
+            .inspect(nodes[0], |a: &App| a.current_view(G).cloned())
+            .expect("view");
+        v
+    };
+    assert_eq!(view.len(), 3);
+    assert!(!view.contains(nodes[3]));
+    for &n in survivors {
+        let v = w.inspect(n, |a: &App| a.current_view(G).cloned());
+        assert_eq!(v.as_ref(), Some(&view));
+    }
+}
+
+#[test]
+fn coordinator_crash_promotes_next_senior() {
+    let (mut w, nodes) = world_with(3, 13);
+    bring_up(&mut w, &nodes);
+    w.crash(nodes[0]);
+    w.run_for(secs(5));
+    let view = w
+        .inspect(nodes[1], |a: &App| a.current_view(G).cloned())
+        .expect("view");
+    assert_eq!(view.coordinator(), nodes[1]);
+    assert_eq!(view.len(), 2);
+    let v2 = w.inspect(nodes[2], |a: &App| a.current_view(G).cloned());
+    assert_eq!(v2.as_ref(), Some(&view));
+}
+
+/// The virtual-synchrony invariant: all processes that install the same two
+/// consecutive views deliver the same multicasts in between — even with
+/// traffic racing a crash-triggered view change.
+#[test]
+fn virtual_synchrony_across_crash_view_change() {
+    let (mut w, nodes) = world_with(4, 14);
+    bring_up(&mut w, &nodes);
+    // Node 2 streams data; node 3 crashes mid-stream.
+    for burst in 0..10u64 {
+        let t = at(6) + SimDuration::from_millis(burst * 50);
+        w.invoke_at(t, nodes[2], move |a: &mut App, ctx| {
+            for i in 0..5u64 {
+                a.stack.send(ctx, G, payload(burst * 5 + i));
+            }
+        });
+    }
+    w.crash_at(at(6) + SimDuration::from_millis(230), nodes[3]);
+    w.run_for(secs(12));
+    // All three survivors installed the same post-crash view; the set of
+    // messages delivered before it must be identical.
+    let deliveries: Vec<Vec<u64>> = nodes[..3]
+        .iter()
+        .map(|&n| {
+            w.inspect(n, |a: &App| {
+                a.delivered
+                    .iter()
+                    .filter(|(h, s, _)| *h == G && *s == nodes[2])
+                    .map(|(_, _, v)| *v)
+                    .collect()
+            })
+        })
+        .collect();
+    assert_eq!(deliveries[0], deliveries[1]);
+    assert_eq!(deliveries[0], deliveries[2]);
+    assert_eq!(deliveries[0], (0..50).collect::<Vec<u64>>());
+}
+
+#[test]
+fn partition_forms_concurrent_views_and_heals_into_merge() {
+    let (mut w, nodes) = world_with(4, 15);
+    bring_up(&mut w, &nodes);
+    let pre = assert_common_view(&mut w, &nodes, 4);
+    w.split_at(at(6), vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]]);
+    w.run_until(at(14));
+    // Each side has its own 2-member view; the two are concurrent.
+    let va = w
+        .inspect(nodes[0], |a: &App| a.current_view(G).cloned())
+        .expect("side A view");
+    let vb = w
+        .inspect(nodes[2], |a: &App| a.current_view(G).cloned())
+        .expect("side B view");
+    assert_eq!(va.sorted_members(), vec![nodes[0], nodes[1]]);
+    assert_eq!(vb.sorted_members(), vec![nodes[2], nodes[3]]);
+    assert_ne!(va.id, vb.id);
+    assert!(va.predecessors.contains(&pre.id));
+    assert!(vb.predecessors.contains(&pre.id));
+
+    w.heal_at(at(14));
+    w.run_until(at(25));
+    let merged = assert_common_view(&mut w, &nodes, 4);
+    // The merged view succeeds both concurrent views.
+    assert!(
+        merged.predecessors.contains(&va.id) || merged.predecessors.contains(&vb.id),
+        "merged view {merged} should descend from the partition views"
+    );
+}
+
+#[test]
+fn concurrent_creations_merge_via_beacons() {
+    let (mut w, nodes) = world_with(2, 16);
+    // Both create the same group independently (a race the LWG layer can
+    // produce when two partitions map the same LWG to a fresh HWG).
+    for &n in &nodes {
+        w.invoke(n, |a: &mut App, ctx| a.stack.create(ctx, G));
+    }
+    w.run_for(secs(8));
+    let view = assert_common_view(&mut w, &nodes, 2);
+    assert_eq!(view.predecessors.len(), 2, "merged from two singletons");
+}
+
+#[test]
+fn leave_shrinks_view_and_confirms() {
+    let (mut w, nodes) = world_with(3, 17);
+    bring_up(&mut w, &nodes);
+    w.invoke(nodes[2], |a: &mut App, ctx| a.stack.leave(ctx, G));
+    w.run_for(secs(5));
+    let view = w
+        .inspect(nodes[0], |a: &App| a.current_view(G).cloned())
+        .expect("view");
+    assert_eq!(view.sorted_members(), vec![nodes[0], nodes[1]]);
+    w.inspect(nodes[2], |a: &App| {
+        assert_eq!(a.lefts, vec![G]);
+        assert_eq!(a.stack.status_of(G), GroupStatus::Left);
+    });
+}
+
+#[test]
+fn coordinator_leave_hands_over() {
+    let (mut w, nodes) = world_with(3, 18);
+    // Stagger the joins so seniority is deterministic: n0 > n1 > n2.
+    w.invoke(nodes[0], |a: &mut App, ctx| a.stack.create(ctx, G));
+    w.invoke_at(at(1), nodes[1], |a: &mut App, ctx| a.stack.join(ctx, G));
+    w.invoke_at(at(2), nodes[2], |a: &mut App, ctx| a.stack.join(ctx, G));
+    w.run_for(secs(4));
+    w.invoke(nodes[0], |a: &mut App, ctx| a.stack.leave(ctx, G));
+    w.run_for(secs(5));
+    let view = w
+        .inspect(nodes[1], |a: &App| a.current_view(G).cloned())
+        .expect("view");
+    assert_eq!(view.sorted_members(), vec![nodes[1], nodes[2]]);
+    assert_eq!(view.coordinator(), nodes[1]);
+    w.inspect(nodes[0], |a: &App| assert_eq!(a.lefts, vec![G]));
+}
+
+#[test]
+fn sole_member_leave_dissolves_group() {
+    let (mut w, nodes) = world_with(1, 19);
+    w.invoke(nodes[0], |a: &mut App, ctx| a.stack.create(ctx, G));
+    w.run_for(secs(1));
+    w.invoke(nodes[0], |a: &mut App, ctx| a.stack.leave(ctx, G));
+    w.run_for(secs(1));
+    w.inspect(nodes[0], |a: &App| {
+        assert_eq!(a.lefts, vec![G]);
+    });
+}
+
+#[test]
+fn virtual_synchrony_under_message_loss() {
+    let mut w = World::new(WorldConfig {
+        seed: 99,
+        net: plwg_sim::NetConfig {
+            loss: 0.02,
+            ..plwg_sim::NetConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let nodes: Vec<NodeId> = (0..3)
+        .map(|i| w.add_node(Box::new(App::new(NodeId(i), VsyncConfig::default()))))
+        .collect();
+    bring_up(&mut w, &nodes);
+    for burst in 0..20u64 {
+        let t = at(6) + SimDuration::from_millis(burst * 40);
+        w.invoke_at(t, nodes[1], move |a: &mut App, ctx| {
+            a.stack.send(ctx, G, payload(burst));
+        });
+    }
+    // Crash node 2 to force a view change; the flush must reconcile any
+    // loss-induced gaps among survivors.
+    w.crash_at(at(8), nodes[2]);
+    w.run_for(secs(15));
+    let d0: Vec<u64> = w.inspect(nodes[0], |a: &App| {
+        a.delivered.iter().map(|(_, _, v)| *v).collect()
+    });
+    let d1: Vec<u64> = w.inspect(nodes[1], |a: &App| {
+        a.delivered.iter().map(|(_, _, v)| *v).collect()
+    });
+    assert_eq!(d0, d1, "survivors must agree on the delivered sequence");
+    assert_eq!(d0, (0..20).collect::<Vec<u64>>());
+}
+
+#[test]
+fn data_sent_in_old_view_is_not_delivered_in_new_view() {
+    let (mut w, nodes) = world_with(3, 20);
+    bring_up(&mut w, &nodes);
+    let before = w.inspect(nodes[0], |a: &App| a.delivered.len());
+    // Partition node 2 away; its sends go to a view the others abandon.
+    w.split_at(at(6), vec![vec![nodes[0], nodes[1]], vec![nodes[2]]]);
+    w.run_until(at(12));
+    w.invoke(nodes[2], |a: &mut App, ctx| {
+        a.stack.send(ctx, G, payload(777u64))
+    });
+    w.heal_at(at(13));
+    w.run_until(at(20));
+    // 777 was sent in node 2's solo view; nodes 0/1 never install that view
+    // and must not deliver it. (Node 2 delivers it to itself.)
+    for &n in &nodes[..2] {
+        let got: Vec<u64> = w.inspect(n, |a: &App| {
+            a.delivered[before..]
+                .iter()
+                .map(|(_, _, v)| *v)
+                .collect()
+        });
+        assert!(!got.contains(&777), "{n} must not deliver foreign-view data");
+    }
+    let self_got: Vec<u64> = w.inspect(nodes[2], |a: &App| {
+        a.delivered.iter().map(|(_, _, v)| *v).collect()
+    });
+    assert!(self_got.contains(&777));
+}
+
+#[test]
+fn stop_upcall_precedes_view_change() {
+    let (mut w, nodes) = world_with(2, 21);
+    bring_up(&mut w, &nodes);
+    let stops_before = w.inspect(nodes[0], |a: &App| a.stops);
+    w.invoke(nodes[1], |a: &mut App, ctx| a.stack.leave(ctx, G));
+    w.run_for(secs(4));
+    let stops_after = w.inspect(nodes[0], |a: &App| a.stops);
+    assert!(stops_after > stops_before, "flush must signal Stop");
+}
+
+#[test]
+fn three_way_partition_and_heal() {
+    let (mut w, nodes) = world_with(6, 22);
+    bring_up(&mut w, &nodes);
+    assert_common_view(&mut w, &nodes, 6);
+    w.split_at(
+        at(6),
+        vec![
+            vec![nodes[0], nodes[1]],
+            vec![nodes[2], nodes[3]],
+            vec![nodes[4], nodes[5]],
+        ],
+    );
+    w.run_until(at(16));
+    for pair in [[0usize, 1], [2, 3], [4, 5]] {
+        let v = w
+            .inspect(nodes[pair[0]], |a: &App| a.current_view(G).cloned())
+            .expect("partition view");
+        assert_eq!(v.len(), 2, "each component forms a pair view");
+        let v2 = w.inspect(nodes[pair[1]], |a: &App| a.current_view(G).cloned());
+        assert_eq!(v2.as_ref(), Some(&v));
+    }
+    w.heal_at(at(16));
+    // Three concurrent views merge (possibly pairwise, needing two rounds).
+    w.run_until(at(40));
+    assert_common_view(&mut w, &nodes, 6);
+}
+
+#[test]
+fn virtual_partition_congestion_splits_and_recovers() {
+    let (mut w, nodes) = world_with(4, 23);
+    bring_up(&mut w, &nodes);
+    // Congestion makes every message ~100x slower than the suspect timeout
+    // allows: a *virtual* partition (paper §4) — nodes are alive but appear
+    // crashed.
+    w.schedule_at(at(6), |w| w.topology_mut().set_congestion(400.0));
+    w.schedule_at(at(20), |w| w.topology_mut().set_congestion(1.0));
+    w.run_until(at(45));
+    // After the episode clears, everyone re-merges into one view.
+    let view = w
+        .inspect(nodes[0], |a: &App| a.current_view(G).cloned())
+        .expect("view");
+    assert_eq!(view.len(), 4, "virtual partition must heal: {view}");
+    for &n in &nodes {
+        let v = w.inspect(n, |a: &App| a.current_view(G).cloned());
+        assert_eq!(v.as_ref(), Some(&view));
+    }
+}
+
+#[test]
+fn nack_recovers_lost_messages_without_view_change() {
+    // 10% loss, steady stream, no membership change: the NACK machinery
+    // must fill every gap well before any flush runs.
+    let mut w = World::new(WorldConfig {
+        seed: 77,
+        net: plwg_sim::NetConfig {
+            loss: 0.10,
+            ..plwg_sim::NetConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let nodes: Vec<NodeId> = (0..3)
+        .map(|i| w.add_node(Box::new(App::new(NodeId(i), VsyncConfig::default()))))
+        .collect();
+    bring_up(&mut w, &nodes);
+    for k in 0..60u64 {
+        let t = at(6) + SimDuration::from_millis(k * 30);
+        w.invoke_at(t, nodes[1], move |a: &mut App, ctx| {
+            a.stack.send(ctx, G, payload(k));
+        });
+    }
+    w.run_for(secs(15));
+    assert!(
+        w.metrics().counter("hwg.nack_resends") > 0,
+        "loss at 10% must have exercised the NACK path"
+    );
+    for &n in &nodes {
+        let got: Vec<u64> = w.inspect(n, |a: &App| {
+            a.delivered
+                .iter()
+                .filter(|(h, s, _)| *h == G && *s == nodes[1])
+                .map(|(_, _, v)| *v)
+                .collect()
+        });
+        assert_eq!(got, (0..60).collect::<Vec<u64>>(), "complete FIFO at {n}");
+    }
+}
+
+#[test]
+fn stability_exchange_bounds_retransmit_buffers() {
+    let (mut w, nodes) = world_with(3, 78);
+    bring_up(&mut w, &nodes);
+    // A long stream with no view change: without stability GC the store
+    // would hold all 600 messages; with it, the buffer stays near the
+    // stability window.
+    for k in 0..600u64 {
+        let t = at(6) + SimDuration::from_millis(k * 20);
+        w.invoke_at(t, nodes[0], move |a: &mut App, ctx| {
+            a.stack.send(ctx, G, payload(k));
+        });
+    }
+    w.run_for(secs(20));
+    assert!(w.metrics().counter("hwg.store_gc") > 0, "GC must have run");
+    for &n in &nodes {
+        let buffered = w.inspect(n, |a: &App| a.stack.retransmit_buffer_len(G));
+        assert!(
+            buffered < 300,
+            "store at {n} holds {buffered} messages; stability GC failed"
+        );
+    }
+    // And the stream still arrived intact.
+    let got: Vec<u64> = w.inspect(nodes[2], |a: &App| {
+        a.delivered
+            .iter()
+            .filter(|(h, s, _)| *h == G && *s == nodes[0])
+            .map(|(_, _, v)| *v)
+            .collect()
+    });
+    assert_eq!(got, (0..600).collect::<Vec<u64>>());
+}

@@ -1,0 +1,187 @@
+//! Partition-heal experiments: how long reconciliation takes and how much
+//! protocol work it costs, as a function of how many LWGs share the HWG.
+//!
+//! This quantifies the claim of paper §6.4: the MERGE-VIEWS protocol merges
+//! *all* concurrent views of *all* LWGs mapped on an HWG with a **single**
+//! HWG flush, so heal cost should be (nearly) independent of the number of
+//! co-mapped groups — the resource-sharing argument.
+
+use crate::mode::{default_naming, BenchNode, ServiceMode};
+use plwg_core::LwgConfig;
+use plwg_naming::NameServer;
+use plwg_sim::{NodeId, SimDuration, SimTime, World, WorldConfig};
+
+/// Parameters of one heal run.
+#[derive(Debug, Clone)]
+pub struct HealParams {
+    /// Number of LWGs sharing the one HWG.
+    pub lwgs: usize,
+    /// Total member processes (split half/half by the partition).
+    pub members: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for HealParams {
+    fn default() -> Self {
+        HealParams {
+            lwgs: 4,
+            members: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Measurements from one heal run.
+#[derive(Debug, Clone)]
+pub struct HealResult {
+    /// Number of co-mapped LWGs.
+    pub lwgs: usize,
+    /// Time from the heal until every LWG at every member shows the full
+    /// membership again.
+    pub reconverge: SimDuration,
+    /// HWG flushes executed between heal and reconvergence (the paper's
+    /// single-flush claim: this should not grow with `lwgs`).
+    pub hwg_flushes: u64,
+    /// LWG view merges performed.
+    pub lwg_merges: u64,
+}
+
+/// Runs the heal experiment: bring up `lwgs` groups over one HWG,
+/// partition the members half/half, let concurrent views form, heal, and
+/// measure reconvergence.
+///
+/// # Panics
+///
+/// Panics if bring-up or reconvergence does not complete within generous
+/// virtual-time limits (a protocol bug).
+pub fn run_heal(params: &HealParams) -> HealResult {
+    assert!(params.members >= 2, "need at least two members to split");
+    let mut world = World::new(WorldConfig {
+        seed: params.seed,
+        ..WorldConfig::default()
+    });
+    let s0 = world.add_node(Box::new(NameServer::new(
+        NodeId(0),
+        vec![NodeId(1)],
+        default_naming(),
+    )));
+    let s1 = world.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        default_naming(),
+    )));
+    let servers = vec![s0, s1];
+    let apps: Vec<NodeId> = (0..params.members)
+        .map(|i| {
+            world.add_node(Box::new(BenchNode::new(
+                NodeId(2 + i as u32),
+                ServiceMode::DynamicLwg,
+                servers.clone(),
+                LwgConfig::default(),
+            )))
+        })
+        .collect();
+
+    // Bring up all LWGs (same full membership → one shared HWG).
+    for g in 1..=params.lwgs as u64 {
+        for (i, &m) in apps.iter().enumerate() {
+            let t = world.now()
+                + SimDuration::from_millis(200 * g)
+                + SimDuration::from_millis(400 * i as u64);
+            world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
+                n.join_group(ctx, g, i == 0)
+            });
+        }
+    }
+    let groups: Vec<u64> = (1..=params.lwgs as u64).collect();
+    await_full_views(&mut world, &apps, &groups, &apps, SimDuration::from_secs(300));
+
+    // Partition half/half (name servers split too, one per side).
+    let half = params.members / 2;
+    let mut side_a = vec![servers[0]];
+    side_a.extend(&apps[..half]);
+    let mut side_b = vec![servers[1]];
+    side_b.extend(&apps[half..]);
+    let t_split = world.now() + SimDuration::from_secs(1);
+    world.split_at(t_split, vec![side_a, side_b]);
+    // Let each side settle into its concurrent views.
+    world.run_until(t_split + SimDuration::from_secs(15));
+
+    let flushes_before = world.metrics().counter("hwg.flushes");
+    let merges_before = world.metrics().counter("lwg.views_merged");
+    let t_heal = world.now();
+    world.heal_at(t_heal);
+    let reconverged_at =
+        await_full_views(&mut world, &apps, &groups, &apps, SimDuration::from_secs(120));
+
+    HealResult {
+        lwgs: params.lwgs,
+        reconverge: reconverged_at.saturating_since(t_heal),
+        hwg_flushes: world.metrics().counter("hwg.flushes") - flushes_before,
+        lwg_merges: world.metrics().counter("lwg.views_merged") - merges_before,
+    }
+}
+
+/// Sweeps the number of co-mapped LWGs.
+pub fn run_heal_sweep(lwg_counts: &[usize], members: usize, seed: u64) -> Vec<HealResult> {
+    lwg_counts
+        .iter()
+        .map(|&lwgs| {
+            run_heal(&HealParams {
+                lwgs,
+                members,
+                seed,
+            })
+        })
+        .collect()
+}
+
+fn await_full_views(
+    world: &mut World,
+    apps: &[NodeId],
+    groups: &[u64],
+    expected_members: &[NodeId],
+    limit: SimDuration,
+) -> SimTime {
+    let mut expect: Vec<NodeId> = expected_members.to_vec();
+    expect.sort_unstable();
+    let deadline = world.now() + limit;
+    loop {
+        let mut ok = true;
+        'outer: for &g in groups {
+            for &m in apps {
+                let got = world.inspect(m, |n: &BenchNode| n.members_of(g));
+                if got.as_deref() != Some(&expect[..]) {
+                    ok = false;
+                    break 'outer;
+                }
+            }
+        }
+        if ok {
+            return world.now();
+        }
+        assert!(
+            world.now() < deadline,
+            "heal experiment did not reconverge within {limit}"
+        );
+        world.run_for(SimDuration::from_millis(250));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heal_smoke() {
+        let r = run_heal(&HealParams {
+            lwgs: 2,
+            members: 4,
+            seed: 7,
+        });
+        assert!(r.reconverge > SimDuration::ZERO);
+        assert!(r.reconverge < SimDuration::from_secs(60));
+        assert!(r.lwg_merges >= 1, "concurrent views must have merged");
+    }
+}

@@ -1,0 +1,204 @@
+//! The interference experiment: an unrelated group's failure recovery
+//! disturbing an active group — when, and only when, they share an HWG.
+
+use crate::mode::{default_naming, BenchNode, ServiceMode};
+use crate::twosets::{TwoSetsParams, TwoSetsResult};
+use plwg_core::LwgConfig;
+use plwg_naming::NameServer;
+use plwg_sim::{Histogram, NodeId, SimDuration, SimTime, World, WorldConfig};
+
+/// Runs the two-sets topology with traffic on set A only and a crash of a
+/// set-B member midway through the stream. Reports set A's latency and
+/// set B's recovery time.
+///
+/// # Panics
+///
+/// Panics if bring-up does not converge (a protocol bug).
+pub fn run_interference(params: &TwoSetsParams) -> TwoSetsResult {
+    let mut world = World::new(WorldConfig {
+        seed: params.seed,
+        proc_time: params.proc_time,
+        ..WorldConfig::default()
+    });
+    let s0 = world.add_node(Box::new(NameServer::new(
+        NodeId(0),
+        vec![NodeId(1)],
+        default_naming(),
+    )));
+    let s1 = world.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        default_naming(),
+    )));
+    let servers = vec![s0, s1];
+    let cfg = match params.mode {
+        ServiceMode::StaticLwg => BenchNode::static_config(LwgConfig::default()),
+        _ => LwgConfig::default(),
+    };
+    let total = params.members_per_group * 2;
+    let apps: Vec<NodeId> = (0..total)
+        .map(|i| {
+            world.add_node(Box::new(BenchNode::new(
+                NodeId(2 + i as u32),
+                params.mode,
+                servers.clone(),
+                cfg.clone(),
+            )))
+        })
+        .collect();
+    let set_a = apps[..params.members_per_group].to_vec();
+    let set_b = apps[params.members_per_group..].to_vec();
+
+    // Bootstrap for static mode (one HWG spanning everyone).
+    if params.mode == ServiceMode::StaticLwg {
+        for (i, &m) in apps.iter().enumerate() {
+            let t = world.now() + SimDuration::from_millis(300 * i as u64);
+            world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
+                n.join_group(ctx, 0, i == 0)
+            });
+        }
+        world.run_for(SimDuration::from_secs(10));
+    }
+    let groups_a: Vec<u64> = (1..=params.groups_per_set as u64).collect();
+    let groups_b: Vec<u64> = (1..=params.groups_per_set as u64).map(|g| 1000 + g).collect();
+    for (idx, &g) in groups_a.iter().chain(groups_b.iter()).enumerate() {
+        let members = if g < 1000 { &set_a } else { &set_b };
+        for (i, &m) in members.iter().enumerate() {
+            let t = world.now()
+                + SimDuration::from_millis(150 * idx as u64 + 400 * i as u64);
+            world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
+                n.join_group(ctx, g, i == 0)
+            });
+        }
+    }
+    // Generous settle (covers shrink + a policy round).
+    world.run_for(SimDuration::from_secs(45));
+    for &g in groups_a.iter().chain(groups_b.iter()) {
+        let members = if g < 1000 { &set_a } else { &set_b };
+        let mut expect = members.clone();
+        expect.sort_unstable();
+        for &m in members {
+            let got = world.inspect(m, |n: &BenchNode| n.members_of(g));
+            assert_eq!(
+                got.as_deref(),
+                Some(&expect[..]),
+                "interference setup: {g} not converged at {m}"
+            );
+        }
+    }
+
+    // Traffic on set A; crash a set-B member midway.
+    let t0 = world.now() + SimDuration::from_secs(1);
+    for (idx, &g) in groups_a.iter().enumerate() {
+        let sender = set_a[0];
+        let offset = SimDuration::from_micros(
+            params.traffic.interval.as_micros() * idx as u64 / groups_a.len().max(1) as u64,
+        );
+        for k in 0..params.traffic.msgs_per_group {
+            let t = t0 + offset + params.traffic.interval.saturating_mul(k);
+            world.invoke_at(t, sender, move |n: &mut BenchNode, ctx| {
+                n.send_stamped(ctx, g, k)
+            });
+        }
+    }
+    let span = params
+        .traffic
+        .interval
+        .saturating_mul(params.traffic.msgs_per_group);
+    let victim = *set_b.last().expect("set B nonempty");
+    let t_crash = t0 + span.mul_f64(0.5);
+    world.crash_at(t_crash, victim);
+    let t_end = t0 + span + SimDuration::from_secs(5);
+    world.run_until(t_end);
+
+    // Set A latency only.
+    let mut hist = Histogram::default();
+    let mut delivered = 0u64;
+    let mut last_recv = t0;
+    for &m in &set_a {
+        let ds: Vec<(SimTime, SimTime)> = world.inspect(m, |n: &BenchNode| {
+            n.deliveries
+                .iter()
+                .filter(|d| d.group < 1000 && d.sent_at >= t0 && d.src != m)
+                .map(|d| (d.sent_at, d.recv_at))
+                .collect()
+        });
+        for (sent, recv) in ds {
+            hist.record(recv.saturating_since(sent).as_micros());
+            delivered += 1;
+            last_recv = last_recv.max(recv);
+        }
+    }
+
+    // Set B recovery.
+    let survivors: Vec<NodeId> = set_b.iter().copied().filter(|&m| m != victim).collect();
+    let mut worst: Option<SimTime> = None;
+    let mut complete = true;
+    for &g in &groups_b {
+        for &m in &survivors {
+            let t = world.inspect(m, |n: &BenchNode| {
+                n.views
+                    .iter()
+                    .find(|v| v.at >= t_crash && v.group == g && !v.members.contains(&victim))
+                    .map(|v| v.at)
+            });
+            match t {
+                Some(t) => worst = Some(worst.map_or(t, |w: SimTime| w.max(t))),
+                None => complete = false,
+            }
+        }
+    }
+    let window = last_recv.saturating_since(t0).as_secs_f64().max(1e-9);
+    TwoSetsResult {
+        mode: params.mode,
+        groups_per_set: params.groups_per_set,
+        latency_us: hist.summary(),
+        throughput_msgs_per_sec: delivered as f64 / window,
+        wire_msgs: 0,
+        avg_hwgs_per_node: 0.0,
+        converged_at: t0,
+        recovery: if complete {
+            worst.map(|w| w.saturating_since(t_crash))
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twosets::Traffic;
+
+    #[test]
+    fn interference_shows_up_only_when_co_mapped() {
+        let base = TwoSetsParams {
+            groups_per_set: 1,
+            seed: 5,
+            traffic: Traffic {
+                // Dense probes so several land inside the co-mapped HWG's
+                // flush-freeze window.
+                msgs_per_group: 2000,
+                interval: SimDuration::from_millis(2),
+            },
+            crash_member: true,
+            ..TwoSetsParams::default()
+        };
+        let stat = run_interference(&TwoSetsParams {
+            mode: ServiceMode::StaticLwg,
+            ..base.clone()
+        });
+        let dynm = run_interference(&TwoSetsParams {
+            mode: ServiceMode::DynamicLwg,
+            ..base
+        });
+        // Co-mapped: the flush stall shows in set A's tail latency.
+        assert!(
+            stat.latency_us.max > 2 * dynm.latency_us.max,
+            "static max {} should dwarf dynamic max {}",
+            stat.latency_us.max,
+            dynm.latency_us.max
+        );
+        assert!(stat.recovery.is_some() && dynm.recovery.is_some());
+    }
+}

@@ -1,0 +1,304 @@
+//! The three service configurations of paper Figure 2, behind one node
+//! type.
+//!
+//! * [`ServiceMode::NoLwg`] — every user group is its own heavy-weight
+//!   group (a full virtually-synchronous stack per group).
+//! * [`ServiceMode::StaticLwg`] — user groups are LWGs, all mapped onto a
+//!   single HWG containing every process; the mapping never changes
+//!   (policies disabled).
+//! * [`ServiceMode::DynamicLwg`] — the full service of `plwg-core`, with
+//!   the Figure-1 policies re-mapping groups at run time.
+
+use plwg_core::{LwgConfig, LwgId, LwgService};
+use plwg_naming::NamingConfig;
+use plwg_sim::{
+    cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken,
+};
+use plwg_vsync::{GroupStatus, HwgId, VsEvent, VsyncStack};
+use std::any::Any;
+
+/// Which of the paper's three configurations a [`BenchNode`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// One HWG per user group (the "no LWG service" baseline).
+    NoLwg,
+    /// All user groups mapped statically onto one big HWG.
+    StaticLwg,
+    /// The dynamic light-weight group service (the paper's system).
+    DynamicLwg,
+}
+
+impl ServiceMode {
+    /// Short label used in report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceMode::NoLwg => "no-lwg",
+            ServiceMode::StaticLwg => "static",
+            ServiceMode::DynamicLwg => "dynamic",
+        }
+    }
+}
+
+/// A timestamped experiment payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Stamped {
+    /// Sequence number within the sender's stream.
+    pub seq: u64,
+    /// Virtual send time.
+    pub sent_at: SimTime,
+}
+
+/// One recorded delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct Delivery {
+    /// User group.
+    pub group: u64,
+    /// Sender.
+    pub src: NodeId,
+    /// Sequence number.
+    pub seq: u64,
+    /// Virtual send time (from the payload).
+    pub sent_at: SimTime,
+    /// Virtual delivery time.
+    pub recv_at: SimTime,
+}
+
+/// One recorded view installation.
+#[derive(Debug, Clone)]
+pub struct ViewRecord {
+    /// User group.
+    pub group: u64,
+    /// When the view was installed here.
+    pub at: SimTime,
+    /// Members, sorted.
+    pub members: Vec<NodeId>,
+}
+
+enum Inner {
+    Raw(Box<VsyncStack>),
+    Lwg(Box<LwgService>),
+}
+
+/// An experiment node able to run in any [`ServiceMode`], recording every
+/// delivery and view installation with timestamps.
+pub struct BenchNode {
+    mode: ServiceMode,
+    inner: Inner,
+    /// Recorded deliveries, in order.
+    pub deliveries: Vec<Delivery>,
+    /// Recorded view installations, in order.
+    pub views: Vec<ViewRecord>,
+}
+
+impl BenchNode {
+    /// Creates a node for `me` in `mode`. `servers` and `cfg` are used by
+    /// the LWG modes; `vsync_cfg` (inside `cfg`) by all.
+    pub fn new(me: NodeId, mode: ServiceMode, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
+        let inner = match mode {
+            ServiceMode::NoLwg => Inner::Raw(Box::new(VsyncStack::new(me, cfg.vsync.clone()))),
+            ServiceMode::StaticLwg | ServiceMode::DynamicLwg => {
+                Inner::Lwg(Box::new(LwgService::new(me, servers, cfg)))
+            }
+        };
+        BenchNode {
+            mode,
+            inner,
+            deliveries: Vec::new(),
+            views: Vec::new(),
+        }
+    }
+
+    /// The configuration for static mode: the dynamic service with all
+    /// adaptive machinery effectively disabled.
+    pub fn static_config(base: LwgConfig) -> LwgConfig {
+        LwgConfig {
+            policy_interval: SimDuration::from_secs(100_000),
+            shrink_grace: SimDuration::from_secs(100_000),
+            ..base
+        }
+    }
+
+    /// Joins user group `group`. In raw mode, `found` selects create vs
+    /// probe (the runner passes `true` for the first member).
+    pub fn join_group(&mut self, ctx: &mut Context<'_>, group: u64, found: bool) {
+        match &mut self.inner {
+            Inner::Raw(stack) => {
+                if found {
+                    stack.create(ctx, HwgId(group));
+                } else {
+                    stack.join(ctx, HwgId(group));
+                }
+            }
+            Inner::Lwg(svc) => svc.join(ctx, LwgId(group)),
+        }
+        self.drain(ctx.now());
+    }
+
+    /// Leaves user group `group`.
+    pub fn leave_group(&mut self, ctx: &mut Context<'_>, group: u64) {
+        match &mut self.inner {
+            Inner::Raw(stack) => stack.leave(ctx, HwgId(group)),
+            Inner::Lwg(svc) => svc.leave(ctx, LwgId(group)),
+        }
+        self.drain(ctx.now());
+    }
+
+    /// Sends a stamped message on `group`.
+    pub fn send_stamped(&mut self, ctx: &mut Context<'_>, group: u64, seq: u64) {
+        let msg = Stamped {
+            seq,
+            sent_at: ctx.now(),
+        };
+        match &mut self.inner {
+            Inner::Raw(stack) => stack.send(ctx, HwgId(group), payload(msg)),
+            Inner::Lwg(svc) => svc.send(ctx, LwgId(group), payload(msg)),
+        }
+        self.drain(ctx.now());
+    }
+
+    /// Current members of `group` at this node (sorted), if a view is
+    /// installed.
+    pub fn members_of(&self, group: u64) -> Option<Vec<NodeId>> {
+        match &self.inner {
+            Inner::Raw(stack) => stack.view_of(HwgId(group)).map(|v| v.sorted_members()),
+            Inner::Lwg(svc) => svc.view_of(LwgId(group)).map(|v| v.sorted_members()),
+        }
+    }
+
+    /// Whether this node is (still) a participant of `group`.
+    pub fn in_group(&self, group: u64) -> bool {
+        match &self.inner {
+            Inner::Raw(stack) => stack.status_of(HwgId(group)) != GroupStatus::Left,
+            Inner::Lwg(svc) => svc.view_of(LwgId(group)).is_some(),
+        }
+    }
+
+    /// Number of distinct HWGs this node belongs to (resource footprint).
+    pub fn hwg_count(&self) -> usize {
+        match &self.inner {
+            Inner::Raw(stack) => stack.groups().count(),
+            Inner::Lwg(svc) => svc.hwgs().len(),
+        }
+    }
+
+    /// Raw ids of the HWGs this node belongs to.
+    pub fn hwg_ids(&self) -> Vec<u64> {
+        match &self.inner {
+            Inner::Raw(stack) => stack.groups().map(|h| h.0).collect(),
+            Inner::Lwg(svc) => svc.hwgs().into_iter().map(|h| h.0).collect(),
+        }
+    }
+
+    /// Size of the HWG view backing user group `group` at this node
+    /// (`None` when unmapped). In raw mode the group *is* its HWG.
+    pub fn backing_hwg_size(&self, group: u64) -> Option<usize> {
+        match &self.inner {
+            Inner::Raw(stack) => stack.view_of(HwgId(group)).map(plwg_vsync::View::len),
+            Inner::Lwg(svc) => {
+                let hwg = svc.mapping_of(LwgId(group))?;
+                svc.hwg_stack().view_of(hwg).map(plwg_vsync::View::len)
+            }
+        }
+    }
+
+    /// The mode this node runs in.
+    pub fn mode(&self) -> ServiceMode {
+        self.mode
+    }
+
+    /// Deliveries for `group` only.
+    pub fn deliveries_for(&self, group: u64) -> impl Iterator<Item = &Delivery> {
+        self.deliveries.iter().filter(move |d| d.group == group)
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        match &mut self.inner {
+            Inner::Raw(stack) => {
+                for ev in stack.drain_events() {
+                    match ev {
+                        VsEvent::Data { hwg, src, data, .. } => {
+                            if let Some(st) = cast::<Stamped>(&data) {
+                                self.deliveries.push(Delivery {
+                                    group: hwg.0,
+                                    src,
+                                    seq: st.seq,
+                                    sent_at: st.sent_at,
+                                    recv_at: now,
+                                });
+                            }
+                        }
+                        VsEvent::View { hwg, view } => self.views.push(ViewRecord {
+                            group: hwg.0,
+                            at: now,
+                            members: view.sorted_members(),
+                        }),
+                        VsEvent::Stop { .. } | VsEvent::Left { .. } => {}
+                    }
+                }
+            }
+            Inner::Lwg(svc) => {
+                for ev in svc.drain_events() {
+                    match ev {
+                        plwg_core::LwgEvent::Data { lwg, src, data } => {
+                            if let Some(st) = cast::<Stamped>(&data) {
+                                self.deliveries.push(Delivery {
+                                    group: lwg.0,
+                                    src,
+                                    seq: st.seq,
+                                    sent_at: st.sent_at,
+                                    recv_at: now,
+                                });
+                            }
+                        }
+                        plwg_core::LwgEvent::View { lwg, view } => {
+                            self.views.push(ViewRecord {
+                                group: lwg.0,
+                                at: now,
+                                members: view.sorted_members(),
+                            })
+                        }
+                        plwg_core::LwgEvent::Left { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process for BenchNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        match &mut self.inner {
+            Inner::Raw(stack) => stack.start(ctx),
+            Inner::Lwg(svc) => svc.start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        let consumed = match &mut self.inner {
+            Inner::Raw(stack) => stack.on_message(ctx, from, &msg),
+            Inner::Lwg(svc) => svc.on_message(ctx, from, &msg),
+        };
+        if consumed {
+            self.drain(ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        let consumed = match &mut self.inner {
+            Inner::Raw(stack) => stack.on_timer(ctx, token),
+            Inner::Lwg(svc) => svc.on_timer(ctx, token),
+        };
+        if consumed {
+            self.drain(ctx.now());
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A default naming configuration for experiment worlds.
+pub(crate) fn default_naming() -> NamingConfig {
+    NamingConfig::default()
+}

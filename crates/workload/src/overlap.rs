@@ -1,0 +1,177 @@
+//! Overlapping-subscription workload (the paper's §1 motivation: the Swiss
+//! Exchange ran "as many as 50 groups that may overlap"): N subject groups
+//! with randomly drawn subscriber sets over P processes. The measurement is
+//! *mapping quality*: how many heavy-weight groups the service ends up
+//! using, how well they fit, and how many switches it took to get there.
+
+use crate::mode::{default_naming, BenchNode, ServiceMode};
+use plwg_core::LwgConfig;
+use plwg_naming::NameServer;
+use plwg_sim::{NodeId, SimDuration, SimRng, SimTime, World, WorldConfig};
+use std::collections::BTreeSet;
+
+/// Parameters of one overlap run.
+#[derive(Debug, Clone)]
+pub struct OverlapParams {
+    /// Number of subject groups.
+    pub subjects: usize,
+    /// Number of processes.
+    pub processes: usize,
+    /// Subscribers per subject (min, max), drawn per subject.
+    pub subscribers: (usize, usize),
+    /// Deterministic seed (drives the subscription draw and the run).
+    pub seed: u64,
+    /// How long to let the policies settle after bring-up.
+    pub settle: SimDuration,
+}
+
+impl Default for OverlapParams {
+    fn default() -> Self {
+        OverlapParams {
+            subjects: 16,
+            processes: 8,
+            subscribers: (3, 5),
+            seed: 1,
+            settle: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Mapping-quality measurements.
+#[derive(Debug, Clone)]
+pub struct OverlapResult {
+    /// Subjects configured.
+    pub subjects: usize,
+    /// Distinct HWGs in use across the system at the end.
+    pub distinct_hwgs: usize,
+    /// Mean HWGs per process.
+    pub avg_hwgs_per_node: f64,
+    /// Total LWG switches performed over the run.
+    pub switches: u64,
+    /// Mean interference ratio across subjects: |HWG| / |LWG| for the HWG
+    /// each subject ended up on (1.0 = perfect fit).
+    pub mean_overhead: f64,
+    /// Whether every subject converged to its full subscriber set.
+    pub converged: bool,
+}
+
+/// Runs the overlap workload under the dynamic service and reports the
+/// final mapping quality.
+pub fn run_overlap(params: &OverlapParams) -> OverlapResult {
+    assert!(params.subscribers.0 >= 1 && params.subscribers.1 <= params.processes);
+    let mut draw_rng = SimRng::from_seed(params.seed ^ 0xdead_beef);
+    let mut world = World::new(WorldConfig {
+        seed: params.seed,
+        ..WorldConfig::default()
+    });
+    let s0 = world.add_node(Box::new(NameServer::new(
+        NodeId(0),
+        vec![NodeId(1)],
+        default_naming(),
+    )));
+    let s1 = world.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        default_naming(),
+    )));
+    let servers = vec![s0, s1];
+    let apps: Vec<NodeId> = (0..params.processes)
+        .map(|i| {
+            world.add_node(Box::new(BenchNode::new(
+                NodeId(2 + i as u32),
+                ServiceMode::DynamicLwg,
+                servers.clone(),
+                LwgConfig::default(),
+            )))
+        })
+        .collect();
+
+    // Draw subscriber sets.
+    let mut subscriptions: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..params.subjects {
+        let size = draw_rng.range(params.subscribers.0 as u64, params.subscribers.1 as u64 + 1)
+            as usize;
+        let mut set: BTreeSet<NodeId> = BTreeSet::new();
+        while set.len() < size {
+            let idx = draw_rng.range(0, params.processes as u64) as usize;
+            set.insert(apps[idx]);
+        }
+        subscriptions.push(set.into_iter().collect());
+    }
+
+    // Staggered joins.
+    for (gi, subs) in subscriptions.iter().enumerate() {
+        let g = 1 + gi as u64;
+        for (i, &m) in subs.iter().enumerate() {
+            let t = SimTime::from_micros(
+                200_000 * gi as u64 + 400_000 * i as u64,
+            );
+            world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
+                n.join_group(ctx, g, i == 0)
+            });
+        }
+    }
+    world.run_for(params.settle);
+
+    // Convergence + mapping quality.
+    let mut converged = true;
+    let mut overheads: Vec<f64> = Vec::new();
+    let mut hwgs_everywhere: BTreeSet<u64> = BTreeSet::new();
+    let mut hwg_count_total = 0usize;
+    for (gi, subs) in subscriptions.iter().enumerate() {
+        let g = 1 + gi as u64;
+        let mut expect: Vec<NodeId> = subs.clone();
+        expect.sort_unstable();
+        for &m in subs {
+            let got = world.inspect(m, |n: &BenchNode| n.members_of(g));
+            if got.as_deref() != Some(&expect[..]) {
+                converged = false;
+            }
+        }
+        // Fit of the backing HWG at the first subscriber.
+        let first = subs[0];
+        let fit = world.inspect(first, |n: &BenchNode| n.backing_hwg_size(g));
+        if let Some(hwg_size) = fit {
+            overheads.push(hwg_size as f64 / subs.len() as f64);
+        }
+    }
+    for &m in &apps {
+        let hwgs = world.inspect(m, |n: &BenchNode| n.hwg_ids());
+        hwg_count_total += hwgs.len();
+        hwgs_everywhere.extend(hwgs);
+    }
+    OverlapResult {
+        subjects: params.subjects,
+        distinct_hwgs: hwgs_everywhere.len(),
+        avg_hwgs_per_node: hwg_count_total as f64 / params.processes as f64,
+        switches: world.metrics().counter("lwg.switches"),
+        mean_overhead: if overheads.is_empty() {
+            0.0
+        } else {
+            overheads.iter().sum::<f64>() / overheads.len() as f64
+        },
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_smoke_shares_resources() {
+        let r = run_overlap(&OverlapParams {
+            subjects: 6,
+            seed: 3,
+            settle: SimDuration::from_secs(60),
+            ..OverlapParams::default()
+        });
+        assert!(r.converged, "all subjects must converge");
+        assert!(
+            r.distinct_hwgs < 6,
+            "6 overlapping subjects should share HWGs, got {}",
+            r.distinct_hwgs
+        );
+        assert!(r.mean_overhead >= 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Using the heavy-weight group layer directly — for applications that
+//! want plain partitionable virtual synchrony without the light-weight
+//! multiplexing on top.
+//!
+//! Run with: `cargo run --example raw_vsync`
+
+use plwg::prelude::*;
+use plwg::sim::{cast, payload, TimerToken};
+use plwg::vsync::HwgId;
+use std::any::Any;
+
+const GROUP: HwgId = HwgId(42);
+
+/// A minimal chat node: joins one group, prints views and messages.
+struct ChatNode {
+    stack: VsyncStack,
+    log: Vec<String>,
+}
+
+impl ChatNode {
+    fn new(me: NodeId) -> Self {
+        ChatNode {
+            stack: VsyncStack::new(me, VsyncConfig::default()),
+            log: Vec::new(),
+        }
+    }
+    fn drain(&mut self) {
+        for ev in self.stack.drain_events() {
+            match ev {
+                VsEvent::View { view, .. } => {
+                    self.log.push(format!("view {view}"));
+                }
+                VsEvent::Data { src, data, .. } => {
+                    let text: &String = cast(&data).expect("string payload");
+                    self.log.push(format!("{src}: {text}"));
+                }
+                VsEvent::Stop { .. } | VsEvent::Left { .. } => {}
+            }
+        }
+    }
+}
+
+impl Process for ChatNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stack.start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        if self.stack.on_message(ctx, from, &msg) {
+            self.drain();
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if self.stack.on_timer(ctx, token) {
+            self.drain();
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn at(s: u64) -> SimTime {
+    SimTime::from_micros(s * 1_000_000)
+}
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+    let nodes: Vec<NodeId> = (0..4)
+        .map(|i| world.add_node(Box::new(ChatNode::new(NodeId(i)))))
+        .collect();
+
+    // First node creates the group; the rest rendezvous via probes.
+    world.invoke(nodes[0], |c: &mut ChatNode, ctx| c.stack.create(ctx, GROUP));
+    for (i, &n) in nodes[1..].iter().enumerate() {
+        world.invoke_at(at(1 + i as u64), n, |c: &mut ChatNode, ctx| {
+            c.stack.join(ctx, GROUP)
+        });
+    }
+    world.run_until(at(8));
+    world.invoke(nodes[1], |c: &mut ChatNode, ctx| {
+        c.stack
+            .send(ctx, GROUP, payload("hello, virtually synchronous world".to_owned()));
+    });
+    world.run_until(at(9));
+
+    // Partition 2/2, chat within each side, heal, and watch the merge.
+    world.split_at(at(10), vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]]);
+    world.run_until(at(16));
+    world.invoke(nodes[0], |c: &mut ChatNode, ctx| {
+        c.stack.send(ctx, GROUP, payload("anyone there?".to_owned()));
+    });
+    world.invoke(nodes[3], |c: &mut ChatNode, ctx| {
+        c.stack.send(ctx, GROUP, payload("our side is fine".to_owned()));
+    });
+    world.heal_at(at(18));
+    world.run_until(at(30));
+
+    for &n in &nodes {
+        println!("--- {n} ---");
+        let log = world.inspect(n, |c: &ChatNode| c.log.clone());
+        for line in log {
+            println!("  {line}");
+        }
+        let final_view = world.inspect(n, |c: &ChatNode| {
+            c.stack.view_of(GROUP).cloned().expect("view")
+        });
+        assert_eq!(final_view.len(), 4, "merged back to 4: {final_view}");
+    }
+    println!("ok");
+}

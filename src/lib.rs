@@ -1,0 +1,83 @@
+//! # plwg — Partitionable Light-Weight Groups
+//!
+//! A Rust reproduction of **"Partitionable Light-Weight Groups"**
+//! (Luís Rodrigues and Katherine Guo, ICDCS 2000): a group-communication
+//! service that multiplexes many user-level *light-weight groups* (LWGs)
+//! onto a small pool of virtually-synchronous *heavy-weight groups* (HWGs),
+//! and — the paper's contribution — keeps doing so across **network
+//! partitions**, reconciling the conflicting mapping decisions concurrent
+//! partitions make once they heal.
+//!
+//! This crate is a facade re-exporting the workspace's layers:
+//!
+//! * [`sim`] — deterministic discrete-event simulator (network, partitions,
+//!   virtual time, fault injection);
+//! * [`vsync`] — partitionable virtually-synchronous group communication
+//!   (the HWG layer: membership, flush, view-tagged multicast, merge);
+//! * [`naming`] — the weakly-consistent replicated naming service with
+//!   reconciliation and MULTIPLE-MAPPINGS callbacks;
+//! * [`core`] — the light-weight group service itself (mapping policies,
+//!   switching, and the four-step partition-heal procedure);
+//! * [`workload`] — experiment workloads and runners regenerating the
+//!   paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use plwg::prelude::*;
+//!
+//! // A simulated world with one name server and two application nodes.
+//! let mut world = World::new(WorldConfig::default());
+//! let ns = world.add_node(Box::new(NameServer::new(
+//!     NodeId(0),
+//!     vec![],
+//!     NamingConfig::default(),
+//! )));
+//! let a = world.add_node(Box::new(LwgNode::new(
+//!     NodeId(1),
+//!     vec![ns],
+//!     LwgConfig::default(),
+//! )));
+//! let b = world.add_node(Box::new(LwgNode::new(
+//!     NodeId(2),
+//!     vec![ns],
+//!     LwgConfig::default(),
+//! )));
+//!
+//! // Both join light-weight group 7 and exchange a message.
+//! let g = LwgId(7);
+//! world.invoke(a, move |n: &mut LwgNode, ctx| n.service().join(ctx, g));
+//! world.invoke_at(
+//!     SimTime::from_micros(2_000_000),
+//!     b,
+//!     move |n: &mut LwgNode, ctx| n.service().join(ctx, g),
+//! );
+//! world.run_for(SimDuration::from_secs(10));
+//! world.invoke(a, move |n: &mut LwgNode, ctx| {
+//!     n.service().send(ctx, g, plwg::sim::payload(42u32))
+//! });
+//! world.run_for(SimDuration::from_secs(1));
+//! let got: Vec<u32> = world.inspect(b, |n: &LwgNode| n.delivered_values(g, a));
+//! assert_eq!(got, vec![42]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use plwg_core as core;
+pub use plwg_naming as naming;
+pub use plwg_sim as sim;
+pub use plwg_vsync as vsync;
+pub use plwg_workload as workload;
+
+/// The most commonly used items, for `use plwg::prelude::*`.
+pub mod prelude {
+    pub use plwg_core::{
+        HwgId, LwgConfig, LwgEvent, LwgId, LwgNode, LwgService, View, ViewId,
+    };
+    pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
+    pub use plwg_sim::{
+        Context, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,
+    };
+    pub use plwg_vsync::{VsEvent, VsyncConfig, VsyncStack};
+}
