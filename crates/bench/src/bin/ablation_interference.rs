@@ -35,8 +35,7 @@ fn main() {
             fmt_us(r.latency_us.mean),
             fmt_us(r.latency_us.p95 as f64),
             fmt_us(r.latency_us.max as f64),
-            r.recovery
-                .map_or_else(|| "-".into(), |d| format!("{d}")),
+            r.recovery.map_or_else(|| "-".into(), |d| format!("{d}")),
         ]);
     }
     println!("{}", table.render());

@@ -36,7 +36,11 @@ fn run(poll: Option<SimDuration>, lwgs: u64) -> Outcome {
         vec![NodeId(1)],
         ns_cfg.clone(),
     )));
-    let s1 = w.add_node(Box::new(NameServer::new(NodeId(1), vec![NodeId(0)], ns_cfg)));
+    let s1 = w.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        ns_cfg,
+    )));
     let servers = vec![s0, s1];
     let cfg = LwgConfig {
         ns_poll_interval: poll,
@@ -99,13 +103,7 @@ fn main() {
     println!("Callbacks vs. polling for global peer discovery (paper §6.1)");
     println!("(4 nodes, groups founded in two partitions, heal at t=25s;");
     println!(" request counts cover the heal plus 95s of steady state)\n");
-    let mut table = Table::new(&[
-        "lwgs",
-        "variant",
-        "ns reads",
-        "callbacks",
-        "reconverge",
-    ]);
+    let mut table = Table::new(&["lwgs", "variant", "ns reads", "callbacks", "reconverge"]);
     for &lwgs in &[2u64, 8] {
         for (label, poll) in [
             ("callback", None),

@@ -12,7 +12,14 @@ fn main() {
     println!("Figure 2 — latency vs. number of groups per set");
     println!("(2 disjoint sets of n groups, 4 processes each, 8 processes total)\n");
     let mut table = Table::new(&[
-        "n", "mode", "mean", "p50", "p95", "max", "samples", "wire msgs",
+        "n",
+        "mode",
+        "mean",
+        "p50",
+        "p95",
+        "max",
+        "samples",
+        "wire msgs",
     ]);
     for &n in GROUP_COUNTS {
         for &mode in MODES {

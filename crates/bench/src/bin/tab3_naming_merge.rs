@@ -90,8 +90,14 @@ fn main() {
     println!("\n== merged naming service (paper Table 3) ==");
     print!("{}", render_db(&merged));
     println!("  entries changed by the merge: {changed:?}");
-    println!("  inconsistent groups detected: {:?}", merged.inconsistent());
-    assert!(!merged.inconsistent().is_empty(), "Table 3 requires a conflict");
+    println!(
+        "  inconsistent groups detected: {:?}",
+        merged.inconsistent()
+    );
+    assert!(
+        !merged.inconsistent().is_empty(),
+        "Table 3 requires a conflict"
+    );
 
     w.heal_at(at(35));
 

@@ -89,8 +89,9 @@ fn main() {
             last = snapshot;
         }
     }
-    let (consistent, len) =
-        w.inspect(s0, |s: &NameServer| (s.db().inconsistent().is_empty(), s.db().len()));
+    let (consistent, len) = w.inspect(s0, |s: &NameServer| {
+        (s.db().inconsistent().is_empty(), s.db().len())
+    });
     println!(
         "\nfinal state: {}",
         if consistent && len == 2 {

@@ -15,6 +15,8 @@
 //! | `ablation_interference` | §2/§3.3 interference quantification |
 //! | `ablation_policy_params` | §3.2 policy stability vs. `k_m`/`k_c` |
 //! | `ablation_ns_callback` | §6.1 callbacks vs. polling load |
+//! | `sharing_efficiency` | §1 motivation, overlapping subscriptions |
+//! | `pack_sweep` | extension: message packing + subset delivery |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,104 @@
+//! Per-HWG pack buffer for the message-packing optimisation.
+//!
+//! Co-mapped light-weight groups share one HWG; without packing, every
+//! `LwgService::send` costs one HWG multicast, and every HWG member pays
+//! the fixed per-multicast overhead (sequencing, hold-back, filtering)
+//! even for groups it is not in. The service instead appends sends to a
+//! [`PackBuffer`] per backing HWG and flushes the buffer into a single
+//! [`crate::LwgMsg::Batch`] multicast when
+//!
+//! * the buffer reaches the configured count budget (`pack_max_msgs`),
+//! * the pack-delay timer expires (latency bound), or
+//! * a virtual-synchrony barrier is reached (LWG flush start, HWG view
+//!   change, leave, switch, merge) — so a batch never straddles a view
+//!   cut on either layer.
+
+use plwg_naming::LwgId;
+use plwg_sim::Payload;
+use plwg_vsync::ViewId;
+
+/// Why a pack buffer was flushed (drives the `lwg.batch.flush_*`
+/// metrics; the barrier reason is the one that keeps packing safe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushReason {
+    /// The buffer reached `pack_max_msgs`.
+    Full,
+    /// The pack-delay timer expired.
+    Timer,
+    /// A virtual-synchrony boundary (flush, view change, leave, switch,
+    /// merge) forced the buffer out before the cut.
+    Barrier,
+}
+
+impl FlushReason {
+    /// The metric counter recording this flush cause.
+    pub(crate) fn metric(self) -> &'static str {
+        match self {
+            FlushReason::Full => "lwg.batch.flush_full",
+            FlushReason::Timer => "lwg.batch.flush_timer",
+            FlushReason::Barrier => "lwg.batch.flush_barrier",
+        }
+    }
+}
+
+/// Sends buffered towards one backing HWG, waiting to be packed into a
+/// single `LwgMsg::Batch` multicast.
+#[derive(Debug, Default)]
+pub(crate) struct PackBuffer {
+    entries: Vec<(LwgId, ViewId, Payload)>,
+}
+
+impl PackBuffer {
+    /// Appends one send; returns the new occupancy.
+    pub(crate) fn push(&mut self, lwg: LwgId, lwg_view: ViewId, data: Payload) -> usize {
+        self.entries.push((lwg, lwg_view, data));
+        self.entries.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes the buffered sends, leaving the buffer empty.
+    pub(crate) fn take(&mut self) -> Vec<(LwgId, ViewId, Payload)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_sim::{payload, NodeId};
+
+    #[test]
+    fn push_take_roundtrip_preserves_order() {
+        let mut b = PackBuffer::default();
+        assert!(b.is_empty());
+        let view = ViewId::new(NodeId(1), 1);
+        assert_eq!(b.push(LwgId(1), view, payload(10u64)), 1);
+        assert_eq!(b.push(LwgId(2), view, payload(20u64)), 2);
+        let taken = b.take();
+        assert!(b.is_empty());
+        assert_eq!(
+            taken.iter().map(|(l, _, _)| *l).collect::<Vec<_>>(),
+            vec![LwgId(1), LwgId(2)]
+        );
+    }
+
+    #[test]
+    fn flush_reason_metrics_are_distinct() {
+        let names = [
+            FlushReason::Full.metric(),
+            FlushReason::Timer.metric(),
+            FlushReason::Barrier.metric(),
+        ];
+        assert_eq!(
+            names
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            3
+        );
+    }
+}

@@ -44,6 +44,21 @@ pub struct LwgConfig {
     /// paper rejects in §6.1 ("this could load the servers with
     /// unnecessary requests"); kept for the ablation that quantifies it.
     pub ns_poll_interval: Option<SimDuration>,
+    /// Maximum LWG data messages packed into one HWG multicast. `1`
+    /// disables packing entirely (every send is its own HWG multicast,
+    /// byte-identical to the unpacked protocol). Larger values amortise
+    /// the per-multicast cost of co-mapped groups over bursts.
+    pub pack_max_msgs: usize,
+    /// How long a partially-filled pack buffer may wait for more sends
+    /// before it is flushed anyway. Only consulted when `pack_max_msgs`
+    /// is greater than 1; bounds the latency packing can add.
+    pub pack_delay: SimDuration,
+    /// Address co-mapped data only to the members interested in it (the
+    /// union of the packed groups' LWG views, plus the HWG coordinator)
+    /// instead of the whole HWG view. Non-addressed members receive a
+    /// sequence-slot marker, so virtual synchrony is unaffected, but
+    /// they no longer pay the interference cost of filtering the payload.
+    pub subset_delivery: bool,
 }
 
 impl Default for LwgConfig {
@@ -61,6 +76,9 @@ impl Default for LwgConfig {
             foreign_data_timeout: SimDuration::from_secs(2),
             tick_interval: SimDuration::from_millis(200),
             ns_poll_interval: None,
+            pack_max_msgs: 1,
+            pack_delay: SimDuration::from_millis(2),
+            subset_delivery: false,
         }
     }
 }
@@ -84,6 +102,11 @@ impl LwgConfig {
                 && self.foreign_data_timeout > SimDuration::ZERO,
             "LWG periods must be positive"
         );
+        assert!(self.pack_max_msgs >= 1, "pack_max_msgs must be >= 1");
+        assert!(
+            self.pack_max_msgs == 1 || self.pack_delay > SimDuration::ZERO,
+            "pack_delay must be positive when packing is enabled"
+        );
     }
 }
 
@@ -104,6 +127,34 @@ mod tests {
     fn zero_km_rejected() {
         LwgConfig {
             k_m: 0,
+            ..LwgConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn packing_is_disabled_by_default() {
+        let cfg = LwgConfig::default();
+        assert_eq!(cfg.pack_max_msgs, 1);
+        assert!(!cfg.subset_delivery);
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_max_msgs")]
+    fn zero_pack_budget_rejected() {
+        LwgConfig {
+            pack_max_msgs: 0,
+            ..LwgConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_delay")]
+    fn zero_pack_delay_rejected_when_packing() {
+        LwgConfig {
+            pack_max_msgs: 8,
+            pack_delay: SimDuration::ZERO,
             ..LwgConfig::default()
         }
         .validate();

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod events;
 mod msg;
@@ -52,7 +53,9 @@ pub use config::LwgConfig;
 pub use events::LwgEvent;
 pub use msg::LwgMsg;
 pub use node::LwgNode;
-pub use policy::{closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction};
+pub use policy::{
+    closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction,
+};
 pub use service::{LwgService, LwgStatus, ServiceStats};
 
 // Re-export the identifier and view types user code needs.

@@ -40,6 +40,17 @@ pub enum LwgMsg {
         /// Application payload.
         data: Payload,
     },
+    /// Several user multicasts packed into one HWG multicast (the packing
+    /// optimisation): co-mapped groups amortise the per-multicast cost of
+    /// the HWG layer over bursts. Each entry is one [`LwgMsg::Data`]
+    /// triple; receivers unpack in order, so per-sender FIFO is preserved.
+    /// A batch is always sent and delivered entirely within one HWG view
+    /// (the service flushes its pack buffers at every flush/view barrier),
+    /// so virtual synchrony is unaffected.
+    Batch {
+        /// The packed `(lwg, lwg_view, data)` triples, in send order.
+        entries: Vec<(LwgId, ViewId, Payload)>,
+    },
     /// A process (already an HWG member) asks the LWG coordinator for
     /// admission.
     JoinReq {
@@ -141,6 +152,7 @@ impl fmt::Debug for LwgMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LwgMsg::Data { lwg, lwg_view, .. } => write!(f, "LData({lwg},{lwg_view})"),
+            LwgMsg::Batch { entries } => write!(f, "LBatch({} msgs)", entries.len()),
             LwgMsg::JoinReq { lwg } => write!(f, "LJoinReq({lwg})"),
             LwgMsg::LeaveReq { lwg } => write!(f, "LLeaveReq({lwg})"),
             LwgMsg::Flush { lwg, flush, .. } => write!(f, "LFlush({lwg},{flush})"),
@@ -169,6 +181,10 @@ mod tests {
             to: HwgId(9),
         };
         assert_eq!(format!("{m:?}"), "LRedirect(lwg3->hwg9)");
+        let b = LwgMsg::Batch {
+            entries: vec![(LwgId(1), ViewId::new(NodeId(2), 1), plwg_sim::payload(0u64))],
+        };
+        assert_eq!(format!("{b:?}"), "LBatch(1 msgs)");
         assert_eq!(
             LFlushId {
                 initiator: NodeId(1),

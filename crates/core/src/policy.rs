@@ -44,11 +44,7 @@ pub fn closeness(g1_len: usize, g2_len: usize, k_c: u32) -> bool {
 /// collapses when the overlap is large — `k > sqrt(2·n1·n2)` — unless one
 /// is a minority subset of the other (in which case collapsing would just
 /// re-create interference).
-pub fn share_rule_collapses(
-    hwg1: &BTreeSet<NodeId>,
-    hwg2: &BTreeSet<NodeId>,
-    k_m: u32,
-) -> bool {
+pub fn share_rule_collapses(hwg1: &BTreeSet<NodeId>, hwg2: &BTreeSet<NodeId>, k_m: u32) -> bool {
     let k = hwg1.intersection(hwg2).count();
     let n1 = hwg1.len() - k;
     let n2 = hwg2.len() - k;

@@ -6,6 +6,7 @@
 //! Figure-1 policies, and implements the four-step partition-heal procedure
 //! of paper §6.
 
+use crate::batch::{FlushReason, PackBuffer};
 use crate::config::LwgConfig;
 use crate::events::LwgEvent;
 use crate::msg::{LFlushId, LwgMsg};
@@ -17,6 +18,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
 const TOK_TICK: TimerToken = TimerToken(0x0300_0000_0000_0002);
+const TOK_PACK: TimerToken = TimerToken(0x0300_0000_0000_0003);
 
 /// Why a naming request was issued (routes the reply).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +223,13 @@ pub struct LwgService {
     /// Rate limit for MERGE-VIEWS per HWG: a forced flush is pointless (and
     /// starves the HWG-level beacon merge) more than ~once a second.
     last_merge_views: BTreeMap<HwgId, SimTime>,
+    /// Sends waiting to be packed into one HWG multicast, per backing HWG
+    /// (empty unless `pack_max_msgs > 1`).
+    packs: BTreeMap<HwgId, PackBuffer>,
+    /// Whether a `TOK_PACK` timer is outstanding (one timer serves all
+    /// buffers; it fires, flushes everything non-empty, and is re-armed by
+    /// the next buffered send).
+    pack_timer_armed: bool,
     events: Vec<LwgEvent>,
 }
 
@@ -249,6 +258,8 @@ impl LwgService {
             next_hwg_counter: 0,
             last_ns_poll: SimTime::ZERO,
             last_merge_views: BTreeMap::new(),
+            packs: BTreeMap::new(),
+            pack_timer_armed: false,
             events: Vec::new(),
         }
     }
@@ -308,9 +319,12 @@ impl LwgService {
                 }
                 state.phase = Phase::Leaving;
                 state.pending_leaves.insert(self.me);
-                if let Some(hwg) = state.hwg {
-                    self.stack
-                        .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+                let hwg = state.hwg;
+                if let Some(hwg) = hwg {
+                    // Barrier: our buffered data must precede the leave
+                    // request in the per-sender FIFO stream.
+                    self.flush_pack(ctx, hwg, FlushReason::Barrier);
+                    self.stack.send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
                 }
                 self.maybe_start_lwg_flush(ctx, lwg);
             }
@@ -333,15 +347,100 @@ impl LwgService {
             state.pending_send.push(data);
             return;
         }
-        let view = state.view.as_ref().expect("member has a view");
+        let lwg_view = state.view.as_ref().expect("member has a view").id;
         let hwg = state.hwg.expect("member has a mapping");
+        ctx.metrics().incr("lwg.data_sent");
+        if self.cfg.pack_max_msgs > 1 {
+            let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);
+            if occupancy >= self.cfg.pack_max_msgs {
+                self.flush_pack(ctx, hwg, FlushReason::Full);
+            } else if !self.pack_timer_armed {
+                self.pack_timer_armed = true;
+                ctx.set_timer(self.cfg.pack_delay, TOK_PACK);
+            }
+            return;
+        }
         let msg = LwgMsg::Data {
             lwg,
-            lwg_view: view.id,
+            lwg_view,
             data,
         };
-        ctx.metrics().incr("lwg.data_sent");
-        self.stack.send(ctx, hwg, payload(msg));
+        self.send_data_on(ctx, hwg, &[lwg], msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Message packing + subset delivery (data-plane optimisations)
+    // ------------------------------------------------------------------
+
+    /// The subset-multicast target set for data of `lwgs` on `hwg`: the
+    /// union of the groups' current LWG views plus the HWG coordinator
+    /// (whose retransmission store anchors flush pulls). `None` when
+    /// subset delivery is disabled, the HWG view is unknown, or the set is
+    /// not a *strict* subset of the HWG view — then a plain full multicast
+    /// is both cheaper and simpler.
+    fn subset_targets<I>(&self, hwg: HwgId, lwgs: I) -> Option<BTreeSet<NodeId>>
+    where
+        I: IntoIterator<Item = LwgId>,
+    {
+        if !self.cfg.subset_delivery {
+            return None;
+        }
+        let hview = self.stack.view_of(hwg)?;
+        let mut targets: BTreeSet<NodeId> = BTreeSet::new();
+        targets.insert(hview.coordinator());
+        for lwg in lwgs {
+            let view = self.lwgs.get(&lwg)?.view.as_ref()?;
+            targets.extend(view.members.iter().copied());
+        }
+        if targets.len() < hview.len() && targets.iter().all(|t| hview.contains(*t)) {
+            Some(targets)
+        } else {
+            None
+        }
+    }
+
+    /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
+    /// only the interested members when the subset path applies.
+    fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
+        if let Some(targets) = self.subset_targets(hwg, lwgs.iter().copied()) {
+            ctx.metrics().incr("lwg.subset_sends");
+            self.stack.send_to(ctx, hwg, &targets, payload(msg));
+        } else {
+            self.stack.send(ctx, hwg, payload(msg));
+        }
+    }
+
+    /// Flushes the pack buffer of `hwg` into one [`LwgMsg::Batch`]
+    /// multicast. Barrier callers invoke this *before* any flush, view or
+    /// merge control message so a batch never crosses a view cut on
+    /// either layer.
+    fn flush_pack(&mut self, ctx: &mut Context<'_>, hwg: HwgId, reason: FlushReason) {
+        let Some(buf) = self.packs.get_mut(&hwg) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        let entries = buf.take();
+        ctx.metrics().incr("lwg.batch.sent");
+        ctx.metrics().incr(reason.metric());
+        ctx.metrics()
+            .observe("lwg.batch.occupancy", entries.len() as u64);
+        let lwgs: Vec<LwgId> = entries.iter().map(|(l, _, _)| *l).collect();
+        self.send_data_on(ctx, hwg, &lwgs, LwgMsg::Batch { entries });
+    }
+
+    /// Flushes every non-empty pack buffer (pack-delay timer path).
+    fn flush_all_packs(&mut self, ctx: &mut Context<'_>, reason: FlushReason) {
+        let hwgs: Vec<HwgId> = self
+            .packs
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&h, _)| h)
+            .collect();
+        for hwg in hwgs {
+            self.flush_pack(ctx, hwg, reason);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -418,10 +517,7 @@ impl LwgService {
         let view = state.view.as_ref()?;
         let hwg = state.hwg?;
         let hview = self.stack.view_of(hwg)?;
-        view.members
-            .iter()
-            .copied()
-            .find(|&m| hview.contains(m))
+        view.members.iter().copied().find(|&m| hview.contains(m))
     }
 
     // ------------------------------------------------------------------
@@ -440,8 +536,7 @@ impl LwgService {
         }
         if let Some(lm) = cast::<LwgMsg>(msg) {
             // Direct node-to-node LWG message (Redirect).
-            let lm = lm.clone();
-            self.handle_lwg_msg(ctx, None, from, &lm);
+            self.handle_lwg_msg(ctx, None, from, lm);
             return true;
         }
         false
@@ -466,6 +561,12 @@ impl LwgService {
             TOK_POLICY => {
                 self.run_policies(ctx);
                 ctx.set_timer(self.cfg.policy_interval, TOK_POLICY);
+                true
+            }
+            TOK_PACK => {
+                self.pack_timer_armed = false;
+                self.flush_all_packs(ctx, FlushReason::Timer);
+                self.pump_vsync(ctx);
                 true
             }
             _ => false,
@@ -499,6 +600,10 @@ impl LwgService {
     fn handle_vs_event(&mut self, ctx: &mut Context<'_>, ev: VsEvent) {
         match ev {
             VsEvent::Stop { hwg } => {
+                // Barrier: buffered packs must go out before stop_ok so
+                // they are part of the closing view's message set — a
+                // batch never straddles the HWG view cut.
+                self.flush_pack(ctx, hwg, FlushReason::Barrier);
                 // Piggyback our LWG view advertisement on every HWG flush:
                 // sent before stop_ok, it is part of the closing view's
                 // message set, so after the flush every member knows every
@@ -517,14 +622,16 @@ impl LwgService {
                 data,
             } => {
                 if let Some(lm) = cast::<LwgMsg>(&data) {
-                    let lm = lm.clone();
-                    self.handle_lwg_msg(ctx, Some(hwg), src, &lm);
+                    self.handle_lwg_msg(ctx, Some(hwg), src, lm);
                 }
             }
             VsEvent::View { hwg, view } => self.handle_hwg_view(ctx, hwg, view),
             VsEvent::Left { hwg } => {
                 self.idle_hwgs.remove(&hwg);
                 self.rounds.remove(&hwg);
+                // The transport is gone; buffered packs can no longer be
+                // multicast (the stranded LWGs re-join from scratch).
+                self.packs.remove(&hwg);
                 // Any LWG still mapped there lost its transport: restart
                 // its join flow from the naming service.
                 let stranded: Vec<LwgId> = self
@@ -545,6 +652,11 @@ impl LwgService {
     /// members that fell out of the HWG.
     fn handle_hwg_view(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: View) {
         ctx.trace("lwg.hwg_view", || format!("{hwg} {hview}"));
+
+        // Barrier (belt and braces — the Stop upcall already flushed):
+        // anything still buffered is multicast now, entirely inside the
+        // new view, before any announcement below.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
 
         // 1. Joiners waiting for this HWG ask for admission now.
         let waiting: Vec<LwgId> = self
@@ -643,8 +755,20 @@ impl LwgService {
         msg: &LwgMsg,
     ) {
         match msg {
-            LwgMsg::Data { lwg, lwg_view, data } => {
+            LwgMsg::Data {
+                lwg,
+                lwg_view,
+                data,
+            } => {
                 self.handle_lwg_data(ctx, hwg, *lwg, *lwg_view, from, data.clone());
+            }
+            LwgMsg::Batch { entries } => {
+                // Unpack in send order: per-sender FIFO within a batch is
+                // the sender's append order, across batches the HWG's
+                // per-sender sequencing.
+                for (lwg, lwg_view, data) in entries {
+                    self.handle_lwg_data(ctx, hwg, *lwg, *lwg_view, from, data.clone());
+                }
             }
             LwgMsg::JoinReq { lwg } => self.handle_join_req(ctx, hwg, *lwg, from),
             LwgMsg::LeaveReq { lwg } => {
@@ -732,13 +856,10 @@ impl LwgService {
             }
             LwgMsg::Redirect { lwg, to } => {
                 // Forward pointer: our mapping information was outdated.
-                let retarget = self
-                    .lwgs
-                    .get(lwg)
-                    .is_some_and(|s| {
-                        matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
-                            && s.hwg != Some(*to)
-                    });
+                let retarget = self.lwgs.get(lwg).is_some_and(|s| {
+                    matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
+                        && s.hwg != Some(*to)
+                });
                 if retarget {
                     ctx.metrics().incr("lwg.redirects_followed");
                     ctx.trace("lwg.redirect", || format!("{lwg} -> {to}"));
@@ -804,26 +925,19 @@ impl LwgService {
         lwg: LwgId,
         from: NodeId,
     ) {
-        let is_member = self
-            .lwgs
-            .get(&lwg)
-            .is_some_and(|s| s.view.is_some());
+        let is_member = self.lwgs.get(&lwg).is_some_and(|s| s.view.is_some());
         if is_member {
             let mapping = self.lwgs.get(&lwg).and_then(|s| s.hwg);
-            if arrived_on.is_some() && mapping.is_some() && arrived_on != mapping {
-                // The joiner used an outdated mapping: the request reached
-                // us on an HWG the group no longer rides. Point it at the
-                // current one (paper §3.1's forward-pointer behaviour, here
-                // served by a member directly).
-                ctx.metrics().incr("lwg.redirects_sent");
-                ctx.send(
-                    from,
-                    payload(LwgMsg::Redirect {
-                        lwg,
-                        to: mapping.expect("checked"),
-                    }),
-                );
-                return;
+            if let Some(to) = mapping {
+                if arrived_on.is_some() && arrived_on != Some(to) {
+                    // The joiner used an outdated mapping: the request
+                    // reached us on an HWG the group no longer rides. Point
+                    // it at the current one (paper §3.1's forward-pointer
+                    // behaviour, here served by a member directly).
+                    ctx.metrics().incr("lwg.redirects_sent");
+                    ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
+                    return;
+                }
             }
             if self.lwg_coordinator(lwg) == Some(self.me) {
                 let state = self.lwgs.get_mut(&lwg).expect("checked");
@@ -850,7 +964,9 @@ impl LwgService {
         members: Vec<NodeId>,
         switch_to: Option<HwgId>,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         let Some(view) = &state.view else { return };
         if !view.contains(self.me) || !members.contains(&self.me) {
             return;
@@ -886,6 +1002,10 @@ impl LwgService {
             state.follow_switch = Some((flush, to));
         }
         if let Some(hwg) = hwg {
+            // Barrier: data we buffered in the closing LWG view must
+            // precede our FlushOk in the per-sender FIFO stream, so every
+            // member drains it before installing the successor view.
+            self.flush_pack(ctx, hwg, FlushReason::Barrier);
             self.stack
                 .send(ctx, hwg, payload(LwgMsg::FlushOk { lwg, flush }));
         }
@@ -893,11 +1013,7 @@ impl LwgService {
             // Join the target HWG (the coordinator pre-created it).
             if self.stack.status_of(to) == GroupStatus::Left {
                 self.stack.join(ctx, to);
-            } else if self
-                .stack
-                .view_of(to)
-                .is_some_and(|v| v.contains(self.me))
-            {
+            } else if self.stack.view_of(to).is_some_and(|v| v.contains(self.me)) {
                 // Already a member: report ready immediately.
                 self.stack
                     .send(ctx, to, payload(LwgMsg::SwitchReady { lwg, flush }));
@@ -912,7 +1028,9 @@ impl LwgService {
         flush: LFlushId,
         from: NodeId,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         let Some(lf) = &mut state.lflush else {
             state.early_oks.push((flush, from));
             return;
@@ -933,7 +1051,9 @@ impl LwgService {
         view: View,
         on_hwg: HwgId,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         if !view.contains(self.me) {
             // Excludes us: our leave completed (or we were pruned).
             let ours = state
@@ -972,9 +1092,7 @@ impl LwgService {
                     Some(cur) => view.predecessors.contains(&cur.id) || view.id == cur.id,
                     None => true,
                 };
-                if acceptable
-                    && state.view.as_ref().map(|v| v.id) != Some(view.id)
-                {
+                if acceptable && state.view.as_ref().map(|v| v.id) != Some(view.id) {
                     self.install_lwg_view(ctx, lwg, view, on_hwg);
                 }
             }
@@ -983,7 +1101,9 @@ impl LwgService {
 
     /// Installs `view` if its flush (when any) has fully acknowledged.
     fn try_conclude_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         let Some(lf) = &state.lflush else { return };
         let Some((view, on_hwg)) = lf.new_view.clone() else {
             // Coordinator side: once every member acknowledged, announce
@@ -1003,8 +1123,12 @@ impl LwgService {
     /// Coordinator: all FlushOks are in — compute and multicast the
     /// successor view (join/leave/prune path).
     fn announce_successor_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
-        let Some(view) = state.view.clone() else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
         let Some(hwg) = state.hwg else { return };
         let Some(lf) = &state.lflush else { return };
         let flush = lf.flush;
@@ -1057,11 +1181,15 @@ impl LwgService {
     /// Coordinator: announce the view with the members that fell out of
     /// the HWG removed (no LWG flush needed — see `handle_hwg_view`).
     fn announce_pruned_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hview: &View) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         if state.lflush.is_some() || state.switching.is_some() {
             return; // an explicit flush is already reshaping the view
         }
-        let Some(view) = state.view.clone() else { return };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
         let Some(hwg) = state.hwg else { return };
         let members: Vec<NodeId> = view
             .members
@@ -1091,14 +1219,10 @@ impl LwgService {
         );
     }
 
-    fn install_lwg_view(
-        &mut self,
-        ctx: &mut Context<'_>,
-        lwg: LwgId,
-        view: View,
-        on_hwg: HwgId,
-    ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+    fn install_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, view: View, on_hwg: HwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         let old_hwg = state.hwg;
         if let Some(old) = &state.view {
             state.history.insert(old.id);
@@ -1155,10 +1279,14 @@ impl LwgService {
 
     /// Writes the current view-to-view mapping to the naming service.
     fn refresh_mapping(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         let Some(view) = &state.view else { return };
         let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else { return };
+        let Some(hview) = self.stack.view_of(hwg) else {
+            return;
+        };
         let mapping = Mapping {
             lwg_view: view.id,
             members: view.members.clone(),
@@ -1179,21 +1307,22 @@ impl LwgService {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         if state.lflush.is_some() || state.switching.is_some() {
             return;
         }
         let Some(view) = &state.view else { return };
         let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else { return };
+        let Some(hview) = self.stack.view_of(hwg) else {
+            return;
+        };
         let has_join = state
             .pending_joins
             .iter()
             .any(|j| hview.contains(*j) && !view.contains(*j));
-        let has_leave = state
-            .pending_leaves
-            .iter()
-            .any(|l| view.contains(*l));
+        let has_leave = state.pending_leaves.iter().any(|l| view.contains(*l));
         if !(has_join || has_leave) {
             return;
         }
@@ -1216,6 +1345,9 @@ impl LwgService {
             format!("{lwg} {flush} members {members:?}")
         });
         ctx.metrics().incr("lwg.flushes");
+        // Barrier: the flush announcement must not overtake our own
+        // buffered data for the closing view.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
         self.stack.send(
             ctx,
             hwg,
@@ -1237,11 +1369,15 @@ impl LwgService {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         if state.lflush.is_some() || state.switching.is_some() || state.hwg == Some(to) {
             return;
         }
-        let Some(view) = state.view.clone() else { return };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
         let Some(hwg) = state.hwg else { return };
         let members = view.members.clone();
         let state = self.lwgs.get_mut(&lwg).expect("checked");
@@ -1263,6 +1399,8 @@ impl LwgService {
         } else if self.stack.status_of(to) == GroupStatus::Left {
             self.stack.join(ctx, to);
         }
+        // Barrier: a switch doubles as a flush of the old mapping.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
         self.stack.send(
             ctx,
             hwg,
@@ -1278,9 +1416,15 @@ impl LwgService {
     /// Coordinator: every member reported ready on the target HWG —
     /// install the switched view there.
     fn complete_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
-        let Some(sw) = state.switching.take() else { return };
-        let Some(view) = state.view.clone() else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(sw) = state.switching.take() else {
+            return;
+        };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
         let new_view = View::with_predecessors(
             ViewId::new(self.me, state.take_view_seq()),
             sw.members.clone(),
@@ -1320,13 +1464,18 @@ impl LwgService {
         }
         self.last_merge_views.insert(hwg, now);
         ctx.metrics().incr("lwg.merge_views_sent");
+        // Barrier: the merge request forces an HWG flush; buffered data
+        // belongs to the views being merged and must go out first.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
         self.stack.send(ctx, hwg, payload(LwgMsg::MergeViews));
     }
 
     /// After an HWG flush: merge every set of concurrent LWG views the
     /// AllViews exchange revealed.
     fn complete_merge_round(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: &View) {
-        let Some(round) = self.rounds.remove(&hwg) else { return };
+        let Some(round) = self.rounds.remove(&hwg) else {
+            return;
+        };
         for (lwg, mut views) in round.collected {
             // Add our own current view.
             if let Some(state) = self.lwgs.get(&lwg) {
@@ -1381,15 +1530,15 @@ impl LwgService {
             if members[0] != self.me {
                 continue;
             }
-            let Some(state) = self.lwgs.get_mut(&lwg) else { continue };
+            let Some(state) = self.lwgs.get_mut(&lwg) else {
+                continue;
+            };
             let merged = View::with_predecessors(
                 ViewId::new(self.me, state.take_view_seq()),
                 members,
                 concurrent.clone(),
             );
-            ctx.trace("lwg.merge", || {
-                format!("{lwg}: {concurrent:?} -> {merged}")
-            });
+            ctx.trace("lwg.merge", || format!("{lwg}: {concurrent:?} -> {merged}"));
             ctx.metrics().incr("lwg.views_merged");
             self.stack.send(
                 ctx,
@@ -1410,20 +1559,14 @@ impl LwgService {
 
     fn handle_ns_event(&mut self, ctx: &mut Context<'_>, ev: NsEvent) {
         match ev {
-            NsEvent::Reply { req, lwg, mappings } => {
-                match self.ns_lookups.remove(&req) {
-                    Some((_, NsPurpose::JoinLookup)) => {
-                        self.continue_join(ctx, lwg, &mappings)
-                    }
-                    Some((_, NsPurpose::FoundClaim)) => {
-                        self.resolve_found_claim(ctx, lwg, &mappings)
-                    }
-                    Some((_, NsPurpose::Poll)) if mappings.len() > 1 => {
-                        self.reconcile(ctx, lwg, &mappings);
-                    }
-                    Some((_, NsPurpose::Poll)) | None => {}
+            NsEvent::Reply { req, lwg, mappings } => match self.ns_lookups.remove(&req) {
+                Some((_, NsPurpose::JoinLookup)) => self.continue_join(ctx, lwg, &mappings),
+                Some((_, NsPurpose::FoundClaim)) => self.resolve_found_claim(ctx, lwg, &mappings),
+                Some((_, NsPurpose::Poll)) if mappings.len() > 1 => {
+                    self.reconcile(ctx, lwg, &mappings);
                 }
-            }
+                Some((_, NsPurpose::Poll)) | None => {}
+            },
             NsEvent::MultipleMappings { lwg, mappings } => {
                 self.reconcile(ctx, lwg, &mappings);
             }
@@ -1432,7 +1575,9 @@ impl LwgService {
 
     /// Join step 2: the naming lookup answered; pick the target HWG.
     fn continue_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         if state.phase != Phase::ReadingNs {
             return;
         }
@@ -1465,7 +1610,9 @@ impl LwgService {
     }
 
     fn begin_hwg_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId, create: bool) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         state.phase = Phase::JoiningHwg;
         state.hwg = Some(hwg);
         state.create_hwg = create;
@@ -1480,11 +1627,7 @@ impl LwgService {
                 }
             }
             GroupStatus::Member => {
-                if self
-                    .stack
-                    .view_of(hwg)
-                    .is_some_and(|v| v.contains(self.me))
-                {
+                if self.stack.view_of(hwg).is_some_and(|v| v.contains(self.me)) {
                     self.request_admission(ctx, lwg, hwg);
                 }
             }
@@ -1495,7 +1638,9 @@ impl LwgService {
     /// Join step 3: we are an HWG member; ask the LWG coordinator (if any)
     /// to admit us.
     fn request_admission(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         state.phase = Phase::AwaitingAdmission;
         state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
         self.stack.send(ctx, hwg, payload(LwgMsg::JoinReq { lwg }));
@@ -1506,9 +1651,13 @@ impl LwgService {
     /// founder won the race we follow its mapping instead of creating a
     /// competing view.
     fn claim_founding(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else { return };
+        let Some(hview) = self.stack.view_of(hwg) else {
+            return;
+        };
         let planned = ViewId::new(self.me, state.next_view_seq + 1);
         let mapping = Mapping {
             lwg_view: planned,
@@ -1527,7 +1676,9 @@ impl LwgService {
 
     /// Join fallback, part 2: the test-and-set answered.
     fn resolve_found_claim(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         if state.phase != Phase::AwaitingAdmission {
             return;
         }
@@ -1547,7 +1698,9 @@ impl LwgService {
 
     /// Installs the group's founding (singleton) view on the target HWG.
     fn found_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else { return };
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
         let Some(hwg) = state.hwg else { return };
         let seq = state.take_view_seq();
         let view = View::initial(ViewId::new(self.me, seq), vec![self.me]);
@@ -1568,7 +1721,9 @@ impl LwgService {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else { return };
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
         let current = state.hwg;
         if current == Some(target) {
             // We are already on the winning HWG. A MERGE-VIEWS barrier only
@@ -1578,9 +1733,9 @@ impl LwgService {
             let others_present = {
                 let hview = self.stack.view_of(target);
                 mappings.iter().all(|m| {
-                    m.members.iter().all(|mm| {
-                        hview.is_some_and(|v| v.contains(*mm))
-                    })
+                    m.members
+                        .iter()
+                        .all(|mm| hview.is_some_and(|v| v.contains(*mm)))
                 })
             };
             if others_present {
@@ -1641,8 +1796,7 @@ impl LwgService {
             .map(|(&l, s)| (l, s.hwg.expect("filtered")))
             .collect();
         for (lwg, hwg) in leaving {
-            self.stack
-                .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+            self.stack.send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
             self.maybe_start_lwg_flush(ctx, lwg);
         }
 
@@ -1651,12 +1805,11 @@ impl LwgService {
             .lwgs
             .iter()
             .filter(|(_, s)| {
-                s.lflush
-                    .as_ref()
-                    .is_some_and(|f| now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout)
-                    || s.switching.as_ref().is_some_and(|sw| {
-                        now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
-                    })
+                s.lflush.as_ref().is_some_and(|f| {
+                    now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout
+                }) || s.switching.as_ref().is_some_and(|sw| {
+                    now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
+                })
             })
             .map(|(&l, _)| l)
             .collect();
@@ -1707,13 +1860,10 @@ impl LwgService {
         self.foreign.retain(|f| {
             let expired = now.saturating_since(f.seen_at) >= deadline;
             if expired {
-                let still_unknown = self
-                    .lwgs
-                    .get(&f.lwg)
-                    .is_some_and(|s| {
-                        s.view.as_ref().is_some_and(|v| v.id != f.view_id)
-                            && !s.history.contains(&f.view_id)
-                    });
+                let still_unknown = self.lwgs.get(&f.lwg).is_some_and(|s| {
+                    s.view.as_ref().is_some_and(|v| v.id != f.view_id)
+                        && !s.history.contains(&f.view_id)
+                });
                 if still_unknown {
                     trigger.insert(f.hwg);
                 }
@@ -1787,7 +1937,9 @@ impl LwgService {
             if self.lwg_coordinator(lwg) != Some(self.me) {
                 continue;
             }
-            let Some(state) = self.lwgs.get(&lwg) else { continue };
+            let Some(state) = self.lwgs.get(&lwg) else {
+                continue;
+            };
             if state.lflush.is_some() || state.switching.is_some() {
                 continue;
             }
@@ -1806,9 +1958,7 @@ impl LwgService {
                 self.cfg.k_m,
                 self.cfg.k_c,
             ) {
-                PolicyAction::Stay => {
-                    policy::share_rule((hwg, hwg_members), &known, self.cfg.k_m)
-                }
+                PolicyAction::Stay => policy::share_rule((hwg, hwg_members), &known, self.cfg.k_m),
                 other => other,
             };
             match action {

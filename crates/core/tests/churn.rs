@@ -51,16 +51,19 @@ fn assert_settled(world: &mut World, apps: &[NodeId], groups: &[LwgId]) {
             .collect();
         let opinions: Vec<(NodeId, Option<plwg_core::View>)> = alive
             .into_iter()
-            .map(|m| (m, world.inspect(m, |n: &LwgNode| n.current_view(g).cloned())))
+            .map(|m| {
+                (
+                    m,
+                    world.inspect(m, |n: &LwgNode| n.current_view(g).cloned()),
+                )
+            })
             .collect();
         for (m, view) in &opinions {
             let Some(view) = view else { continue };
             // Everyone this view names as a member (and is alive) holds
             // exactly the same view.
             for peer in &view.members {
-                if let Some((_, peer_view)) =
-                    opinions.iter().find(|(n, _)| n == peer)
-                {
+                if let Some((_, peer_view)) = opinions.iter().find(|(n, _)| n == peer) {
                     assert_eq!(
                         peer_view.as_ref(),
                         Some(view),
@@ -78,11 +81,7 @@ fn assert_settled(world: &mut World, apps: &[NodeId], groups: &[LwgId]) {
         }
         let stats: ServiceStats = world.inspect(m, |n: &LwgNode| n.service_ref().stats());
         for s in &stats.lwgs {
-            assert!(
-                !s.busy,
-                "{m} still busy on {} after settling: {s:?}",
-                s.lwg
-            );
+            assert!(!s.busy, "{m} still busy on {} after settling: {s:?}", s.lwg);
             assert_eq!(s.phase, "member", "{m} stuck in {} on {}", s.phase, s.lwg);
         }
         assert_eq!(stats.pending_ns_requests, 0, "{m} has dangling ns requests");
@@ -155,7 +154,10 @@ fn sustained_churn_converges() {
         .inspect(apps[1], |n: &LwgNode| n.current_view(groups[1]).cloned())
         .expect("g2 view");
     // g2: 0..4 joined, 0 left, 4 joined late.
-    assert_eq!(g2.sorted_members(), vec![apps[1], apps[2], apps[3], apps[4]]);
+    assert_eq!(
+        g2.sorted_members(),
+        vec![apps[1], apps[2], apps[3], apps[4]]
+    );
 
     let g3 = world
         .inspect(apps[4], |n: &LwgNode| n.current_view(groups[2]).cloned())

@@ -72,8 +72,7 @@ fn common_view(w: &mut World, nodes: &[NodeId], lwg: LwgId) -> Option<View> {
 }
 
 fn assert_converged(w: &mut World, nodes: &[NodeId], lwg: LwgId, expect: usize) -> View {
-    let v = common_view(w, nodes, lwg)
-        .unwrap_or_else(|| panic!("nodes diverge on {lwg} views"));
+    let v = common_view(w, nodes, lwg).unwrap_or_else(|| panic!("nodes diverge on {lwg} views"));
     assert_eq!(v.len(), expect, "view size for {lwg}: {v}");
     v
 }
@@ -156,8 +155,7 @@ fn lwg_multicast_is_fifo_and_filtered_by_group() {
         let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
         assert_eq!(got, (0..15).collect::<Vec<u64>>(), "FIFO at {n}");
     }
-    let loner_got =
-        w.inspect(loner, |a: &LwgNode| a.delivered().len());
+    let loner_got = w.inspect(loner, |a: &LwgNode| a.delivered().len());
     assert_eq!(loner_got, 0, "non-member must not deliver A's data");
 }
 
@@ -480,7 +478,11 @@ fn polling_mode_reconciles_without_callbacks() {
         vec![NodeId(1)],
         ns_cfg.clone(),
     )));
-    let s1 = w.add_node(Box::new(NameServer::new(NodeId(1), vec![NodeId(0)], ns_cfg)));
+    let s1 = w.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        ns_cfg,
+    )));
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
@@ -548,7 +550,11 @@ fn stale_mapping_join_is_redirected_by_forward_pointer() {
         vec![NodeId(1)],
         ns_cfg.clone(),
     )));
-    let s1 = w.add_node(Box::new(NameServer::new(NodeId(1), vec![NodeId(0)], ns_cfg)));
+    let s1 = w.add_node(Box::new(NameServer::new(
+        NodeId(1),
+        vec![NodeId(0)],
+        ns_cfg,
+    )));
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..9)
         .map(|i| {
@@ -590,9 +596,11 @@ fn stale_mapping_join_is_redirected_by_forward_pointer() {
     // Heal, and join through the stale server before its next gossip.
     w.heal_at(at(26));
     let late = apps[7]; // NodeId(9): home server = s1 (9 % 2 = 1)
-    w.invoke_at(at(26) + SimDuration::from_millis(200), late, |a: &mut LwgNode, ctx| {
-        a.service().join(ctx, B)
-    });
+    w.invoke_at(
+        at(26) + SimDuration::from_millis(200),
+        late,
+        |a: &mut LwgNode, ctx| a.service().join(ctx, B),
+    );
     w.run_until(at(45));
     let members: Vec<NodeId> = vec![apps[0], apps[1], late];
     let mut expect = members.clone();
@@ -611,5 +619,217 @@ fn stale_mapping_join_is_redirected_by_forward_pointer() {
     assert!(
         w.metrics().counter("lwg.redirects_followed") >= 1,
         "the stale mapping must have been repaired by a Redirect"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Message packing + subset delivery (the data-plane optimisations)
+// ----------------------------------------------------------------------
+
+fn packing_cfg(pack_max_msgs: usize) -> LwgConfig {
+    LwgConfig {
+        pack_max_msgs,
+        pack_delay: SimDuration::from_millis(2),
+        // Keep the mapping static for the duration of these scenarios.
+        policy_interval: secs(120),
+        ..LwgConfig::default()
+    }
+}
+
+/// Packing amortises bursts of co-mapped sends into a few HWG multicasts
+/// without disturbing per-sender FIFO or group isolation.
+#[test]
+fn packed_bursts_cut_hwg_multicasts_and_preserve_fifo() {
+    let (mut w, _s, apps) = setup_cfg(3, 20, packing_cfg(8));
+    join_all(&mut w, &apps, A, 300);
+    w.run_for(secs(8));
+    join_all(&mut w, &apps, B, 300);
+    w.run_for(secs(8));
+    assert_converged(&mut w, &apps, A, 3);
+    assert_converged(&mut w, &apps, B, 3);
+    // Both groups ride one HWG: a burst interleaving A and B packs into
+    // shared batches.
+    let ha = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(A));
+    let hb = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(B));
+    assert_eq!(ha, hb, "co-mapping is the packing scenario");
+    let sender = apps[0];
+    w.invoke(sender, move |a: &mut LwgNode, ctx| {
+        for i in 0..40u64 {
+            a.service().send(ctx, A, payload(i));
+            a.service().send(ctx, B, payload(i + 1000));
+        }
+    });
+    w.run_for(secs(3));
+    for &n in &apps {
+        let got_a: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
+        let got_b: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(B, sender));
+        assert_eq!(got_a, (0..40).collect::<Vec<u64>>(), "A FIFO at {n}");
+        assert_eq!(got_b, (1000..1040).collect::<Vec<u64>>(), "B FIFO at {n}");
+    }
+    let batches = w.metrics().counter("lwg.batch.sent");
+    assert!(batches >= 1, "the burst must have been packed");
+    // 80 sends from the burst fit in 80/8 = 10 full batches; everything
+    // else in the run is control traffic, so far fewer HWG multicasts
+    // than LWG messages were needed.
+    let occupancy = w
+        .metrics()
+        .histogram("lwg.batch.occupancy")
+        .expect("occupancy recorded")
+        .summary();
+    assert_eq!(occupancy.max, 8, "full batches reach the count budget");
+    assert!(
+        w.metrics().counter("lwg.batch.flush_full") >= 10,
+        "the burst fills whole batches"
+    );
+}
+
+/// Sends interleaved with an LWG flush (a third member joins mid-stream):
+/// the pack buffer is force-flushed at the flush barrier, so no batch
+/// straddles the view change and nothing is lost or reordered.
+#[test]
+fn packed_sends_across_lwg_flush_are_not_lost() {
+    let cfg = LwgConfig {
+        pack_max_msgs: 64,
+        pack_delay: SimDuration::from_millis(50),
+        policy_interval: secs(120),
+        ..LwgConfig::default()
+    };
+    let (mut w, _s, apps) = setup_cfg(3, 21, cfg);
+    join_all(&mut w, &apps[..2], A, 300);
+    w.run_for(secs(8));
+    // Third member joins while the first streams: the admission flush
+    // cuts through the stream while the pack buffer is non-empty (the
+    // 50 ms pack delay guarantees buffered entries at the barrier).
+    w.invoke(apps[2], |a: &mut LwgNode, ctx| a.service().join(ctx, A));
+    let sender = apps[0];
+    for i in 0..30u64 {
+        let t = w.now() + SimDuration::from_millis(i * 5);
+        w.invoke_at(t, sender, move |a: &mut LwgNode, ctx| {
+            a.service().send(ctx, A, payload(i))
+        });
+    }
+    w.run_for(secs(10));
+    assert_converged(&mut w, &apps, A, 3);
+    for &n in &apps[..2] {
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
+        assert_eq!(got, (0..30).collect::<Vec<u64>>(), "FIFO at {n}");
+    }
+    assert!(
+        w.metrics().counter("lwg.batch.flush_barrier") >= 1,
+        "the flush must have forced the pack buffer out before the cut"
+    );
+}
+
+/// Packing under a partition and heal: batches never leak across the
+/// view cut — a member that was on the other side only ever delivers
+/// messages sent in views it installed.
+#[test]
+fn packed_bursts_survive_partition_and_heal() {
+    let (mut w, servers, apps) = setup_cfg(4, 22, packing_cfg(8));
+    join_all(&mut w, &apps, A, 300);
+    w.run_for(secs(10));
+    assert_converged(&mut w, &apps, A, 4);
+
+    w.split_at(
+        at(12),
+        vec![
+            vec![servers[0], apps[0], apps[1]],
+            vec![servers[1], apps[2], apps[3]],
+        ],
+    );
+    w.run_until(at(24));
+    assert_converged(&mut w, &apps[..2], A, 2);
+    assert_converged(&mut w, &apps[2..], A, 2);
+
+    // Bursts inside each partition.
+    let (left, right) = (apps[0], apps[2]);
+    w.invoke(left, move |a: &mut LwgNode, ctx| {
+        for i in 0..20u64 {
+            a.service().send(ctx, A, payload(i));
+        }
+    });
+    w.invoke(right, move |a: &mut LwgNode, ctx| {
+        for i in 100..120u64 {
+            a.service().send(ctx, A, payload(i));
+        }
+    });
+    w.run_for(secs(4));
+    let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.delivered_values::<u64>(A, left));
+    assert_eq!(got, (0..20).collect::<Vec<u64>>(), "left side FIFO");
+    let got: Vec<u64> = w.inspect(apps[3], |a: &LwgNode| a.delivered_values::<u64>(A, right));
+    assert_eq!(got, (100..120).collect::<Vec<u64>>(), "right side FIFO");
+
+    w.heal_at(at(30));
+    w.run_until(at(50));
+    assert_converged(&mut w, &apps, A, 4);
+    // Post-heal burst reaches everyone, in order.
+    w.invoke(left, move |a: &mut LwgNode, ctx| {
+        for i in 200..210u64 {
+            a.service().send(ctx, A, payload(i));
+        }
+    });
+    w.run_for(secs(3));
+    for &n in &apps {
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, left));
+        let expect: Vec<u64> = if n == apps[0] || n == apps[1] {
+            (0..20).chain(200..210).collect()
+        } else {
+            // The other side never installed the left partition's view:
+            // its batches must not leak across the cut.
+            (200..210).collect()
+        };
+        assert_eq!(got, expect, "deliveries from {left} at {n}");
+    }
+    assert!(w.metrics().counter("lwg.batch.sent") >= 6);
+}
+
+/// Subset delivery: co-mapped traffic is addressed only to the interested
+/// members (plus the HWG coordinator), so uninterested HWG members stop
+/// paying the filtering cost — measured against the same run without it.
+#[test]
+fn subset_delivery_cuts_interference_filtering() {
+    let run = |subset: bool| -> (u64, u64, Vec<u64>) {
+        let cfg = LwgConfig {
+            subset_delivery: subset,
+            policy_interval: secs(120),
+            ..LwgConfig::default()
+        };
+        let (mut w, _s, apps) = setup_cfg(3, 23, cfg);
+        join_all(&mut w, &apps, A, 300);
+        w.run_for(secs(8));
+        // B = the two most senior members: its traffic interests a strict
+        // subset of the HWG view, and the HWG coordinator is a member.
+        join_all(&mut w, &apps[..2], B, 300);
+        w.run_for(secs(8));
+        let ha = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(A));
+        let hb = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(B));
+        assert_eq!(ha, hb, "B must co-map onto A's HWG");
+        let sender = apps[0];
+        w.invoke(sender, move |a: &mut LwgNode, ctx| {
+            for i in 0..30u64 {
+                a.service().send(ctx, B, payload(i));
+            }
+        });
+        w.run_for(secs(3));
+        let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.delivered_values::<u64>(B, sender));
+        assert_eq!(got, (0..30).collect::<Vec<u64>>(), "B FIFO unharmed");
+        let outsider = w.inspect(apps[2], |a: &LwgNode| {
+            a.delivered().iter().filter(|(l, _, _)| *l == B).count()
+        });
+        assert_eq!(outsider, 0, "non-member must not deliver B's data");
+        (
+            w.metrics().counter("lwg.filtered"),
+            w.metrics().counter("hwg.subset_sends"),
+            got,
+        )
+    };
+    let (filtered_off, subset_off, got_off) = run(false);
+    let (filtered_on, subset_on, got_on) = run(true);
+    assert_eq!(got_off, got_on, "delivery is unchanged by subset routing");
+    assert_eq!(subset_off, 0);
+    assert!(subset_on >= 30, "B's burst must use the subset path");
+    assert!(
+        filtered_on < filtered_off,
+        "subset delivery must cut filtering ({filtered_on} vs {filtered_off})"
     );
 }

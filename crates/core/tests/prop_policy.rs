@@ -1,123 +1,161 @@
-//! Property tests for the Figure-1 mapping policies: determinism, the
-//! minority/closeness algebra, and the structural guarantees the service
-//! relies on (a chosen candidate always contains the LWG, moves only go up
-//! the id order, …).
+//! Randomised property tests for the Figure-1 mapping policies:
+//! determinism, the minority/closeness algebra, and the structural
+//! guarantees the service relies on (a chosen candidate always contains the
+//! LWG, moves only go up the id order, …). Seeded in-tree RNG keeps every
+//! run deterministic.
 
 use plwg_core::{closeness, is_minority, share_rule_collapses, PolicyAction};
-use plwg_sim::NodeId;
+use plwg_sim::{NodeId, SimRng};
 use plwg_vsync::HwgId;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn node_set() -> impl Strategy<Value = BTreeSet<NodeId>> {
-    proptest::collection::btree_set((0u32..12).prop_map(NodeId), 1..8)
+const CASES: u64 = 300;
+
+fn node_set(rng: &mut SimRng) -> BTreeSet<NodeId> {
+    let want = rng.range(1, 8);
+    let mut set = BTreeSet::new();
+    while (set.len() as u64) < want {
+        set.insert(NodeId(rng.range(0, 12) as u32));
+    }
+    set
 }
 
-fn known_hwgs() -> impl Strategy<Value = Vec<(HwgId, BTreeSet<NodeId>)>> {
-    proptest::collection::vec((1u64..50, node_set()), 0..6).prop_map(|v| {
-        v.into_iter()
-            .map(|(id, members)| (HwgId(id), members))
-            .collect()
-    })
+fn known_hwgs(rng: &mut SimRng) -> Vec<(HwgId, BTreeSet<NodeId>)> {
+    let count = rng.range(0, 6);
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let id = rng.range(1, 50);
+        if seen.insert(id) {
+            out.push((HwgId(id), node_set(rng)));
+        }
+    }
+    out
 }
 
-proptest! {
-    /// Minority is monotone: growing the big group (or shrinking the small
-    /// one) never removes minority status.
-    #[test]
-    fn minority_is_monotone(g1 in 0usize..20, g2 in 0usize..20, k_m in 1u32..8) {
+/// Minority is monotone: growing the big group (or shrinking the small
+/// one) never removes minority status.
+#[test]
+fn minority_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_1100 ^ case);
+        let g1 = rng.range(0, 20) as usize;
+        let g2 = rng.range(0, 20) as usize;
+        let k_m = rng.range(1, 8) as u32;
         if is_minority(g1, g2, k_m) {
-            prop_assert!(is_minority(g1, g2 + 1, k_m));
+            assert!(is_minority(g1, g2 + 1, k_m), "case {case}");
             if g1 > 0 {
-                prop_assert!(is_minority(g1 - 1, g2, k_m));
+                assert!(is_minority(g1 - 1, g2, k_m), "case {case}");
             }
         }
     }
+}
 
-    /// Closeness is monotone in the subset's size: if `g1 ⊆ g2` is close,
-    /// any larger subset of the same `g2` is too.
-    #[test]
-    fn closeness_is_monotone(g1 in 0usize..20, g2 in 0usize..20, k_c in 1u32..8) {
-        prop_assume!(g1 <= g2);
+/// Closeness is monotone in the subset's size: if `g1 ⊆ g2` is close, any
+/// larger subset of the same `g2` is too.
+#[test]
+fn closeness_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_2200 ^ case);
+        let g2 = rng.range(0, 20) as usize;
+        let g1 = rng.range(0, g2 as u64 + 1) as usize;
+        let k_c = rng.range(1, 8) as u32;
         if closeness(g1, g2, k_c) && g1 < g2 {
-            prop_assert!(closeness(g1 + 1, g2, k_c));
+            assert!(closeness(g1 + 1, g2, k_c), "case {case}");
         }
         // A perfect fit is always close.
-        prop_assert!(closeness(g2, g2, k_c));
+        assert!(closeness(g2, g2, k_c), "case {case}");
     }
+}
 
-    /// The share-rule collapse test is symmetric in its two groups.
-    #[test]
-    fn share_collapse_is_symmetric(a in node_set(), b in node_set(), k_m in 1u32..8) {
-        prop_assert_eq!(
+/// The share-rule collapse test is symmetric in its two groups.
+#[test]
+fn share_collapse_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_3300 ^ case);
+        let a = node_set(&mut rng);
+        let b = node_set(&mut rng);
+        let k_m = rng.range(1, 8) as u32;
+        assert_eq!(
             share_rule_collapses(&a, &b, k_m),
-            share_rule_collapses(&b, &a, k_m)
+            share_rule_collapses(&b, &a, k_m),
+            "case {case}"
         );
     }
+}
 
-    /// Identical membership always collapses (overlap k = |g|, n1 = n2 = 0);
-    /// disjoint membership never does. (k_m = 1 is excluded: it is the
-    /// degenerate setting where every subset counts as a minority, so the
-    /// minority-subset exemption fires even for equal groups.)
-    #[test]
-    fn share_collapse_extremes(a in node_set(), k_m in 2u32..8) {
-        prop_assert!(share_rule_collapses(&a, &a.clone(), k_m));
-        let shifted: BTreeSet<NodeId> =
-            a.iter().map(|n| NodeId(n.0 + 100)).collect();
-        prop_assert!(!share_rule_collapses(&a, &shifted, k_m));
+/// Identical membership always collapses (overlap k = |g|, n1 = n2 = 0);
+/// disjoint membership never does. (k_m = 1 is excluded: it is the
+/// degenerate setting where every subset counts as a minority, so the
+/// minority-subset exemption fires even for equal groups.)
+#[test]
+fn share_collapse_extremes() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_4400 ^ case);
+        let a = node_set(&mut rng);
+        let k_m = rng.range(2, 8) as u32;
+        assert!(share_rule_collapses(&a, &a.clone(), k_m), "case {case}");
+        let shifted: BTreeSet<NodeId> = a.iter().map(|n| NodeId(n.0 + 100)).collect();
+        assert!(!share_rule_collapses(&a, &shifted, k_m), "case {case}");
     }
+}
 
-    /// The interference rule is deterministic, never selects a candidate
-    /// that misses LWG members, and stays put when the LWG is not a
-    /// minority of its HWG (paper Fig. 1 structure).
-    #[test]
-    fn interference_rule_is_sound(
-        lwg in node_set(),
-        extra in node_set(),
-        known in known_hwgs(),
-        k_m in 1u32..8,
-        k_c in 1u32..8,
-    ) {
+/// The interference rule is deterministic, never selects a candidate that
+/// misses LWG members, and stays put when the LWG is not a minority of its
+/// HWG (paper Fig. 1 structure).
+#[test]
+fn interference_rule_is_sound() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_5500 ^ case);
+        let lwg = node_set(&mut rng);
+        let extra = node_set(&mut rng);
+        let known = known_hwgs(&mut rng);
+        let k_m = rng.range(1, 8) as u32;
+        let k_c = rng.range(1, 8) as u32;
         // Current HWG ⊇ LWG by construction.
-        let current_members: BTreeSet<NodeId> =
-            lwg.union(&extra).copied().collect();
+        let current_members: BTreeSet<NodeId> = lwg.union(&extra).copied().collect();
         let current = (HwgId(0), &current_members);
         let a1 = plwg_core::interference_rule(&lwg, current, &known, k_m, k_c);
         let a2 = plwg_core::interference_rule(&lwg, current, &known, k_m, k_c);
-        prop_assert_eq!(a1.clone(), a2, "determinism");
+        assert_eq!(a1, a2, "case {case}: determinism");
         if !is_minority(lwg.len(), current_members.len(), k_m) {
-            prop_assert_eq!(a1, PolicyAction::Stay);
+            assert_eq!(a1, PolicyAction::Stay, "case {case}");
         } else if let PolicyAction::SwitchTo(target) = a1 {
             let (_, members) = known
                 .iter()
                 .find(|(id, _)| *id == target)
                 .expect("target must be a known HWG");
-            prop_assert!(lwg.is_subset(members), "target must contain the LWG");
-            prop_assert!(
+            assert!(
+                lwg.is_subset(members),
+                "case {case}: target must contain the LWG"
+            );
+            assert!(
                 closeness(lwg.len(), members.len(), k_c),
-                "target must be close enough"
+                "case {case}: target must be close enough"
             );
         }
     }
+}
 
-    /// The share rule only ever moves an LWG toward a *higher* HWG id —
-    /// the property that makes decentralised collapse convergent (both
-    /// coordinators pick the same survivor).
-    #[test]
-    fn share_rule_moves_up_only(
-        current in node_set(),
-        known in known_hwgs(),
-        k_m in 1u32..8,
-        current_id in 1u64..50,
-    ) {
+/// The share rule only ever moves an LWG toward a *higher* HWG id — the
+/// property that makes decentralised collapse convergent (both
+/// coordinators pick the same survivor).
+#[test]
+fn share_rule_moves_up_only() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_6600 ^ case);
+        let current = node_set(&mut rng);
+        let known = known_hwgs(&mut rng);
+        let k_m = rng.range(1, 8) as u32;
+        let current_id = rng.range(1, 50);
         match plwg_core::share_rule((HwgId(current_id), &current), &known, k_m) {
             PolicyAction::SwitchTo(target) => {
-                prop_assert!(target > HwgId(current_id));
-                prop_assert!(known.iter().any(|(id, _)| *id == target));
+                assert!(target > HwgId(current_id), "case {case}");
+                assert!(known.iter().any(|(id, _)| *id == target), "case {case}");
             }
             PolicyAction::Stay => {}
             PolicyAction::CreateAndSwitch => {
-                prop_assert!(false, "share rule never creates HWGs");
+                panic!("case {case}: share rule never creates HWGs");
             }
         }
     }

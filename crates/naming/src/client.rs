@@ -143,14 +143,13 @@ impl NsClient {
             return false;
         };
         match ns {
-            NsMsg::Reply { req, lwg, mappings }
-                if self.pending.remove(req).is_some() => {
-                    self.events.push(NsEvent::Reply {
-                        req: *req,
-                        lwg: *lwg,
-                        mappings: mappings.clone(),
-                    });
-                }
+            NsMsg::Reply { req, lwg, mappings } if self.pending.remove(req).is_some() => {
+                self.events.push(NsEvent::Reply {
+                    req: *req,
+                    lwg: *lwg,
+                    mappings: mappings.clone(),
+                });
+            }
             NsMsg::MultipleMappings { lwg, mappings } => {
                 self.events.push(NsEvent::MultipleMappings {
                     lwg: *lwg,

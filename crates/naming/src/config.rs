@@ -34,8 +34,7 @@ impl NamingConfig {
     /// Panics if any period is zero.
     pub fn validate(&self) {
         assert!(
-            self.gossip_interval > SimDuration::ZERO
-                && self.request_timeout > SimDuration::ZERO,
+            self.gossip_interval > SimDuration::ZERO && self.request_timeout > SimDuration::ZERO,
             "naming periods must be positive"
         );
     }

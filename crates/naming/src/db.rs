@@ -7,9 +7,8 @@
 //! until the reconciliation procedure collapses them (Table 4).
 
 use crate::id::LwgId;
-use plwg_vsync::{HwgId, ViewId};
 use plwg_sim::NodeId;
-use serde::{Deserialize, Serialize};
+use plwg_vsync::{HwgId, ViewId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One view-to-view mapping: an LWG view mapped onto an HWG view.
@@ -17,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// The derived ordering gives reconciliation a deterministic tie-break
 /// when two replicas hold different refreshes of the same LWG view (see
 /// [`MappingDb::merge`]).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Mapping {
     /// The LWG view being mapped.
     pub lwg_view: ViewId,
@@ -30,7 +29,7 @@ pub struct Mapping {
     pub hwg_view: ViewId,
 }
 
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct LwgEntry {
     /// Non-obsolete mappings, keyed by LWG view id.
     current: BTreeMap<ViewId, Mapping>,
@@ -117,7 +116,7 @@ impl LwgEntry {
 /// assert_eq!(db.read(LwgId(7)).len(), 1);
 /// assert_eq!(db.read(LwgId(7))[0].lwg_view, v2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MappingDb {
     entries: BTreeMap<LwgId, LwgEntry>,
 }

@@ -1,15 +1,12 @@
 //! Light-weight group identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a light-weight group (a *user-level* group).
 ///
 /// Totally ordered, like [`plwg_vsync::HwgId`]; the order is used for
 /// deterministic policy tie-breaks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LwgId(pub u64);
 
 impl fmt::Display for LwgId {

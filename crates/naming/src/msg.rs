@@ -82,11 +82,19 @@ pub enum NsMsg {
 impl fmt::Debug for NsMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NsMsg::Set { req, lwg, mapping, .. } => {
-                write!(f, "Set({req:?},{lwg},{}->{})", mapping.lwg_view, mapping.hwg)
+            NsMsg::Set {
+                req, lwg, mapping, ..
+            } => {
+                write!(
+                    f,
+                    "Set({req:?},{lwg},{}->{})",
+                    mapping.lwg_view, mapping.hwg
+                )
             }
             NsMsg::Read { req, lwg } => write!(f, "Read({req:?},{lwg})"),
-            NsMsg::TestSet { req, lwg, mapping, .. } => write!(
+            NsMsg::TestSet {
+                req, lwg, mapping, ..
+            } => write!(
                 f,
                 "TestSet({req:?},{lwg},{}->{})",
                 mapping.lwg_view, mapping.hwg

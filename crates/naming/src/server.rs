@@ -93,7 +93,9 @@ impl Process for NameServer {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
-        let Some(ns) = cast::<NsMsg>(&msg) else { return };
+        let Some(ns) = cast::<NsMsg>(&msg) else {
+            return;
+        };
         match ns {
             NsMsg::Set {
                 req,

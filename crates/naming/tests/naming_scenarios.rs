@@ -1,9 +1,7 @@
 //! Naming-service scenarios over the simulator: request failover,
 //! cross-partition divergence, reconciliation, and callbacks.
 
-use plwg_naming::{
-    LwgId, Mapping, NameServer, NamingConfig, NsClient, NsEvent, RequestId,
-};
+use plwg_naming::{LwgId, Mapping, NameServer, NamingConfig, NsClient, NsEvent, RequestId};
 use plwg_sim::{
     Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
 };
@@ -28,12 +26,8 @@ impl ClientApp {
     fn drain(&mut self) {
         for ev in self.ns.drain_events() {
             match ev {
-                NsEvent::Reply { req, lwg, mappings } => {
-                    self.replies.push((req, lwg, mappings))
-                }
-                NsEvent::MultipleMappings { lwg, mappings } => {
-                    self.callbacks.push((lwg, mappings))
-                }
+                NsEvent::Reply { req, lwg, mappings } => self.replies.push((req, lwg, mappings)),
+                NsEvent::MultipleMappings { lwg, mappings } => self.callbacks.push((lwg, mappings)),
             }
         }
     }

@@ -1,18 +1,25 @@
-//! Property tests for the mapping database: reconciliation is a proper
-//! join (commutative, idempotent), tombstones win, and garbage collection
-//! only ever removes true ancestors.
+//! Randomised property tests for the mapping database: reconciliation is a
+//! proper join (commutative, idempotent), tombstones win, and garbage
+//! collection only ever removes true ancestors. Cases come from a seeded
+//! in-tree RNG so every run is deterministic.
 
 use plwg_naming::{LwgId, Mapping, MappingDb};
-use plwg_sim::NodeId;
+use plwg_sim::{NodeId, SimRng};
 use plwg_vsync::{HwgId, ViewId};
-use proptest::prelude::*;
+
+const CASES: u64 = 300;
 
 /// A small operation language over the database.
 #[derive(Debug, Clone)]
 enum Op {
     /// Register mapping of view `v` with predecessors chosen among earlier
     /// view indices.
-    Set { lwg: u8, v: u8, preds: Vec<u8>, hwg: u8 },
+    Set {
+        lwg: u8,
+        v: u8,
+        preds: Vec<u8>,
+        hwg: u8,
+    },
     /// Dissolve view `v`.
     Unset { lwg: u8, v: u8 },
 }
@@ -43,79 +50,83 @@ fn apply(db: &mut MappingDb, ops: &[Op]) {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            0u8..3,
-            1u8..16,
-            proptest::collection::vec(0u8..16, 0..3),
-            0u8..4
-        )
-            .prop_map(|(lwg, v, preds, hwg)| Op::Set {
-                lwg,
-                v,
-                // Predecessors are causally earlier views: real view
-                // lineages are acyclic by construction, so the generator
-                // only points "backwards".
-                preds: preds.into_iter().map(|p| p % v).collect(),
-                hwg,
-            }),
-        (0u8..3, 0u8..16).prop_map(|(lwg, v)| Op::Unset { lwg, v }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    if rng.chance(0.5) {
+        let v = rng.range(1, 16) as u8;
+        let pred_count = rng.range(0, 3);
+        Op::Set {
+            lwg: rng.range(0, 3) as u8,
+            v,
+            // Predecessors are causally earlier views: real view lineages
+            // are acyclic by construction, so the generator only points
+            // "backwards".
+            preds: (0..pred_count)
+                .map(|_| rng.range(0, 16) as u8 % v)
+                .collect(),
+            hwg: rng.range(0, 4) as u8,
+        }
+    } else {
+        Op::Unset {
+            lwg: rng.range(0, 3) as u8,
+            v: rng.range(0, 16) as u8,
+        }
+    }
 }
 
-proptest! {
-    /// merge(a, b) == merge(b, a): the replicas converge regardless of
-    /// gossip direction.
-    #[test]
-    fn merge_is_commutative(
-        ops_a in proptest::collection::vec(op_strategy(), 0..25),
-        ops_b in proptest::collection::vec(op_strategy(), 0..25),
-    ) {
+fn random_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
+    let count = rng.range(0, max);
+    (0..count).map(|_| random_op(rng)).collect()
+}
+
+/// merge(a, b) == merge(b, a): the replicas converge regardless of gossip
+/// direction.
+#[test]
+fn merge_is_commutative() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xDB_1100 ^ case);
         let mut a = MappingDb::new();
-        apply(&mut a, &ops_a);
+        apply(&mut a, &random_ops(&mut rng, 25));
         let mut b = MappingDb::new();
-        apply(&mut b, &ops_b);
+        apply(&mut b, &random_ops(&mut rng, 25));
 
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "case {case}");
     }
+}
 
-    /// Merging the same replica again changes nothing (anti-entropy can
-    /// repeat safely).
-    #[test]
-    fn merge_is_idempotent(
-        ops_a in proptest::collection::vec(op_strategy(), 0..25),
-        ops_b in proptest::collection::vec(op_strategy(), 0..25),
-    ) {
+/// Merging the same replica again changes nothing (anti-entropy can repeat
+/// safely).
+#[test]
+fn merge_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xDB_2200 ^ case);
         let mut a = MappingDb::new();
-        apply(&mut a, &ops_a);
+        apply(&mut a, &random_ops(&mut rng, 25));
         let mut b = MappingDb::new();
-        apply(&mut b, &ops_b);
+        apply(&mut b, &random_ops(&mut rng, 25));
         a.merge(&b);
         let snapshot = a.clone();
         let changed = a.merge(&b);
-        prop_assert!(changed.is_empty());
-        prop_assert_eq!(a, snapshot);
+        assert!(changed.is_empty(), "case {case}");
+        assert_eq!(a, snapshot, "case {case}");
     }
+}
 
-    /// Three-replica convergence: merging in any grouping yields the same
-    /// database (associativity up to state).
-    #[test]
-    fn merge_converges_three_ways(
-        ops_a in proptest::collection::vec(op_strategy(), 0..15),
-        ops_b in proptest::collection::vec(op_strategy(), 0..15),
-        ops_c in proptest::collection::vec(op_strategy(), 0..15),
-    ) {
+/// Three-replica convergence: merging in any grouping yields the same
+/// database (associativity up to state).
+#[test]
+fn merge_converges_three_ways() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xDB_3300 ^ case);
         let mut a = MappingDb::new();
-        apply(&mut a, &ops_a);
+        apply(&mut a, &random_ops(&mut rng, 15));
         let mut b = MappingDb::new();
-        apply(&mut b, &ops_b);
+        apply(&mut b, &random_ops(&mut rng, 15));
         let mut c = MappingDb::new();
-        apply(&mut c, &ops_c);
+        apply(&mut c, &random_ops(&mut rng, 15));
 
         let mut abc = a.clone();
         abc.merge(&b);
@@ -123,15 +134,17 @@ proptest! {
         let mut cba = c.clone();
         cba.merge(&b);
         cba.merge(&a);
-        prop_assert_eq!(abc, cba);
+        assert_eq!(abc, cba, "case {case}");
     }
+}
 
-    /// A dissolved view never reappears, no matter what is merged in.
-    #[test]
-    fn tombstones_are_permanent(
-        ops in proptest::collection::vec(op_strategy(), 0..25),
-        resurrect_hwg in 0u8..4,
-    ) {
+/// A dissolved view never reappears, no matter what is merged in.
+#[test]
+fn tombstones_are_permanent() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xDB_4400 ^ case);
+        let ops = random_ops(&mut rng, 25);
+        let resurrect_hwg = rng.range(0, 4) as u8;
         let lwg = LwgId(1);
         let mut a = MappingDb::new();
         apply(&mut a, &ops);
@@ -141,21 +154,26 @@ proptest! {
         let mut b = MappingDb::new();
         b.set(lwg, mapping(3, resurrect_hwg), &[]);
         a.merge(&b);
-        prop_assert!(
+        assert!(
             a.read(lwg).iter().all(|m| m.lwg_view != vid(3)),
-            "tombstoned view must not resurrect"
+            "case {case}: tombstoned view must not resurrect"
         );
         // Direct re-set is also refused.
         a.set(lwg, mapping(3, resurrect_hwg), &[]);
-        prop_assert!(a.read(lwg).iter().all(|m| m.lwg_view != vid(3)));
+        assert!(
+            a.read(lwg).iter().all(|m| m.lwg_view != vid(3)),
+            "case {case}"
+        );
     }
+}
 
-    /// After any operation sequence, no current mapping is an ancestor of
-    /// another current mapping of the same LWG (GC invariant).
-    #[test]
-    fn no_current_mapping_is_an_ancestor(
-        ops in proptest::collection::vec(op_strategy(), 0..40),
-    ) {
+/// After any operation sequence, no current mapping is an ancestor of
+/// another current mapping of the same LWG (GC invariant).
+#[test]
+fn no_current_mapping_is_an_ancestor() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xDB_5500 ^ case);
+        let ops = random_ops(&mut rng, 40);
         // Rebuild the predecessor relation from the op log to check
         // independently of the database's own bookkeeping.
         let mut db = MappingDb::new();
@@ -163,8 +181,14 @@ proptest! {
         use std::collections::{BTreeMap, BTreeSet};
         let mut preds: BTreeMap<(u8, u8), BTreeSet<u8>> = BTreeMap::new();
         for op in &ops {
-            if let Op::Set { lwg, v, preds: p, .. } = op {
-                preds.entry((*lwg, *v)).or_default().extend(p.iter().copied());
+            if let Op::Set {
+                lwg, v, preds: p, ..
+            } = op
+            {
+                preds
+                    .entry((*lwg, *v))
+                    .or_default()
+                    .extend(p.iter().copied());
             }
         }
         let ancestor = |lwg: u8, a: u8, b: u8| -> bool {
@@ -174,8 +198,12 @@ proptest! {
             while let Some(v) = stack.pop() {
                 if let Some(ps) = preds.get(&(lwg, v)) {
                     for &p in ps {
-                        if p == a { return true; }
-                        if seen.insert(p) { stack.push(p); }
+                        if p == a {
+                            return true;
+                        }
+                        if seen.insert(p) {
+                            stack.push(p);
+                        }
                     }
                 }
             }
@@ -189,9 +217,10 @@ proptest! {
                 .collect();
             for &x in &current {
                 for &y in &current {
-                    prop_assert!(
+                    assert!(
                         !ancestor(lwg, x, y),
-                        "view {x} is an ancestor of {y} yet both are current"
+                        "case {case}: view {x} is an ancestor of {y} \
+                         yet both are current"
                     );
                 }
             }

@@ -3,17 +3,16 @@
 //! The experiment harness reads these to regenerate the paper's figures:
 //! latency histograms, message counts, throughput, recovery times.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A set of values summarised by quantiles.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     values: Vec<u64>,
 }
 
 /// Summary statistics of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of recorded samples.
     pub count: usize,
@@ -92,7 +91,7 @@ impl Histogram {
 /// assert_eq!(m.counter("net.sent"), 3);
 /// assert_eq!(m.histogram("latency_us").unwrap().summary().max, 1_500);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
@@ -147,6 +146,14 @@ impl Metrics {
     /// All histogram names, sorted.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
+    }
+
+    /// Clears all counters and histograms. Experiments use this to scope
+    /// measurement to a phase (e.g. drop setup traffic, measure steady
+    /// state only).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
     }
 
     /// Merges `other` into `self` (counters add, histograms concatenate).

@@ -9,10 +9,9 @@ use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Network model parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Fixed one-way latency component.
     pub base_latency: SimDuration,
@@ -125,9 +124,7 @@ mod tests {
         };
         let trials = 5_000;
         let dropped = (0..trials)
-            .filter(|_| {
-                cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)) == DeliveryDecision::Drop
-            })
+            .filter(|_| cfg.decide(&topo, &mut rng, NodeId(0), NodeId(1)) == DeliveryDecision::Drop)
             .count();
         let rate = dropped as f64 / trials as f64;
         assert!((rate - 0.3).abs() < 0.05, "observed loss {rate}");

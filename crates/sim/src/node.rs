@@ -18,16 +18,13 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 /// Identifies a simulated node (one process per node).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -48,7 +45,7 @@ impl fmt::Display for NodeId {
 /// Each token names a *slot*: re-arming a token that is already pending
 /// reschedules it, and [`Context::cancel_timer`] disarms it. Protocols that
 /// need many concurrent timers use distinct tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub u64);
 
 /// A message payload: any `'static` value, reference-counted so a broadcast
@@ -144,12 +141,7 @@ impl<'a> Context<'a> {
     /// latency. Sending to self is allowed and goes through the same model.
     pub fn send(&mut self, to: NodeId, msg: Payload) {
         self.metrics.incr("net.sent");
-        let decision = self.net.decide(
-            self.topology,
-            self.rng,
-            self.self_id,
-            to,
-        );
+        let decision = self.net.decide(self.topology, self.rng, self.self_id, to);
         match decision {
             crate::net::DeliveryDecision::Deliver(latency) => {
                 self.queue.push(
@@ -182,10 +174,7 @@ impl<'a> Context<'a> {
 
     /// Arms (or re-arms) the timer slot `token` to fire after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        let slot = self
-            .timer_slots
-            .entry((self.self_id, token))
-            .or_insert(0);
+        let slot = self.timer_slots.entry((self.self_id, token)).or_insert(0);
         *slot += 1;
         self.queue.push(
             self.now + delay,

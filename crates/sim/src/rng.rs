@@ -3,26 +3,72 @@
 //! All stochastic behaviour in the simulator (latency jitter, message loss,
 //! workload arrivals) draws from a single [`SimRng`] seeded at world
 //! construction, so a run is a pure function of `(seed, schedule)`.
+//!
+//! The generator is an in-tree xoshiro256** seeded through SplitMix64 — no
+//! cryptographic strength needed, only a long period, good equidistribution
+//! and bit-for-bit reproducibility across platforms.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-
-/// The simulator's random number generator (ChaCha12, explicitly seeded).
+/// The simulator's random number generator (xoshiro256**, explicitly
+/// seeded).
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits (xoshiro256** step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Next 32 random bits (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
         }
     }
 
     /// Uniform value in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the full double mantissa, uniform on [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -32,7 +78,16 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased modular reduction: reject draws from the incomplete
+        // final span so every value is equally likely.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -49,22 +104,7 @@ impl SimRng {
     /// Forks an independent generator (for a parallel sub-experiment) whose
     /// stream is derived from, but does not perturb, this one.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::from_seed(self.inner.next_u64())
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        SimRng::from_seed(self.next_u64())
     }
 }
 
@@ -114,9 +154,40 @@ mod tests {
     }
 
     #[test]
+    fn range_hits_every_value() {
+        let mut r = SimRng::from_seed(6);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.range(0, 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
     #[should_panic(expected = "empty range")]
     fn range_rejects_empty() {
         let _ = SimRng::from_seed(5).range(5, 5);
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SimRng::from_seed(8);
+        for _ in 0..1000 {
+            let v = r.unit();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic() {
+        let mut a = SimRng::from_seed(10);
+        let mut b = SimRng::from_seed(10);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, [0u8; 13]);
     }
 
     #[test]

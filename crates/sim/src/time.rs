@@ -1,20 +1,15 @@
 //! Virtual time. The simulator advances a [`SimTime`] clock with microsecond
 //! resolution; nothing in the stack ever reads the wall clock.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant of virtual time, in microseconds since the start of the run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -105,11 +100,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("virtual clock overflowed"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("virtual clock overflowed"))
     }
 }
 
@@ -178,10 +169,7 @@ mod tests {
     #[test]
     fn unit_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
-        );
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
     }
 
     #[test]

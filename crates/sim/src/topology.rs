@@ -12,14 +12,11 @@
 //!   which is exactly a virtual partition.
 
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Identifies a connected component of the network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ComponentId(pub u32);
 
 impl fmt::Display for ComponentId {
@@ -29,7 +26,7 @@ impl fmt::Display for ComponentId {
 }
 
 /// State of a directed link, used for selective (per-pair) faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkState {
     /// Messages flow (subject to the component check and loss model).
     Up,
@@ -116,14 +113,8 @@ impl Topology {
         let mut seen = vec![false; n];
         for group in groups {
             for node in *group {
-                assert!(
-                    node.index() < n,
-                    "split mentions unknown node {node}"
-                );
-                assert!(
-                    !seen[node.index()],
-                    "split mentions node {node} twice"
-                );
+                assert!(node.index() < n, "split mentions unknown node {node}");
+                assert!(!seen[node.index()], "split mentions node {node} twice");
                 seen[node.index()] = true;
             }
         }

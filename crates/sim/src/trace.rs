@@ -7,11 +7,10 @@
 
 use crate::node::NodeId;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One trace record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,
@@ -119,9 +118,13 @@ mod tests {
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::new(true);
-        t.emit(SimTime::from_micros(1), Some(NodeId(0)), "a", || "one".into());
+        t.emit(SimTime::from_micros(1), Some(NodeId(0)), "a", || {
+            "one".into()
+        });
         t.emit(SimTime::from_micros(2), None, "b", || "two".into());
-        t.emit(SimTime::from_micros(3), Some(NodeId(1)), "a", || "three".into());
+        t.emit(SimTime::from_micros(3), Some(NodeId(1)), "a", || {
+            "three".into()
+        });
         assert_eq!(t.count("a"), 2);
         assert_eq!(t.first("a").map(|e| e.detail.as_str()), Some("one"));
         assert_eq!(t.last("a").map(|e| e.detail.as_str()), Some("three"));

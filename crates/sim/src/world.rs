@@ -163,7 +163,11 @@ impl World {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
-        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
         self.queue.push(at, EventKind::Control(Box::new(f)));
     }
 
@@ -308,8 +312,7 @@ impl World {
                     if self.proc_time > SimDuration::ZERO {
                         let busy = self.busy_until[to.index()];
                         if self.now < busy {
-                            self.queue
-                                .push(busy, EventKind::Deliver { to, from, msg });
+                            self.queue.push(busy, EventKind::Deliver { to, from, msg });
                             return true;
                         }
                         self.busy_until[to.index()] = self.now + self.proc_time;
@@ -487,7 +490,8 @@ mod tests {
             }
             fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Payload) {}
             fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-                self.fired.push(token.0 * 1_000_000 + ctx.now().as_micros() / 1_000);
+                self.fired
+                    .push(token.0 * 1_000_000 + ctx.now().as_micros() / 1_000);
             }
             fn as_any_mut(&mut self) -> &mut dyn Any {
                 self

@@ -1,11 +1,11 @@
-//! Property tests for the simulation substrate: event ordering, topology
-//! algebra, and bit-for-bit determinism.
+//! Randomised property tests for the simulation substrate: event ordering,
+//! topology algebra, and bit-for-bit determinism. Cases come from a seeded
+//! in-tree RNG so every run is deterministic.
 
 use plwg_sim::{
-    cast, payload, Context, NetConfig, NodeId, Payload, Process, SimDuration, SimTime,
+    cast, payload, Context, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime,
     Topology, World, WorldConfig,
 };
-use proptest::prelude::*;
 use std::any::Any;
 
 #[derive(Default)]
@@ -23,14 +23,14 @@ impl Process for Recorder {
     }
 }
 
-proptest! {
-    /// Splitting into arbitrary components makes reachability exactly the
-    /// "same component" equivalence; healing restores everything.
-    #[test]
-    fn split_reachability_is_component_equality(
-        assignment in proptest::collection::vec(0usize..3, 2..10),
-    ) {
-        let n = assignment.len();
+/// Splitting into arbitrary components makes reachability exactly the
+/// "same component" equivalence; healing restores everything.
+#[test]
+fn split_reachability_is_component_equality() {
+    for case in 0..200u64 {
+        let mut rng = SimRng::from_seed(0x5E11_0000 ^ case);
+        let n = rng.range(2, 10) as usize;
+        let assignment: Vec<usize> = (0..n).map(|_| rng.range(0, 3) as usize).collect();
         let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); 3];
         for (i, &g) in assignment.iter().enumerate() {
             groups[g].push(NodeId(i as u32));
@@ -42,30 +42,34 @@ proptest! {
         for i in 0..n {
             for j in 0..n {
                 let same = assignment[i] == assignment[j];
-                prop_assert_eq!(
+                assert_eq!(
                     topo.can_reach(NodeId(i as u32), NodeId(j as u32)),
-                    same || i == j
+                    same || i == j,
+                    "case {case}: reachability {i}->{j}"
                 );
             }
         }
         topo.heal_all();
         for i in 0..n {
             for j in 0..n {
-                prop_assert!(topo.can_reach(NodeId(i as u32), NodeId(j as u32)));
+                assert!(
+                    topo.can_reach(NodeId(i as u32), NodeId(j as u32)),
+                    "case {case}: healed {i}->{j}"
+                );
             }
         }
     }
+}
 
-    /// FIFO per sender-receiver pair holds for any jitter: messages from
-    /// one sender arrive in send order... does NOT hold with jitter (UDP
-    /// model); what must hold instead: every message is delivered exactly
-    /// once in a lossless network, within base+jitter of its send time.
-    #[test]
-    fn lossless_network_delivers_exactly_once(
-        seed in 0u64..1000,
-        count in 1usize..40,
-        jitter_us in 0u64..5_000,
-    ) {
+/// FIFO per sender-receiver pair does NOT hold with jitter (UDP model);
+/// what must hold instead: every message is delivered exactly once in a
+/// lossless network, within base+jitter of its send time.
+#[test]
+fn lossless_network_delivers_exactly_once() {
+    for case in 0..60u64 {
+        let mut rng = SimRng::from_seed(0x5E11_1000 ^ case);
+        let seed = rng.range(0, 1000);
+        let jitter_us = rng.range(0, 5_000);
         let mut w = World::new(WorldConfig {
             seed,
             net: NetConfig {
@@ -83,18 +87,21 @@ proptest! {
             }
         });
         w.run_for(SimDuration::from_secs(1));
-        let mut got: Vec<u64> = w.inspect(b, |r: &Recorder| {
-            r.got.iter().map(|(_, v, _)| *v).collect()
-        });
+        let mut got: Vec<u64> =
+            w.inspect(b, |r: &Recorder| r.got.iter().map(|(_, v, _)| *v).collect());
         got.sort_unstable();
-        prop_assert_eq!(got, (0..40).collect::<Vec<u64>>());
-        let _ = count;
+        assert_eq!(got, (0..40).collect::<Vec<u64>>(), "case {case}");
     }
+}
 
-    /// Two worlds with the same seed and schedule produce identical
-    /// delivery records (full determinism).
-    #[test]
-    fn same_seed_same_world(seed in 0u64..500, loss_pct in 0u32..40) {
+/// Two worlds with the same seed and schedule produce identical delivery
+/// records (full determinism).
+#[test]
+fn same_seed_same_world() {
+    for case in 0..60u64 {
+        let mut rng = SimRng::from_seed(0x5E11_2000 ^ case);
+        let seed = rng.range(0, 500);
+        let loss_pct = rng.range(0, 40) as u32;
         let run = || {
             let mut w = World::new(WorldConfig {
                 seed,
@@ -114,13 +121,18 @@ proptest! {
             w.run_for(SimDuration::from_secs(1));
             w.inspect(b, |r: &Recorder| r.got.clone())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    /// The processing-cost model conserves messages: queueing delays
-    /// deliveries but never loses or duplicates them.
-    #[test]
-    fn proc_time_preserves_messages(seed in 0u64..200, proc_us in 1u64..2_000) {
+/// The processing-cost model conserves messages: queueing delays
+/// deliveries but never loses or duplicates them.
+#[test]
+fn proc_time_preserves_messages() {
+    for case in 0..40u64 {
+        let mut rng = SimRng::from_seed(0x5E11_3000 ^ case);
+        let seed = rng.range(0, 200);
+        let proc_us = rng.range(1, 2_000);
         let mut w = World::new(WorldConfig {
             seed,
             proc_time: SimDuration::from_micros(proc_us),
@@ -135,15 +147,15 @@ proptest! {
         });
         w.run_for(SimDuration::from_secs(5));
         let got = w.inspect(b, |r: &Recorder| r.got.len());
-        prop_assert_eq!(got, 50);
+        assert_eq!(got, 50, "case {case}");
         // And the deliveries are spaced at least proc_time apart.
-        let times: Vec<SimTime> = w.inspect(b, |r: &Recorder| {
-            r.got.iter().map(|(_, _, t)| *t).collect()
-        });
+        let times: Vec<SimTime> =
+            w.inspect(b, |r: &Recorder| r.got.iter().map(|(_, _, t)| *t).collect());
         for pair in times.windows(2) {
-            prop_assert!(
+            assert!(
                 pair[1].saturating_since(pair[0]).as_micros() >= proc_us,
-                "busy node must not process two messages closer than proc_time"
+                "case {case}: busy node must not process two messages closer \
+                 than proc_time"
             );
         }
     }

@@ -81,11 +81,7 @@ impl FailureDetector {
     }
 
     /// Scans for peers silent past `timeout` and returns fresh suspicions.
-    pub fn check(
-        &mut self,
-        now: SimTime,
-        timeout: plwg_sim::SimDuration,
-    ) -> Vec<FdEvent> {
+    pub fn check(&mut self, now: SimTime, timeout: plwg_sim::SimDuration) -> Vec<FdEvent> {
         let mut events = Vec::new();
         for (&peer, s) in self.peers.iter_mut() {
             if !s.suspected && now.saturating_since(s.last_heard) >= timeout {

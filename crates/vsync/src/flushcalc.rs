@@ -9,9 +9,34 @@
 use plwg_sim::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// One member's flush digest: the per-sender contiguously-delivered prefix
-/// and the out-of-order messages sitting in its hold-back queue.
-pub type Digest = (BTreeMap<NodeId, u64>, Vec<(NodeId, u64)>);
+/// One member's flush digest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Digest {
+    /// Per-sender contiguously-delivered prefix.
+    pub prefix: BTreeMap<NodeId, u64>,
+    /// Out-of-order messages sitting in the hold-back queue.
+    pub extras: Vec<(NodeId, u64)>,
+    /// `(sender, seq)` pairs within `prefix`/`extras` that this member
+    /// holds only as subset-delivery skip markers: they count towards the
+    /// target (the message exists and was sequenced), but the member cannot
+    /// serve the real payload as a fill.
+    pub thin: Vec<(NodeId, u64)>,
+}
+
+impl Digest {
+    /// Builds a digest from its parts.
+    pub fn new(
+        prefix: BTreeMap<NodeId, u64>,
+        extras: Vec<(NodeId, u64)>,
+        thin: Vec<(NodeId, u64)>,
+    ) -> Self {
+        Digest {
+            prefix,
+            extras,
+            thin,
+        }
+    }
+}
 
 /// The outcome of the target computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,13 +51,19 @@ pub struct FlushPlan {
 ///
 /// ```
 /// use plwg_sim::NodeId;
-/// use plwg_vsync::flushcalc::compute_plan;
+/// use plwg_vsync::flushcalc::{compute_plan, Digest};
 /// use std::collections::BTreeMap;
 ///
 /// let mut digests = BTreeMap::new();
 /// // Member 0 delivered 3 messages from sender 9; member 1 only 1.
-/// digests.insert(NodeId(0), (BTreeMap::from([(NodeId(9), 3)]), vec![]));
-/// digests.insert(NodeId(1), (BTreeMap::from([(NodeId(9), 1)]), vec![]));
+/// digests.insert(
+///     NodeId(0),
+///     Digest::new(BTreeMap::from([(NodeId(9), 3)]), vec![], vec![]),
+/// );
+/// digests.insert(
+///     NodeId(1),
+///     Digest::new(BTreeMap::from([(NodeId(9), 1)]), vec![], vec![]),
+/// );
 /// let plan = compute_plan(&digests);
 /// assert_eq!(plan.target[&NodeId(9)], 3);
 /// // Member 0 retransmits what member 1 is missing.
@@ -44,27 +75,24 @@ pub struct FlushPlan {
 /// anything beyond a hole that exists nowhere was never delivered to
 /// anyone and may be dropped consistently. For every `(sender, seq)` in
 /// the target that some member lacks, the lowest-id member holding it is
-/// scheduled to retransmit.
+/// scheduled to retransmit — preferring members that hold the real payload
+/// over those holding only a subset-delivery skip marker.
 pub fn compute_plan(digests: &BTreeMap<NodeId, Digest>) -> FlushPlan {
     // Union of what exists, per sender.
     let mut max_prefix: BTreeMap<NodeId, u64> = BTreeMap::new();
     let mut extra_set: BTreeMap<NodeId, BTreeSet<u64>> = BTreeMap::new();
-    for (prefix, extras) in digests.values() {
-        for (&s, &p) in prefix {
+    for d in digests.values() {
+        for (&s, &p) in &d.prefix {
             let e = max_prefix.entry(s).or_insert(0);
             *e = (*e).max(p);
         }
-        for &(s, seq) in extras {
+        for &(s, seq) in &d.extras {
             extra_set.entry(s).or_default().insert(seq);
         }
     }
     // Target: extend each sender's max prefix through contiguous extras.
     let mut target: BTreeMap<NodeId, u64> = BTreeMap::new();
-    let senders: BTreeSet<NodeId> = max_prefix
-        .keys()
-        .chain(extra_set.keys())
-        .copied()
-        .collect();
+    let senders: BTreeSet<NodeId> = max_prefix.keys().chain(extra_set.keys()).copied().collect();
     for s in senders {
         let mut t = max_prefix.get(&s).copied().unwrap_or(0);
         if let Some(extras) = extra_set.get(&s) {
@@ -77,10 +105,10 @@ pub fn compute_plan(digests: &BTreeMap<NodeId, Digest>) -> FlushPlan {
 
     // Which messages is anyone missing, and who can supply them?
     let mut needed: BTreeSet<(NodeId, u64)> = BTreeSet::new();
-    for (prefix, extras) in digests.values() {
-        let held: BTreeSet<(NodeId, u64)> = extras.iter().copied().collect();
+    for d in digests.values() {
+        let held: BTreeSet<(NodeId, u64)> = d.extras.iter().copied().collect();
         for (&s, &t) in &target {
-            let have = prefix.get(&s).copied().unwrap_or(0);
+            let have = d.prefix.get(&s).copied().unwrap_or(0);
             for seq in have + 1..=t {
                 if !held.contains(&(s, seq)) {
                     needed.insert((s, seq));
@@ -90,12 +118,17 @@ pub fn compute_plan(digests: &BTreeMap<NodeId, Digest>) -> FlushPlan {
     }
     let mut pulls: BTreeMap<NodeId, Vec<(NodeId, u64)>> = BTreeMap::new();
     for (s, seq) in needed {
-        // Lowest-id reporter that holds the message serves it.
-        let holder = digests.iter().find_map(|(m, (prefix, extras))| {
-            let has =
-                prefix.get(&s).copied().unwrap_or(0) >= seq || extras.contains(&(s, seq));
-            has.then_some(*m)
-        });
+        let holds = |d: &Digest| {
+            d.prefix.get(&s).copied().unwrap_or(0) >= seq || d.extras.contains(&(s, seq))
+        };
+        // Lowest-id reporter holding the *real* payload serves it; if the
+        // message survives only as skip markers (sender gone, every
+        // addressee lost it), the lowest marker-holder re-serves the
+        // marker so everyone still reaches the target consistently.
+        let real = digests
+            .iter()
+            .find_map(|(m, d)| (holds(d) && !d.thin.contains(&(s, seq))).then_some(*m));
+        let holder = real.or_else(|| digests.iter().find_map(|(m, d)| holds(d).then_some(*m)));
         if let Some(h) = holder {
             pulls.entry(h).or_default().push((s, seq));
         }
@@ -115,9 +148,10 @@ mod tests {
     }
 
     fn digest(prefix: &[(u32, u64)], extras: &[(u32, u64)]) -> Digest {
-        (
+        Digest::new(
             prefix.iter().map(|&(s, p)| (n(s), p)).collect(),
             extras.iter().map(|&(s, q)| (n(s), q)).collect(),
+            vec![],
         )
     }
 
@@ -174,6 +208,42 @@ mod tests {
         let plan = compute_plan(&d);
         assert_eq!(plan.target[&n(0)], 1);
         assert!(plan.pulls.is_empty());
+    }
+
+    #[test]
+    fn real_holder_preferred_over_thin() {
+        // Member 0 (lowest id) holds seq 2 only as a skip marker; member 1
+        // has the real payload. Member 2 needs it: member 1 must serve.
+        let mut d = BTreeMap::new();
+        let mut thin0 = digest(&[(9, 2)], &[]);
+        thin0.thin = vec![(n(9), 2)];
+        d.insert(n(0), thin0);
+        d.insert(n(1), digest(&[(9, 2)], &[]));
+        d.insert(n(2), digest(&[(9, 1)], &[]));
+        let plan = compute_plan(&d);
+        assert_eq!(plan.target[&n(9)], 2);
+        assert_eq!(
+            plan.pulls.get(&n(1)).map(Vec::as_slice),
+            Some(&[(n(9), 2)][..])
+        );
+    }
+
+    #[test]
+    fn marker_only_message_still_serviced() {
+        // The real payload of seq 2 survives nowhere (sender crashed, the
+        // only addressee lost it) — the marker holder re-serves the marker
+        // so the laggard can still reach the target.
+        let mut d = BTreeMap::new();
+        let mut thin0 = digest(&[(9, 2)], &[]);
+        thin0.thin = vec![(n(9), 2)];
+        d.insert(n(0), thin0);
+        d.insert(n(1), digest(&[(9, 1)], &[]));
+        let plan = compute_plan(&d);
+        assert_eq!(plan.target[&n(9)], 2);
+        assert_eq!(
+            plan.pulls.get(&n(0)).map(Vec::as_slice),
+            Some(&[(n(9), 2)][..])
+        );
     }
 
     #[test]

@@ -34,10 +34,10 @@
 use crate::config::VsyncConfig;
 use crate::fd::FailureDetector;
 use crate::id::{HwgId, ViewId};
-use crate::msg::{FlushId, FlushPurpose, VsMsg};
+use crate::msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
 use crate::stack::VsEvent;
 use crate::view::View;
-use plwg_sim::{payload, Context, NodeId, Payload, SimTime};
+use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::rc::Rc;
 
@@ -115,6 +115,10 @@ pub(crate) struct GroupEndpoint {
     store: BTreeMap<(NodeId, u64), Payload>,
     /// Application sends buffered while a flush is in progress.
     pending_send: Vec<Payload>,
+    /// `(sender, seq)` slots this endpoint holds only as subset-delivery
+    /// skip markers (the real payload was addressed elsewhere). Advertised
+    /// as `thin` in flush digests so pulls prefer real holders.
+    thin_held: BTreeSet<(NodeId, u64)>,
 
     // --- member-side flush ---
     flush: Option<MemberFlush>,
@@ -191,6 +195,7 @@ impl GroupEndpoint {
             holdback: BTreeMap::new(),
             store: BTreeMap::new(),
             pending_send: Vec::new(),
+            thin_held: BTreeSet::new(),
             flush: None,
             pending_joins: BTreeSet::new(),
             pending_leaves: BTreeSet::new(),
@@ -301,6 +306,68 @@ impl GroupEndpoint {
         self.multicast(ctx, &view_members, &msg);
         // Synchronous self-delivery.
         self.holdback.insert((self.me, self.send_seq), data);
+        self.try_drain(ctx, events);
+    }
+
+    /// Sends a virtually-synchronous multicast delivered only to `targets`
+    /// (interference-aware subset delivery). Members outside the target set
+    /// receive a same-sequence [`SubsetSkip`] marker instead of the
+    /// payload: the marker occupies the FIFO slot — so gap detection,
+    /// stability, and flush digests are untouched — but is consumed by the
+    /// receiving endpoint without an upcall.
+    ///
+    /// The sender always keeps (and delivers) the real payload regardless
+    /// of `targets`, so NACK retransmissions always serve the real message.
+    /// Sends while flushing fall back to buffered *full* multicasts (the
+    /// subset is an optimisation, never required for correctness).
+    pub(crate) fn send_payload_to(
+        &mut self,
+        ctx: &mut Context<'_>,
+        targets: &BTreeSet<NodeId>,
+        data: Payload,
+        events: &mut Vec<VsEvent>,
+    ) {
+        if self.status == GroupStatus::Left {
+            return;
+        }
+        let digest_out = self.flush.as_ref().is_some_and(|f| f.digest_sent);
+        if self.view.is_none() || digest_out {
+            self.pending_send.push(data);
+            return;
+        }
+        self.send_seq += 1;
+        let seq = self.send_seq;
+        let view = self.view.as_ref().expect("checked above");
+        let real = Rc::new(VsMsg::Data {
+            hwg: self.hwg,
+            view_id: view.id,
+            sender: self.me,
+            seq,
+            payload: Rc::clone(&data),
+        });
+        let marker = Rc::new(VsMsg::Data {
+            hwg: self.hwg,
+            view_id: view.id,
+            sender: self.me,
+            seq,
+            payload: payload(SubsetSkip),
+        });
+        let mut trimmed = 0u64;
+        for &m in &view.members {
+            if m == self.me {
+                continue;
+            }
+            if targets.contains(&m) {
+                ctx.send(m, Rc::clone(&real) as Payload);
+            } else {
+                ctx.send(m, Rc::clone(&marker) as Payload);
+                trimmed += 1;
+            }
+        }
+        ctx.metrics().incr("hwg.data_sent");
+        ctx.metrics().incr("hwg.subset_sends");
+        ctx.metrics().add("hwg.subset_trimmed", trimmed);
+        self.holdback.insert((self.me, seq), data);
         self.try_drain(ctx, events);
     }
 
@@ -537,8 +604,9 @@ impl GroupEndpoint {
                 flush,
                 prefix,
                 extras,
+                thin,
                 ..
-            } => self.on_flush_digest(ctx, from, *flush, prefix, extras),
+            } => self.on_flush_digest(ctx, from, *flush, prefix, extras, thin),
             VsMsg::FlushTarget { flush, target, .. } => {
                 self.on_flush_target(ctx, *flush, target.clone(), events)
             }
@@ -558,9 +626,9 @@ impl GroupEndpoint {
                 missing,
                 ..
             } => self.on_nack(ctx, from, *view_id, *sender, missing),
-            VsMsg::Stability { view_id, prefix, .. } => {
-                self.on_stability(ctx, from, *view_id, prefix)
-            }
+            VsMsg::Stability {
+                view_id, prefix, ..
+            } => self.on_stability(ctx, from, *view_id, prefix),
             VsMsg::Beacon { view_id, .. } => self.on_beacon(ctx, from, *view_id, fd, events),
             VsMsg::MergeReq {
                 invitee_view,
@@ -651,8 +719,7 @@ impl GroupEndpoint {
         let target = self.flush.as_ref().and_then(|f| f.target.clone());
         loop {
             let mut delivered_any = false;
-            let senders: Vec<NodeId> =
-                self.holdback.keys().map(|&(s, _)| s).collect();
+            let senders: Vec<NodeId> = self.holdback.keys().map(|&(s, _)| s).collect();
             for sender in senders {
                 let next = self.expected.get(&sender).copied().unwrap_or(1);
                 // During the fill phase deliver only up to the agreed target.
@@ -664,13 +731,21 @@ impl GroupEndpoint {
                 if let Some(data) = self.holdback.remove(&(sender, next)) {
                     self.expected.insert(sender, next + 1);
                     self.store.insert((sender, next), data.clone());
-                    ctx.metrics().incr("hwg.data_delivered");
-                    events.push(VsEvent::Data {
-                        hwg: self.hwg,
-                        view_id,
-                        src: sender,
-                        data,
-                    });
+                    if cast::<SubsetSkip>(&data).is_some() {
+                        // Subset-delivery marker: the slot is consumed (so
+                        // FIFO, stability and flush digests advance) but
+                        // nothing is delivered to the layer above.
+                        self.thin_held.insert((sender, next));
+                        ctx.metrics().incr("hwg.subset_skipped");
+                    } else {
+                        ctx.metrics().incr("hwg.data_delivered");
+                        events.push(VsEvent::Data {
+                            hwg: self.hwg,
+                            view_id,
+                            src: sender,
+                            data,
+                        });
+                    }
                     delivered_any = true;
                 }
             }
@@ -700,9 +775,7 @@ impl GroupEndpoint {
         }
         let new_rank = view.rank(from).expect("checked contains");
         if let Some(current) = &self.flush {
-            let cur_rank = view
-                .rank(current.flush.initiator)
-                .unwrap_or(usize::MAX);
+            let cur_rank = view.rank(current.flush.initiator).unwrap_or(usize::MAX);
             let supersedes = new_rank < cur_rank
                 || (current.flush.initiator == from && flush.nonce > current.flush.nonce);
             if !supersedes {
@@ -743,6 +816,15 @@ impl GroupEndpoint {
             }
         }
         let extras: Vec<(NodeId, u64)> = self.holdback.keys().copied().collect();
+        // Marker-held slots: consumed markers plus markers still in the
+        // hold-back queue. The initiator steers pulls away from these.
+        let mut thin: Vec<(NodeId, u64)> = self.thin_held.iter().copied().collect();
+        thin.extend(
+            self.holdback
+                .iter()
+                .filter(|(_, d)| cast::<SubsetSkip>(d).is_some())
+                .map(|(&k, _)| k),
+        );
         ctx.send(
             initiator,
             payload(VsMsg::FlushDigest {
@@ -750,6 +832,7 @@ impl GroupEndpoint {
                 flush,
                 prefix,
                 extras,
+                thin,
             }),
         );
     }
@@ -776,7 +859,6 @@ impl GroupEndpoint {
     fn on_flush_pull(&mut self, ctx: &mut Context<'_>, wants: &[(NodeId, u64)]) {
         let Some(view) = &self.view else { return };
         let view_id = view.id;
-        let members = view.members.clone();
         for &(sender, seq) in wants {
             let data = self
                 .store
@@ -792,7 +874,9 @@ impl GroupEndpoint {
                     seq,
                     payload: data,
                 });
-                self.multicast(ctx, &members, &msg);
+                for &m in &view.members {
+                    ctx.send(m, Rc::clone(&msg) as Payload);
+                }
             }
         }
     }
@@ -812,6 +896,12 @@ impl GroupEndpoint {
         }
         let expected = self.expected.get(&sender).copied().unwrap_or(1);
         if seq < expected || self.store.contains_key(&(sender, seq)) {
+            // A real fill for a slot held only as a skip marker upgrades
+            // the store, so this member can serve future pulls for it.
+            if self.thin_held.contains(&(sender, seq)) && cast::<SubsetSkip>(&data).is_none() {
+                self.store.insert((sender, seq), data);
+                self.thin_held.remove(&(sender, seq));
+            }
             return;
         }
         // Respect the target if known; otherwise hold.
@@ -901,14 +991,8 @@ impl GroupEndpoint {
             .copied()
             .filter(|&m| m != self.me && fd.is_suspected(m))
             .collect();
-        let has_joiners = self
-            .pending_joins
-            .iter()
-            .any(|j| !view.contains(*j));
-        let has_leavers = self
-            .pending_leaves
-            .iter()
-            .any(|l| view.contains(*l));
+        let has_joiners = self.pending_joins.iter().any(|j| !view.contains(*j));
+        let has_leavers = self.pending_leaves.iter().any(|l| view.contains(*l));
         if suspected.is_empty() && !has_joiners && !has_leavers {
             return;
         }
@@ -934,14 +1018,14 @@ impl GroupEndpoint {
         events: &mut Vec<VsEvent>,
         attempts: u32,
     ) {
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         let reporters: Vec<NodeId> = view
             .members
             .iter()
             .copied()
-            .filter(|&m| {
-                m == self.me || (!fd.is_suspected(m) && !excluded.contains(&m))
-            })
+            .filter(|&m| m == self.me || (!fd.is_suspected(m) && !excluded.contains(&m)))
             .collect();
         let survivors: Vec<NodeId> = reporters
             .iter()
@@ -1010,17 +1094,21 @@ impl GroupEndpoint {
         flush: FlushId,
         prefix: &BTreeMap<NodeId, u64>,
         extras: &[(NodeId, u64)],
+        thin: &[(NodeId, u64)],
     ) {
-        let Some(running) = &mut self.running else { return };
+        let Some(running) = &mut self.running else {
+            return;
+        };
         if running.flush != flush || running.target_sent {
             return;
         }
         if !running.reporters.contains(&from) {
             return;
         }
-        running
-            .digests
-            .insert(from, (prefix.clone(), extras.to_vec()));
+        running.digests.insert(
+            from,
+            crate::flushcalc::Digest::new(prefix.clone(), extras.to_vec(), thin.to_vec()),
+        );
         if running.digests.len() == running.reporters.len() {
             self.compute_and_send_target(ctx);
         }
@@ -1030,7 +1118,9 @@ impl GroupEndpoint {
     /// gap-free prefix of messages *somebody* holds), request fills for
     /// members that lack part of it, and announce it.
     fn compute_and_send_target(&mut self, ctx: &mut Context<'_>) {
-        let Some(running) = &mut self.running else { return };
+        let Some(running) = &mut self.running else {
+            return;
+        };
         running.target_sent = true;
         let flush = running.flush;
         let reporters = running.reporters.clone();
@@ -1064,7 +1154,9 @@ impl GroupEndpoint {
         flush: FlushId,
         events: &mut Vec<VsEvent>,
     ) {
-        let Some(running) = &mut self.running else { return };
+        let Some(running) = &mut self.running else {
+            return;
+        };
         if running.flush != flush || !running.reporters.contains(&from) {
             return;
         }
@@ -1077,7 +1169,9 @@ impl GroupEndpoint {
     /// All members reached the target: either install the successor view
     /// (ordinary view change) or freeze and report to the merge leader.
     fn conclude_flush(&mut self, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
-        let Some(running) = self.running.take() else { return };
+        let Some(running) = self.running.take() else {
+            return;
+        };
         let old_view = self.view.clone().expect("flushing requires a view");
         match running.purpose {
             FlushPurpose::ViewChange => {
@@ -1135,14 +1229,12 @@ impl GroupEndpoint {
     /// Sends `NewView` to every member of `view` (the initiator installs
     /// its own copy through the loop-back delivery).
     fn distribute_view(&mut self, ctx: &mut Context<'_>, view: &View) {
-        ctx.trace("hwg.view.distribute", || {
-            format!("{} {}", self.hwg, view)
-        });
+        ctx.trace("hwg.view.distribute", || format!("{} {}", self.hwg, view));
         let msg = Rc::new(VsMsg::NewView {
             hwg: self.hwg,
             view: view.clone(),
         });
-        self.multicast(ctx, &view.members.clone(), &msg);
+        self.multicast(ctx, &view.members, &msg);
     }
 
     // ---------------- view installation ----------------
@@ -1188,12 +1280,7 @@ impl GroupEndpoint {
         self.maybe_start_flush(ctx, fd, events);
     }
 
-    fn install_view(
-        &mut self,
-        view: View,
-        ctx: &mut Context<'_>,
-        events: &mut Vec<VsEvent>,
-    ) {
+    fn install_view(&mut self, view: View, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
         if let Some(old) = &self.view {
             self.history.insert(old.id);
         }
@@ -1206,6 +1293,7 @@ impl GroupEndpoint {
         self.expected = view.members.iter().map(|&m| (m, 1)).collect();
         self.holdback.clear();
         self.store.clear();
+        self.thin_held.clear();
         self.flush = None;
         self.running = None;
         self.merge = None;
@@ -1244,7 +1332,8 @@ impl GroupEndpoint {
                 *e = (*e).max(seq);
             }
         }
-        self.gap_since.retain(|sender, _| gapped.contains_key(sender));
+        self.gap_since
+            .retain(|sender, _| gapped.contains_key(sender));
         for (sender, max_held) in gapped {
             let since = *self.gap_since.entry(sender).or_insert(now);
             if now.saturating_since(since) < cfg.nack_delay {
@@ -1323,6 +1412,13 @@ impl GroupEndpoint {
             .iter()
             .map(|&m| (m, self.expected.get(&m).copied().unwrap_or(1) - 1))
             .collect();
+        // Nothing delivered since the last advertisement: peers already
+        // have this exact prefix, so the multicast (and the gc pass it
+        // would trigger) is pure overhead.
+        if self.stable_info.get(&self.me) == Some(&prefix) {
+            ctx.metrics().incr("hwg.stability_suppressed");
+            return;
+        }
         self.stable_info.insert(self.me, prefix.clone());
         let members: Vec<NodeId> = view
             .members
@@ -1382,6 +1478,8 @@ impl GroupEndpoint {
         let before = self.store.len();
         self.store
             .retain(|(sender, seq), _| *seq > stable.get(sender).copied().unwrap_or(0));
+        self.thin_held
+            .retain(|(sender, seq)| *seq > stable.get(sender).copied().unwrap_or(0));
         let dropped = before - self.store.len();
         if dropped > 0 {
             ctx.metrics().add("hwg.store_gc", dropped as u64);
@@ -1530,12 +1628,7 @@ impl GroupEndpoint {
         self.start_flush(ctx, fd, &[], events);
     }
 
-    fn on_merge_ready(
-        &mut self,
-        ctx: &mut Context<'_>,
-        frozen: View,
-        events: &mut Vec<VsEvent>,
-    ) {
+    fn on_merge_ready(&mut self, ctx: &mut Context<'_>, frozen: View, events: &mut Vec<VsEvent>) {
         let Some(merge) = &mut self.merge else { return };
         if let Some(slot) = merge.participants.get_mut(&frozen.id) {
             *slot = Some(frozen);
@@ -1547,7 +1640,9 @@ impl GroupEndpoint {
     /// install the merged view everywhere.
     fn try_complete_merge(&mut self, ctx: &mut Context<'_>, _events: &mut Vec<VsEvent>) {
         let Some(merge) = &self.merge else { return };
-        let Some(my_frozen) = &merge.my_frozen else { return };
+        let Some(my_frozen) = &merge.my_frozen else {
+            return;
+        };
         if merge.participants.values().any(Option::is_none) {
             return;
         }

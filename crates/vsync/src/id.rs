@@ -1,7 +1,6 @@
 //! Group and view identifiers.
 
 use plwg_sim::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a heavy-weight group (HWG).
@@ -9,9 +8,7 @@ use std::fmt;
 /// Identifiers are totally ordered; the paper uses this order for
 /// deterministic tie-breaks ("switch to the HWG with the highest group
 /// identifier", §6.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HwgId(pub u64);
 
 impl fmt::Display for HwgId {
@@ -39,9 +36,7 @@ impl fmt::Display for HwgId {
 /// The same identifier scheme is reused for light-weight group views in
 /// `plwg-core` — the paper's naming service stores view-to-view mappings at
 /// both levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ViewId {
     /// The process that installed the view.
     pub coordinator: NodeId,

@@ -48,6 +48,6 @@ pub use config::VsyncConfig;
 pub use fd::{FailureDetector, FdEvent};
 pub use group::GroupStatus;
 pub use id::{HwgId, ViewId};
-pub use msg::VsMsg;
+pub use msg::{SubsetSkip, VsMsg};
 pub use stack::{VsEvent, VsyncStack};
 pub use view::View;

@@ -36,6 +36,13 @@ pub enum FlushPurpose {
     },
 }
 
+/// Marker payload standing in for a subset multicast at members outside the
+/// target set. It occupies the sender's FIFO sequence slot — so gap
+/// detection, stability tracking, and flush digests work unchanged — but is
+/// never delivered to the layer above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubsetSkip;
+
 /// The messages exchanged by the HWG layer.
 ///
 /// Everything is tagged with the [`HwgId`] it concerns; data and
@@ -106,6 +113,10 @@ pub enum VsMsg {
         prefix: BTreeMap<NodeId, u64>,
         /// Out-of-order messages held back (not yet delivered).
         extras: Vec<(NodeId, u64)>,
+        /// Of the messages counted above, those held only as subset-skip
+        /// markers: the member knows seq exists but does not hold the real
+        /// payload, so it cannot serve a pull for it.
+        thin: Vec<(NodeId, u64)>,
     },
     /// Coordinator's computed delivery target: every member must deliver
     /// exactly `target[s]` messages from each sender `s` before the view

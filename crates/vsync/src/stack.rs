@@ -154,6 +154,26 @@ impl VsyncStack {
         }
     }
 
+    /// Sends a virtually-synchronous multicast on `hwg` whose payload is
+    /// delivered only to `targets` (interference-aware subset delivery).
+    /// Members outside the target set receive a same-sequence
+    /// [`crate::SubsetSkip`] marker that holds their FIFO slot without an
+    /// upcall, so the view's ordering, stability, and flush guarantees are
+    /// identical to a full [`VsyncStack::send`]. The sender always
+    /// self-delivers the real payload. Buffered sends (no view, or
+    /// mid-flush) fall back to full multicasts.
+    pub fn send_to(
+        &mut self,
+        ctx: &mut Context<'_>,
+        hwg: HwgId,
+        targets: &BTreeSet<NodeId>,
+        data: Payload,
+    ) {
+        if let Some(ep) = self.groups.get_mut(&hwg) {
+            ep.send_payload_to(ctx, targets, data, &mut self.events);
+        }
+    }
+
     /// Forces a no-change flush of `hwg` (a synchronisation barrier for the
     /// layer above — the LWG merge-views protocol). Honoured only by the
     /// acting coordinator; a no-op while a flush or merge is in progress.
@@ -334,8 +354,7 @@ impl VsyncStack {
         for &p in current.difference(&wanted) {
             self.fd.unwatch(p);
         }
-        self.groups
-            .retain(|_, ep| ep.status() != GroupStatus::Left);
+        self.groups.retain(|_, ep| ep.status() != GroupStatus::Left);
     }
 }
 

@@ -2,7 +2,6 @@
 
 use crate::id::ViewId;
 use plwg_sim::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A view of a group: an identified membership snapshot.
@@ -13,7 +12,7 @@ use std::fmt;
 /// ordinary view change, several when concurrent views merge. This is the
 /// partial order of views the paper's naming service uses to garbage-collect
 /// obsolete mappings (§5.2, §7).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct View {
     /// The view identifier `(coordinator, seq)`.
     pub id: ViewId,
@@ -38,20 +37,12 @@ impl View {
     /// # Panics
     ///
     /// Panics if `members` is empty or contains duplicates.
-    pub fn with_predecessors(
-        id: ViewId,
-        members: Vec<NodeId>,
-        predecessors: Vec<ViewId>,
-    ) -> Self {
+    pub fn with_predecessors(id: ViewId, members: Vec<NodeId>, predecessors: Vec<ViewId>) -> Self {
         assert!(!members.is_empty(), "a view must have at least one member");
         let mut sorted = members.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(
-            sorted.len(),
-            members.len(),
-            "view members must be distinct"
-        );
+        assert_eq!(sorted.len(), members.len(), "view members must be distinct");
         View {
             id,
             members,

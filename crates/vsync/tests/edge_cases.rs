@@ -5,7 +5,7 @@ use plwg_sim::{
     cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World,
     WorldConfig,
 };
-use plwg_vsync::{GroupStatus, HwgId, VsEvent, VsyncConfig, VsyncStack, View};
+use plwg_vsync::{GroupStatus, HwgId, View, VsEvent, VsyncConfig, VsyncStack};
 use std::any::Any;
 
 struct App {
@@ -164,9 +164,11 @@ fn join_racing_a_crash_flush_is_admitted() {
     // Crash a member; while the flush runs (suspect timeout + rounds),
     // the newcomer asks to join.
     w2.crash_at(at(9), nodes[2]);
-    w2.invoke_at(at(9) + SimDuration::from_millis(400), joiner, |a: &mut App, ctx| {
-        a.stack.join(ctx, G)
-    });
+    w2.invoke_at(
+        at(9) + SimDuration::from_millis(400),
+        joiner,
+        |a: &mut App, ctx| a.stack.join(ctx, G),
+    );
     w2.run_until(at(25));
     let view = w2
         .inspect(nodes[0], |a: &App| a.view().cloned())
@@ -184,7 +186,10 @@ fn join_racing_a_crash_flush_is_admitted() {
 #[test]
 fn leave_during_partition_sticks_after_heal() {
     let (mut w, nodes) = bring_up(4, 84);
-    w.split_at(at(9), vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]]);
+    w.split_at(
+        at(9),
+        vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]],
+    );
     w.run_until(at(16));
     // nodes[3] leaves inside its 2-member component.
     w.invoke(nodes[3], |a: &mut App, ctx| a.stack.leave(ctx, G));
@@ -232,9 +237,7 @@ fn sends_before_first_view_are_buffered() {
     // But messages in the shared view reach both.
     w.invoke(a, |x: &mut App, ctx| x.stack.send(ctx, G, payload(8u64)));
     w.run_until(at(7));
-    let b_got: Vec<u64> = w.inspect(b, |x: &App| {
-        x.delivered.iter().map(|(_, v)| *v).collect()
-    });
+    let b_got: Vec<u64> = w.inspect(b, |x: &App| x.delivered.iter().map(|(_, v)| *v).collect());
     assert_eq!(b_got, vec![8]);
 }
 
@@ -247,12 +250,16 @@ fn rapid_join_leave_interleaving_converges() {
     let c = w2.add_node(Box::new(App::new(NodeId(2))));
     let d = w2.add_node(Box::new(App::new(NodeId(3))));
     w2.invoke_at(at(9), c, |a: &mut App, ctx| a.stack.join(ctx, G));
-    w2.invoke_at(at(9) + SimDuration::from_millis(100), d, |a: &mut App, ctx| {
-        a.stack.join(ctx, G)
-    });
-    w2.invoke_at(at(9) + SimDuration::from_millis(200), nodes[1], |a: &mut App, ctx| {
-        a.stack.leave(ctx, G)
-    });
+    w2.invoke_at(
+        at(9) + SimDuration::from_millis(100),
+        d,
+        |a: &mut App, ctx| a.stack.join(ctx, G),
+    );
+    w2.invoke_at(
+        at(9) + SimDuration::from_millis(200),
+        nodes[1],
+        |a: &mut App, ctx| a.stack.leave(ctx, G),
+    );
     w2.run_until(at(25));
     let view = w2
         .inspect(nodes[0], |a: &App| a.view().cloned())

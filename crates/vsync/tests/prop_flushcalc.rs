@@ -1,62 +1,75 @@
-//! Property tests for the flush-plan computation: the plan must make the
-//! closing view's delivery **consistent** (every member can reach exactly
-//! the target), **complete** (nothing anyone delivered is dropped), and
-//! **serviceable** (every pulled message has a holder).
+//! Randomised property tests for the flush-plan computation: the plan must
+//! make the closing view's delivery **consistent** (every member can reach
+//! exactly the target), **complete** (nothing anyone delivered is dropped),
+//! and **serviceable** (every pulled message has a holder).
+//!
+//! Cases are generated from a seeded in-tree RNG so every run explores the
+//! same space deterministically.
 
-use plwg_sim::NodeId;
+use plwg_sim::{NodeId, SimRng};
 use plwg_vsync::flushcalc::{compute_plan, Digest};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+
+const CASES: u64 = 400;
 
 /// Generates a plausible digest set: a few members, a few senders, each
 /// member holding a random prefix of each sender's stream plus random
-/// out-of-order extras.
-fn digests_strategy() -> impl Strategy<Value = BTreeMap<NodeId, Digest>> {
-    let member_count = 1usize..5;
-    let sender_count = 1usize..4;
-    (member_count, sender_count).prop_flat_map(|(mc, sc)| {
-        let per_member = (
-            proptest::collection::vec(0u64..10, sc..=sc),
-            proptest::collection::vec(
-                ((0u32..sc as u32), 1u64..14),
-                0..6,
-            ),
-        );
-        proptest::collection::vec(per_member, mc..=mc).prop_map(move |members| {
-            let mut out = BTreeMap::new();
-            for (mi, (prefixes, extras)) in members.into_iter().enumerate() {
-                let prefix: BTreeMap<NodeId, u64> = prefixes
-                    .into_iter()
-                    .enumerate()
-                    .map(|(si, p)| (NodeId(100 + si as u32), p))
-                    .collect();
-                // Extras must lie beyond the member's own prefix (a held
-                // message below the prefix would have been delivered).
-                let extras: Vec<(NodeId, u64)> = extras
-                    .into_iter()
-                    .map(|(si, q)| (NodeId(100 + si), q))
-                    .filter(|(s, q)| *q > prefix.get(s).copied().unwrap_or(0))
-                    .collect();
-                out.insert(NodeId(mi as u32), (prefix, extras));
+/// out-of-order extras, with a random sprinkling of thin (marker-only)
+/// holds.
+fn digests_case(rng: &mut SimRng) -> BTreeMap<NodeId, Digest> {
+    let member_count = rng.range(1, 5) as usize;
+    let sender_count = rng.range(1, 4) as usize;
+    let mut out = BTreeMap::new();
+    for mi in 0..member_count {
+        let prefix: BTreeMap<NodeId, u64> = (0..sender_count)
+            .map(|si| (NodeId(100 + si as u32), rng.range(0, 10)))
+            .collect();
+        // Extras must lie beyond the member's own prefix (a held message
+        // below the prefix would have been delivered).
+        let extra_count = rng.range(0, 6);
+        let extras: Vec<(NodeId, u64)> = (0..extra_count)
+            .map(|_| {
+                (
+                    NodeId(100 + rng.range(0, sender_count as u64) as u32),
+                    rng.range(1, 14),
+                )
+            })
+            .filter(|(s, q)| *q > prefix.get(s).copied().unwrap_or(0))
+            .collect();
+        // Mark a random subset of the held messages as thin.
+        let mut thin: Vec<(NodeId, u64)> = Vec::new();
+        for (&s, &p) in &prefix {
+            for q in 1..=p {
+                if rng.chance(0.15) {
+                    thin.push((s, q));
+                }
             }
-            out
-        })
-    })
+        }
+        for &(s, q) in &extras {
+            if rng.chance(0.15) {
+                thin.push((s, q));
+            }
+        }
+        out.insert(NodeId(mi as u32), Digest::new(prefix, extras, thin));
+    }
+    out
 }
 
-proptest! {
-    /// Soundness of the plan, for arbitrary digest sets.
-    #[test]
-    fn plan_is_sound(digests in digests_strategy()) {
+/// Soundness of the plan, for arbitrary digest sets.
+#[test]
+fn plan_is_sound() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xF1D5_0000 ^ case);
+        let digests = digests_case(&mut rng);
         let plan = compute_plan(&digests);
 
         // What exists, per sender.
         let mut exists: BTreeMap<NodeId, BTreeSet<u64>> = BTreeMap::new();
-        for (prefix, extras) in digests.values() {
-            for (&s, &p) in prefix {
+        for d in digests.values() {
+            for (&s, &p) in &d.prefix {
                 exists.entry(s).or_default().extend(1..=p);
             }
-            for &(s, q) in extras {
+            for &(s, q) in &d.extras {
                 exists.entry(s).or_default().insert(q);
             }
         }
@@ -64,25 +77,28 @@ proptest! {
         for (&s, &t) in &plan.target {
             // 1. Reachable: every message up to the target exists somewhere.
             for seq in 1..=t {
-                prop_assert!(
+                assert!(
                     exists.get(&s).is_some_and(|e| e.contains(&seq)),
-                    "target includes {s}#{seq} which nobody holds"
+                    "case {case}: target includes {s}#{seq} which nobody holds"
                 );
             }
             // 2. Complete: the target is never below something a member has
             //    *delivered* (prefixes are delivered; dropping them would
             //    contradict delivery).
-            for (prefix, _) in digests.values() {
-                let delivered = prefix.get(&s).copied().unwrap_or(0);
-                prop_assert!(
+            for d in digests.values() {
+                let delivered = d.prefix.get(&s).copied().unwrap_or(0);
+                assert!(
                     t >= delivered,
-                    "target {t} for {s} below a delivered prefix {delivered}"
+                    "case {case}: target {t} for {s} below a delivered prefix {delivered}"
                 );
             }
             // 3. Maximal-contiguous: target + 1 must not exist contiguously
             //    (otherwise the plan drops a recoverable message).
             let next_exists = exists.get(&s).is_some_and(|e| e.contains(&(t + 1)));
-            prop_assert!(!next_exists, "target for {s} stops early at {t}");
+            assert!(
+                !next_exists,
+                "case {case}: target for {s} stops early at {t}"
+            );
         }
 
         // 4. Serviceable: every member can reach the target using its own
@@ -92,35 +108,51 @@ proptest! {
             .values()
             .flat_map(|v| v.iter().copied())
             .collect();
-        for (m, (prefix, extras)) in &digests {
-            let held: BTreeSet<(NodeId, u64)> = extras.iter().copied().collect();
+        for (m, d) in &digests {
+            let held: BTreeSet<(NodeId, u64)> = d.extras.iter().copied().collect();
             for (&s, &t) in &plan.target {
-                let have = prefix.get(&s).copied().unwrap_or(0);
+                let have = d.prefix.get(&s).copied().unwrap_or(0);
                 for seq in have + 1..=t {
-                    prop_assert!(
+                    assert!(
                         held.contains(&(s, seq)) || pulled.contains(&(s, seq)),
-                        "member {m} cannot obtain {s}#{seq}"
+                        "case {case}: member {m} cannot obtain {s}#{seq}"
                     );
                 }
             }
         }
 
         // 5. Honest holders: a member scheduled to retransmit actually has
-        //    the message.
+        //    the message, and a thin holder is only chosen when no member
+        //    holds the real payload.
         for (holder, wants) in &plan.pulls {
-            let (prefix, extras) = &digests[holder];
-            let held: BTreeSet<(NodeId, u64)> = extras.iter().copied().collect();
+            let d = &digests[holder];
+            let held: BTreeSet<(NodeId, u64)> = d.extras.iter().copied().collect();
             for &(s, seq) in wants {
-                let has = prefix.get(&s).copied().unwrap_or(0) >= seq
-                    || held.contains(&(s, seq));
-                prop_assert!(has, "holder {holder} lacks {s}#{seq}");
+                let has = d.prefix.get(&s).copied().unwrap_or(0) >= seq || held.contains(&(s, seq));
+                assert!(has, "case {case}: holder {holder} lacks {s}#{seq}");
+                if d.thin.contains(&(s, seq)) {
+                    let someone_real = digests.values().any(|o| {
+                        let o_has = o.prefix.get(&s).copied().unwrap_or(0) >= seq
+                            || o.extras.contains(&(s, seq));
+                        o_has && !o.thin.contains(&(s, seq))
+                    });
+                    assert!(
+                        !someone_real,
+                        "case {case}: thin holder {holder} chosen for {s}#{seq} \
+                         though a real holder exists"
+                    );
+                }
             }
         }
     }
+}
 
-    /// The plan is a pure function of the digests (same input, same plan).
-    #[test]
-    fn plan_is_deterministic(digests in digests_strategy()) {
-        prop_assert_eq!(compute_plan(&digests), compute_plan(&digests));
+/// The plan is a pure function of the digests (same input, same plan).
+#[test]
+fn plan_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0xF1D5_1000 ^ case);
+        let digests = digests_case(&mut rng);
+        assert_eq!(compute_plan(&digests), compute_plan(&digests));
     }
 }

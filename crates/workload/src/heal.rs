@@ -95,7 +95,13 @@ pub fn run_heal(params: &HealParams) -> HealResult {
         }
     }
     let groups: Vec<u64> = (1..=params.lwgs as u64).collect();
-    await_full_views(&mut world, &apps, &groups, &apps, SimDuration::from_secs(300));
+    await_full_views(
+        &mut world,
+        &apps,
+        &groups,
+        &apps,
+        SimDuration::from_secs(300),
+    );
 
     // Partition half/half (name servers split too, one per side).
     let half = params.members / 2;
@@ -112,8 +118,13 @@ pub fn run_heal(params: &HealParams) -> HealResult {
     let merges_before = world.metrics().counter("lwg.views_merged");
     let t_heal = world.now();
     world.heal_at(t_heal);
-    let reconverged_at =
-        await_full_views(&mut world, &apps, &groups, &apps, SimDuration::from_secs(120));
+    let reconverged_at = await_full_views(
+        &mut world,
+        &apps,
+        &groups,
+        &apps,
+        SimDuration::from_secs(120),
+    );
 
     HealResult {
         lwgs: params.lwgs,

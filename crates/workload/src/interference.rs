@@ -60,12 +60,13 @@ pub fn run_interference(params: &TwoSetsParams) -> TwoSetsResult {
         world.run_for(SimDuration::from_secs(10));
     }
     let groups_a: Vec<u64> = (1..=params.groups_per_set as u64).collect();
-    let groups_b: Vec<u64> = (1..=params.groups_per_set as u64).map(|g| 1000 + g).collect();
+    let groups_b: Vec<u64> = (1..=params.groups_per_set as u64)
+        .map(|g| 1000 + g)
+        .collect();
     for (idx, &g) in groups_a.iter().chain(groups_b.iter()).enumerate() {
         let members = if g < 1000 { &set_a } else { &set_b };
         for (i, &m) in members.iter().enumerate() {
-            let t = world.now()
-                + SimDuration::from_millis(150 * idx as u64 + 400 * i as u64);
+            let t = world.now() + SimDuration::from_millis(150 * idx as u64 + 400 * i as u64);
             world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
                 n.join_group(ctx, g, i == 0)
             });

@@ -250,13 +250,11 @@ impl BenchNode {
                                 });
                             }
                         }
-                        plwg_core::LwgEvent::View { lwg, view } => {
-                            self.views.push(ViewRecord {
-                                group: lwg.0,
-                                at: now,
-                                members: view.sorted_members(),
-                            })
-                        }
+                        plwg_core::LwgEvent::View { lwg, view } => self.views.push(ViewRecord {
+                            group: lwg.0,
+                            at: now,
+                            members: view.sorted_members(),
+                        }),
                         plwg_core::LwgEvent::Left { .. } => {}
                     }
                 }

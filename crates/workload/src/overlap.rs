@@ -89,8 +89,8 @@ pub fn run_overlap(params: &OverlapParams) -> OverlapResult {
     // Draw subscriber sets.
     let mut subscriptions: Vec<Vec<NodeId>> = Vec::new();
     for _ in 0..params.subjects {
-        let size = draw_rng.range(params.subscribers.0 as u64, params.subscribers.1 as u64 + 1)
-            as usize;
+        let size =
+            draw_rng.range(params.subscribers.0 as u64, params.subscribers.1 as u64 + 1) as usize;
         let mut set: BTreeSet<NodeId> = BTreeSet::new();
         while set.len() < size {
             let idx = draw_rng.range(0, params.processes as u64) as usize;
@@ -103,9 +103,7 @@ pub fn run_overlap(params: &OverlapParams) -> OverlapResult {
     for (gi, subs) in subscriptions.iter().enumerate() {
         let g = 1 + gi as u64;
         for (i, &m) in subs.iter().enumerate() {
-            let t = SimTime::from_micros(
-                200_000 * gi as u64 + 400_000 * i as u64,
-            );
+            let t = SimTime::from_micros(200_000 * gi as u64 + 400_000 * i as u64);
             world.invoke_at(t, m, move |n: &mut BenchNode, ctx| {
                 n.join_group(ctx, g, i == 0)
             });

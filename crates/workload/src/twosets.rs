@@ -6,9 +6,7 @@
 use crate::mode::{default_naming, BenchNode, ServiceMode};
 use plwg_core::LwgConfig;
 use plwg_naming::NameServer;
-use plwg_sim::{
-    HistogramSummary, Histogram, NodeId, SimDuration, SimTime, World, WorldConfig,
-};
+use plwg_sim::{Histogram, HistogramSummary, NodeId, SimDuration, SimTime, World, WorldConfig};
 
 /// Traffic offered to every user group.
 #[derive(Debug, Clone, Copy)]
@@ -184,9 +182,7 @@ fn await_convergence(setup: &mut Setup, groups: &[u64], limit: SimDuration) -> S
                 m
             };
             for &m in &members {
-                let got = setup
-                    .world
-                    .inspect(m, |n: &BenchNode| n.members_of(g));
+                let got = setup.world.inspect(m, |n: &BenchNode| n.members_of(g));
                 if got.as_deref() != Some(&expect[..]) {
                     ok = false;
                     break 'outer;

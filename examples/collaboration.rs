@@ -32,13 +32,7 @@ fn main() {
         ..LwgConfig::default()
     };
     let users: Vec<NodeId> = (1..=8)
-        .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(i),
-                vec![ns],
-                cfg.clone(),
-            )))
-        })
+        .map(|i| world.add_node(Box::new(LwgNode::new(NodeId(i), vec![ns], cfg.clone()))))
         .collect();
 
     // Everyone enters the session roster.
@@ -99,8 +93,9 @@ fn main() {
         }
     });
     world.run_until(at(41));
-    let got: Vec<u64> =
-        world.inspect(users[1], |a: &LwgNode| a.delivered_values(BREAKOUT, users[0]));
+    let got: Vec<u64> = world.inspect(users[1], |a: &LwgNode| {
+        a.delivered_values(BREAKOUT, users[0])
+    });
     assert_eq!(got, vec![0, 1, 2]);
     println!("t=41s breakout chat delivered to its members only");
 

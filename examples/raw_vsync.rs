@@ -78,19 +78,27 @@ fn main() {
     }
     world.run_until(at(8));
     world.invoke(nodes[1], |c: &mut ChatNode, ctx| {
-        c.stack
-            .send(ctx, GROUP, payload("hello, virtually synchronous world".to_owned()));
+        c.stack.send(
+            ctx,
+            GROUP,
+            payload("hello, virtually synchronous world".to_owned()),
+        );
     });
     world.run_until(at(9));
 
     // Partition 2/2, chat within each side, heal, and watch the merge.
-    world.split_at(at(10), vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]]);
+    world.split_at(
+        at(10),
+        vec![vec![nodes[0], nodes[1]], vec![nodes[2], nodes[3]]],
+    );
     world.run_until(at(16));
     world.invoke(nodes[0], |c: &mut ChatNode, ctx| {
-        c.stack.send(ctx, GROUP, payload("anyone there?".to_owned()));
+        c.stack
+            .send(ctx, GROUP, payload("anyone there?".to_owned()));
     });
     world.invoke(nodes[3], |c: &mut ChatNode, ctx| {
-        c.stack.send(ctx, GROUP, payload("our side is fine".to_owned()));
+        c.stack
+            .send(ctx, GROUP, payload("our side is fine".to_owned()));
     });
     world.heal_at(at(18));
     world.run_until(at(30));

@@ -82,7 +82,11 @@ fn main() {
 
     // Market data: the first subscriber of each subject publishes ticks.
     for &subject in subjects_eq.iter().chain(subjects_bd.iter()) {
-        let publisher = if subject <= 12 { gateways[0] } else { gateways[4] };
+        let publisher = if subject <= 12 {
+            gateways[0]
+        } else {
+            gateways[4]
+        };
         for k in 0..10u64 {
             world.invoke_at(
                 at(31) + SimDuration::from_millis(20 * k + subject),
@@ -132,7 +136,12 @@ fn main() {
         vec![
             vec![s0, gateways[0], gateways[1]],
             vec![
-                s1, gateways[2], gateways[3], gateways[4], gateways[5], gateways[6],
+                s1,
+                gateways[2],
+                gateways[3],
+                gateways[4],
+                gateways[5],
+                gateways[6],
                 gateways[7],
             ],
         ],

@@ -72,9 +72,7 @@ pub use plwg_workload as workload;
 
 /// The most commonly used items, for `use plwg::prelude::*`.
 pub mod prelude {
-    pub use plwg_core::{
-        HwgId, LwgConfig, LwgEvent, LwgId, LwgNode, LwgService, View, ViewId,
-    };
+    pub use plwg_core::{HwgId, LwgConfig, LwgEvent, LwgId, LwgNode, LwgService, View, ViewId};
     pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
     pub use plwg_sim::{
         Context, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,

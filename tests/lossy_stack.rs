@@ -81,7 +81,11 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
     assert_eq!(final_view.len(), 3);
     for &m in &apps[..3] {
         let v = world.inspect(m, |n: &LwgNode| n.current_view(g).cloned());
-        assert_eq!(v.as_ref(), Some(&final_view), "{m} agrees on the final view");
+        assert_eq!(
+            v.as_ref(),
+            Some(&final_view),
+            "{m} agrees on the final view"
+        );
     }
 
     // Virtual synchrony under loss + churn: each survivor's stream is a
@@ -114,9 +118,7 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
         world.invoke_at(
             t1 + SimDuration::from_millis(50 * k),
             sender,
-            move |n: &mut LwgNode, ctx| {
-                n.service().send(ctx, g, plwg::sim::payload(1_000 + k))
-            },
+            move |n: &mut LwgNode, ctx| n.service().send(ctx, g, plwg::sim::payload(1_000 + k)),
         );
     }
     world.run_until(t1 + SimDuration::from_secs(5));
@@ -127,6 +129,10 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
                 .filter(|v| *v >= 1_000)
                 .collect()
         });
-        assert_eq!(got, (1_000..1_010).collect::<Vec<u64>>(), "fresh stream at {m}");
+        assert_eq!(
+            got,
+            (1_000..1_010).collect::<Vec<u64>>(),
+            "fresh stream at {m}"
+        );
     }
 }

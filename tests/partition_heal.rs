@@ -298,7 +298,11 @@ fn restarted_member_rejoins_after_exclusion() {
         .world
         .inspect(f.apps[0], |n: &LwgNode| n.current_view(g).cloned())
         .expect("view");
-    assert_eq!(healed.len(), 3, "restarted member must be re-absorbed: {healed}");
+    assert_eq!(
+        healed.len(),
+        3,
+        "restarted member must be re-absorbed: {healed}"
+    );
     for &m in &f.apps {
         let vm = f.world.inspect(m, |n: &LwgNode| n.current_view(g).cloned());
         assert_eq!(vm.as_ref(), Some(&healed), "{m} agrees");

@@ -81,7 +81,10 @@ fn congestion_episode_splits_and_heals_lwgs() {
         world.metrics().counter("hwg.views_installed") >= views_mid,
         "re-merge work happens after the episode"
     );
-    assert!(views_mid > 4, "the episode must have forced HWG view changes");
+    assert!(
+        views_mid > 4,
+        "the episode must have forced HWG view changes"
+    );
     // And traffic flows end-to-end afterwards.
     let sender = apps[0];
     world.invoke(sender, move |n: &mut LwgNode, ctx| {
