@@ -7,7 +7,10 @@
 //! Both variants run the same partition/heal scenario; the binary reports
 //! the name-server request load and the reconciliation latency.
 
-use plwg_core::{LwgConfig, LwgId, LwgNode};
+use plwg_core::{LwgConfig, LwgId};
+use plwg_vsync::VsyncStack;
+
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{NodeId, SimDuration, SimTime, World, WorldConfig};
 use plwg_workload::Table;

@@ -8,7 +8,10 @@
 //! target must fit). The binary reports the switch count and the final
 //! mapping for a grid of thresholds.
 
-use plwg_core::{LwgConfig, LwgId, LwgNode};
+use plwg_core::{LwgConfig, LwgId};
+use plwg_vsync::VsyncStack;
+
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{NodeId, SimDuration, World, WorldConfig};
 use plwg_workload::Table;

@@ -20,7 +20,10 @@
 //! Baseline is `pack_max_msgs = 1`, subset delivery off — byte-identical
 //! to the unpacked protocol. Results land in `BENCH_pack.json`.
 
-use plwg_core::{LwgConfig, LwgId, LwgNode};
+use plwg_core::{LwgConfig, LwgId};
+use plwg_vsync::VsyncStack;
+
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{payload, NodeId, SimDuration, World, WorldConfig};
 use plwg_workload::Table;

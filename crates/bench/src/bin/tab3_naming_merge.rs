@@ -8,7 +8,10 @@
 //! all of them — conflicts are surfaced, never silently dropped.
 
 use plwg_bench::render_db;
-use plwg_core::{LwgConfig, LwgId, LwgNode};
+use plwg_core::{LwgConfig, LwgId};
+use plwg_vsync::VsyncStack;
+
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{NodeId, SimDuration, SimTime, World, WorldConfig};
 

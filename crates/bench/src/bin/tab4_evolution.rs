@@ -10,7 +10,10 @@
 //! 0's replica and prints every distinct state.
 
 use plwg_bench::render_db;
-use plwg_core::{LwgConfig, LwgId, LwgNode};
+use plwg_core::{LwgConfig, LwgId};
+use plwg_vsync::VsyncStack;
+
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{NodeId, SimDuration, SimTime, World, WorldConfig};
 
@@ -41,7 +44,7 @@ fn main() {
     // Spread the heal machinery out in time so each Table-4 stage is
     // visible in the samples.
     let mut cfg = LwgConfig::default();
-    cfg.vsync.beacon_interval = SimDuration::from_millis(2_500);
+    cfg.hwg.beacon_interval = SimDuration::from_millis(2_500);
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
             w.add_node(Box::new(LwgNode::new(

@@ -13,9 +13,9 @@
 //!   change, leave, switch, merge) — so a batch never straddles a view
 //!   cut on either layer.
 
+use plwg_hwg::ViewId;
 use plwg_naming::LwgId;
 use plwg_sim::Payload;
-use plwg_vsync::ViewId;
 
 /// Why a pack buffer was flushed (drives the `lwg.batch.flush_*`
 /// metrics; the barrier reason is the one that keeps packing safe).

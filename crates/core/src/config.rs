@@ -1,17 +1,17 @@
 //! Configuration of the light-weight group service.
 
+use plwg_hwg::HwgConfig;
 use plwg_naming::NamingConfig;
 use plwg_sim::SimDuration;
-use plwg_vsync::VsyncConfig;
 
 /// Tunables of the LWG service (paper §3.2 parameters plus protocol
 /// timeouts).
 #[derive(Debug, Clone)]
 pub struct LwgConfig {
-    /// HWG-layer configuration. `auto_stop_ok` is forced to `false` by the
-    /// service — it answers `Stop` itself after piggybacking its view
+    /// HWG-substrate configuration. `auto_stop_ok` is forced to `false` by
+    /// the service — it answers `Stop` itself after piggybacking its view
     /// advertisement.
-    pub vsync: VsyncConfig,
+    pub hwg: HwgConfig,
     /// Naming-service client configuration.
     pub naming: NamingConfig,
     /// Minority threshold `k_m` (paper Fig. 1): `g1` is a minority of `g2`
@@ -64,7 +64,7 @@ pub struct LwgConfig {
 impl Default for LwgConfig {
     fn default() -> Self {
         LwgConfig {
-            vsync: VsyncConfig::default(),
+            hwg: HwgConfig::default(),
             naming: NamingConfig::default(),
             k_m: 4,
             k_c: 4,
@@ -91,7 +91,7 @@ impl LwgConfig {
     /// Panics if sub-configurations are invalid, if `k_m`/`k_c` are zero,
     /// or any period is zero.
     pub fn validate(&self) {
-        self.vsync.validate();
+        self.hwg.validate();
         self.naming.validate();
         assert!(self.k_m >= 1 && self.k_c >= 1, "k_m and k_c must be >= 1");
         assert!(

@@ -1,0 +1,176 @@
+//! The data plane: user sends, message packing, subset delivery, and
+//! delivery-side view filtering.
+//!
+//! Every LWG multicast rides the group's backing HWG as an
+//! [`LwgMsg::Data`] (or, when packing is on, an [`LwgMsg::Batch`]) tagged
+//! with the **LWG view id** it was sent in. Receivers deliver upward only
+//! when the tag matches their installed view — the decoupling that lets
+//! concurrent LWG views share one HWG (paper §6.3) and the source of the
+//! interference cost the Figure-1 policies minimise.
+
+use crate::batch::FlushReason;
+use crate::events::LwgEvent;
+use crate::msg::LwgMsg;
+use crate::service::{LwgService, TOK_PACK};
+use crate::state::{ForeignTag, Phase};
+use plwg_hwg::{HwgId, HwgSubstrate, ViewId};
+use plwg_naming::LwgId;
+use plwg_sim::{payload, Context, NodeId, Payload};
+use std::collections::BTreeSet;
+
+impl<S: HwgSubstrate> LwgService<S> {
+    /// Sends a multicast on `lwg` (buffered until a view is installed and
+    /// no flush is in progress).
+    pub fn send(&mut self, ctx: &mut Context<'_>, lwg: LwgId, data: Payload) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let blocked = state.phase != Phase::Member
+            || state.lflush.is_some()
+            || state.follow_switch.is_some()
+            || state.switching.is_some()
+            || state.awaiting_prune.is_some();
+        if blocked {
+            state.pending_send.push(data);
+            return;
+        }
+        let lwg_view = state.view.as_ref().expect("member has a view").id;
+        let hwg = state.hwg.expect("member has a mapping");
+        ctx.metrics().incr("lwg.data_sent");
+        if self.cfg.pack_max_msgs > 1 {
+            let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);
+            if occupancy >= self.cfg.pack_max_msgs {
+                self.flush_pack(ctx, hwg, FlushReason::Full);
+            } else if !self.pack_timer_armed {
+                self.pack_timer_armed = true;
+                ctx.set_timer(self.cfg.pack_delay, TOK_PACK);
+            }
+            return;
+        }
+        let msg = LwgMsg::Data {
+            lwg,
+            lwg_view,
+            data,
+        };
+        self.send_data_on(ctx, hwg, &[lwg], msg);
+    }
+
+    /// The subset-multicast target set for data of `lwgs` on `hwg`: the
+    /// union of the groups' current LWG views plus the HWG coordinator
+    /// (whose retransmission store anchors flush pulls). `None` when
+    /// subset delivery is disabled, the HWG view is unknown, or the set is
+    /// not a *strict* subset of the HWG view — then a plain full multicast
+    /// is both cheaper and simpler.
+    fn subset_targets<I>(&self, hwg: HwgId, lwgs: I) -> Option<BTreeSet<NodeId>>
+    where
+        I: IntoIterator<Item = LwgId>,
+    {
+        if !self.cfg.subset_delivery {
+            return None;
+        }
+        let hview = self.substrate.view_of(hwg)?;
+        let mut targets: BTreeSet<NodeId> = BTreeSet::new();
+        targets.insert(hview.coordinator());
+        for lwg in lwgs {
+            let view = self.lwgs.get(&lwg)?.view.as_ref()?;
+            targets.extend(view.members.iter().copied());
+        }
+        if targets.len() < hview.len() && targets.iter().all(|t| hview.contains(*t)) {
+            Some(targets)
+        } else {
+            None
+        }
+    }
+
+    /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
+    /// only the interested members when the subset path applies.
+    fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
+        if let Some(targets) = self.subset_targets(hwg, lwgs.iter().copied()) {
+            ctx.metrics().incr("lwg.subset_sends");
+            self.substrate.send_to(ctx, hwg, &targets, payload(msg));
+        } else {
+            self.substrate.send(ctx, hwg, payload(msg));
+        }
+    }
+
+    /// Flushes the pack buffer of `hwg` into one [`LwgMsg::Batch`]
+    /// multicast. Barrier callers invoke this *before* any flush, view or
+    /// merge control message so a batch never crosses a view cut on
+    /// either layer.
+    pub(crate) fn flush_pack(&mut self, ctx: &mut Context<'_>, hwg: HwgId, reason: FlushReason) {
+        let Some(buf) = self.packs.get_mut(&hwg) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        let entries = buf.take();
+        ctx.metrics().incr("lwg.batch.sent");
+        ctx.metrics().incr(reason.metric());
+        ctx.metrics()
+            .observe("lwg.batch.occupancy", entries.len() as u64);
+        let lwgs: Vec<LwgId> = entries.iter().map(|(l, _, _)| *l).collect();
+        self.send_data_on(ctx, hwg, &lwgs, LwgMsg::Batch { entries });
+    }
+
+    /// Flushes every non-empty pack buffer (pack-delay timer path).
+    pub(crate) fn flush_all_packs(&mut self, ctx: &mut Context<'_>, reason: FlushReason) {
+        let hwgs: Vec<HwgId> = self
+            .packs
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&h, _)| h)
+            .collect();
+        for hwg in hwgs {
+            self.flush_pack(ctx, hwg, reason);
+        }
+    }
+
+    /// Delivery side: filter on the LWG view tag and surface
+    /// [`LwgEvent::Data`] to the application (or record foreign-view
+    /// evidence for the merge protocol).
+    pub(crate) fn handle_lwg_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        hwg: Option<HwgId>,
+        lwg: LwgId,
+        lwg_view: ViewId,
+        src: NodeId,
+        data: Payload,
+    ) {
+        let Some(state) = self.lwgs.get(&lwg) else {
+            // Filtering cost of co-mapped groups we are not a member of —
+            // this is the "interference" the paper's policies minimise.
+            ctx.metrics().incr("lwg.filtered");
+            return;
+        };
+        match &state.view {
+            Some(view) if view.id == lwg_view => {
+                ctx.metrics().incr("lwg.data_delivered");
+                self.events.push(LwgEvent::Data { lwg, src, data });
+            }
+            Some(_) if state.history.contains(&lwg_view) => {
+                // From a predecessor of our current view; superseded.
+                ctx.metrics().incr("lwg.data_stale");
+            }
+            Some(_) => {
+                // A view we never installed: evidence of a concurrent view
+                // sharing our HWG (local peer discovery, paper §6.3 / Fig. 5
+                // line 106). Remember it; the tick triggers MERGE-VIEWS if
+                // no merge happens first.
+                ctx.metrics().incr("lwg.data_foreign");
+                if let Some(hwg) = hwg {
+                    self.foreign.push(ForeignTag {
+                        seen_at: ctx.now(),
+                        hwg,
+                        lwg,
+                        view_id: lwg_view,
+                    });
+                }
+            }
+            None => {
+                ctx.metrics().incr("lwg.filtered");
+            }
+        }
+    }
+}

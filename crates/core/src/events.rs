@@ -2,9 +2,9 @@
 //! of paper Table 1 (`View`, `Data`; `Stop` is hidden by the service, as
 //! the paper permits).
 
+use plwg_hwg::View;
 use plwg_naming::LwgId;
 use plwg_sim::{NodeId, Payload};
-use plwg_vsync::View;
 
 /// An event delivered to the application by [`crate::LwgService`].
 #[derive(Debug)]

@@ -1,0 +1,559 @@
+//! LWG membership changes: the user-facing `join`/`leave` down-calls
+//! (paper Table 1) and the LWG-level flush that installs successor views.
+//!
+//! An LWG flush mirrors the HWG layer's in miniature: the coordinator
+//! multicasts `Flush`, members stop sending, flush their pack buffers and
+//! answer `FlushOk`; once every reachable member has acknowledged, the
+//! coordinator announces the successor view with `NewLwgView`, and each
+//! member installs it. Prune views (members that fell out of the backing
+//! HWG) skip the LWG flush entirely — the HWG flush that produced the new
+//! HWG view already equalised the delivered sets (see
+//! `LwgService::handle_hwg_view`).
+
+use crate::batch::FlushReason;
+use crate::events::LwgEvent;
+use crate::msg::{LFlushId, LwgMsg};
+use crate::service::LwgService;
+use crate::state::{LwgFlush, LwgState, NsPurpose, Phase};
+use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
+use plwg_naming::{LwgId, Mapping};
+use plwg_sim::{payload, Context, NodeId};
+use std::collections::BTreeSet;
+
+impl<S: HwgSubstrate> LwgService<S> {
+    // ------------------------------------------------------------------
+    // Public API (paper Table 1, user side)
+    // ------------------------------------------------------------------
+
+    /// Joins light-weight group `lwg`. The `View` upcall confirms
+    /// membership. No-op if already joining or a member.
+    pub fn join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        if self.lwgs.contains_key(&lwg) {
+            return;
+        }
+        let state = LwgState::new();
+        self.lwgs.insert(lwg, state);
+        ctx.trace("lwg.join.start", || format!("{lwg}"));
+        let req = self.ns.read(ctx, lwg);
+        self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
+    }
+
+    /// Leaves `lwg`; the `Left` upcall confirms.
+    pub fn leave(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        match state.phase {
+            Phase::ReadingNs | Phase::JoiningHwg | Phase::AwaitingAdmission => {
+                // Not admitted anywhere yet: just abandon the join.
+                self.lwgs.remove(&lwg);
+                self.events.push(LwgEvent::Left { lwg });
+            }
+            Phase::Member => {
+                let view = state.view.clone().expect("member has a view");
+                if view.len() == 1 {
+                    // Sole member: dissolve the group.
+                    let hwg = state.hwg;
+                    self.lwgs.remove(&lwg);
+                    self.ns.unset(ctx, lwg, view.id);
+                    self.events.push(LwgEvent::Left { lwg });
+                    if let Some(h) = hwg {
+                        self.note_idle_if_unused(ctx, h);
+                    }
+                    return;
+                }
+                state.phase = Phase::Leaving;
+                state.pending_leaves.insert(self.me);
+                let hwg = state.hwg;
+                if let Some(hwg) = hwg {
+                    // Barrier: our buffered data must precede the leave
+                    // request in the per-sender FIFO stream.
+                    self.flush_pack(ctx, hwg, FlushReason::Barrier);
+                    self.substrate
+                        .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+                }
+                self.maybe_start_lwg_flush(ctx, lwg);
+            }
+            Phase::Leaving => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission and leave requests (coordinator side)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_join_req(
+        &mut self,
+        ctx: &mut Context<'_>,
+        arrived_on: Option<HwgId>,
+        lwg: LwgId,
+        from: NodeId,
+    ) {
+        let is_member = self.lwgs.get(&lwg).is_some_and(|s| s.view.is_some());
+        if is_member {
+            let mapping = self.lwgs.get(&lwg).and_then(|s| s.hwg);
+            if let Some(to) = mapping {
+                if arrived_on.is_some() && arrived_on != Some(to) {
+                    // The joiner used an outdated mapping: the request
+                    // reached us on an HWG the group no longer rides. Point
+                    // it at the current one (paper §3.1's forward-pointer
+                    // behaviour, here served by a member directly).
+                    ctx.metrics().incr("lwg.redirects_sent");
+                    ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
+                    return;
+                }
+            }
+            if self.lwg_coordinator(lwg) == Some(self.me) {
+                let state = self.lwgs.get_mut(&lwg).expect("checked");
+                if !state.view.as_ref().is_some_and(|v| v.contains(from)) {
+                    state.pending_joins.insert(from);
+                    self.maybe_start_lwg_flush(ctx, lwg);
+                }
+            }
+        } else if let Some(&to) = self.forward.get(&lwg) {
+            // We are not a member but remember where the group went.
+            ctx.metrics().incr("lwg.redirects_sent");
+            ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
+        }
+    }
+
+    pub(crate) fn handle_leave_req(&mut self, ctx: &mut Context<'_>, lwg: LwgId, from: NodeId) {
+        if let Some(state) = self.lwgs.get_mut(&lwg) {
+            if state.view.as_ref().is_some_and(|v| v.contains(from)) {
+                state.pending_leaves.insert(from);
+                self.maybe_start_lwg_flush(ctx, lwg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The LWG flush protocol
+    // ------------------------------------------------------------------
+
+    /// Member side of an LWG flush (also the old-HWG half of a switch when
+    /// `switch_to` is set): stop sending, acknowledge, and for a switch,
+    /// start joining the target HWG.
+    pub(crate) fn handle_lwg_flush(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        flush: LFlushId,
+        members: Vec<NodeId>,
+        switch_to: Option<HwgId>,
+    ) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(view) = &state.view else { return };
+        if !view.contains(self.me) || !members.contains(&self.me) {
+            return;
+        }
+        // Supersede rule mirrors the HWG layer: more senior initiator (in
+        // LWG view order) or newer nonce from the same initiator wins.
+        if let Some(cur) = &state.lflush {
+            let rank = |m: NodeId| view.rank(m).unwrap_or(usize::MAX);
+            let supersedes = rank(flush.initiator) < rank(cur.flush.initiator)
+                || (flush.initiator == cur.flush.initiator && flush.nonce > cur.flush.nonce);
+            if !supersedes {
+                return;
+            }
+        }
+        let mut oks = BTreeSet::new();
+        state.early_oks.retain(|(f, n)| {
+            if *f == flush {
+                oks.insert(*n);
+                false
+            } else {
+                true
+            }
+        });
+        state.lflush = Some(LwgFlush {
+            flush,
+            members: members.clone(),
+            oks,
+            new_view: None,
+            started_at: ctx.now(),
+        });
+        let hwg = state.hwg;
+        if let Some(to) = switch_to {
+            state.follow_switch = Some((flush, to));
+        }
+        if let Some(hwg) = hwg {
+            // Barrier: data we buffered in the closing LWG view must
+            // precede our FlushOk in the per-sender FIFO stream, so every
+            // member drains it before installing the successor view.
+            self.flush_pack(ctx, hwg, FlushReason::Barrier);
+            self.substrate
+                .send(ctx, hwg, payload(LwgMsg::FlushOk { lwg, flush }));
+        }
+        if let Some(to) = switch_to {
+            // Join the target HWG (the coordinator pre-created it).
+            if self.substrate.status_of(to) == GroupStatus::Left {
+                self.substrate.join(ctx, to);
+            } else if self
+                .substrate
+                .view_of(to)
+                .is_some_and(|v| v.contains(self.me))
+            {
+                // Already a member: report ready immediately.
+                self.substrate
+                    .send(ctx, to, payload(LwgMsg::SwitchReady { lwg, flush }));
+            }
+        }
+    }
+
+    pub(crate) fn handle_flush_ok(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        flush: LFlushId,
+        from: NodeId,
+    ) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(lf) = &mut state.lflush else {
+            state.early_oks.push((flush, from));
+            return;
+        };
+        if lf.flush != flush {
+            state.early_oks.push((flush, from));
+            return;
+        }
+        lf.oks.insert(from);
+        self.try_conclude_lwg_flush(ctx, lwg);
+    }
+
+    pub(crate) fn handle_new_lwg_view(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        flush: Option<LFlushId>,
+        view: View,
+        on_hwg: HwgId,
+    ) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        if !view.contains(self.me) {
+            // Excludes us: our leave completed (or we were pruned).
+            let ours = state
+                .view
+                .as_ref()
+                .is_some_and(|v| view.predecessors.contains(&v.id));
+            if ours {
+                let hwg = state.hwg;
+                self.lwgs.remove(&lwg);
+                self.events.push(LwgEvent::Left { lwg });
+                if let Some(h) = hwg {
+                    self.note_idle_if_unused(ctx, h);
+                }
+            }
+            return;
+        }
+        match flush {
+            Some(f) => {
+                // Ordinary join/leave/switch view: wait for the flush to
+                // complete (all FlushOks) before installing.
+                let Some(lf) = &mut state.lflush else {
+                    // We were admitted as a *joiner*: no old view to drain.
+                    if state.view.is_none() {
+                        self.install_lwg_view(ctx, lwg, view, on_hwg);
+                    }
+                    return;
+                };
+                if lf.flush == f {
+                    lf.new_view = Some((view, on_hwg));
+                    self.try_conclude_lwg_flush(ctx, lwg);
+                }
+            }
+            None => {
+                // Merge path: the HWG flush already drained the old views.
+                let acceptable = match &state.view {
+                    Some(cur) => view.predecessors.contains(&cur.id) || view.id == cur.id,
+                    None => true,
+                };
+                if acceptable && state.view.as_ref().map(|v| v.id) != Some(view.id) {
+                    self.install_lwg_view(ctx, lwg, view, on_hwg);
+                }
+            }
+        }
+    }
+
+    /// Installs `view` if its flush (when any) has fully acknowledged.
+    pub(crate) fn try_conclude_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(lf) = &state.lflush else { return };
+        let Some((view, on_hwg)) = lf.new_view.clone() else {
+            // Coordinator side: once every member acknowledged, announce
+            // the successor view.
+            let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
+            if all_ok && lf.flush.initiator == self.me && state.switching.is_none() {
+                self.announce_successor_view(ctx, lwg);
+            }
+            return;
+        };
+        let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
+        if all_ok {
+            self.install_lwg_view(ctx, lwg, view, on_hwg);
+        }
+    }
+
+    /// Coordinator: all FlushOks are in — compute and multicast the
+    /// successor view (join/leave/prune path).
+    fn announce_successor_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
+        let Some(hwg) = state.hwg else { return };
+        let Some(lf) = &state.lflush else { return };
+        let flush = lf.flush;
+        let hview_members: Vec<NodeId> = self
+            .substrate
+            .view_of(hwg)
+            .map(|v| v.members.clone())
+            .unwrap_or_default();
+        let state = self.lwgs.get_mut(&lwg).expect("still present");
+        let mut members: Vec<NodeId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| hview_members.contains(m) && !state.pending_leaves.contains(m))
+            .collect();
+        let mut joiners: Vec<NodeId> = state
+            .pending_joins
+            .iter()
+            .copied()
+            .filter(|j| hview_members.contains(j) && !view.contains(*j))
+            .collect();
+        joiners.sort_unstable();
+        members.extend(joiners);
+        if members.is_empty() {
+            // Everybody left: dissolve the group (no successor view).
+            ctx.trace("lwg.dissolve", || format!("{lwg}"));
+            self.ns.unset(ctx, lwg, view.id);
+            self.substrate
+                .send(ctx, hwg, payload(LwgMsg::Dissolved { lwg, flush }));
+            return;
+        }
+        let new_view = View::with_predecessors(
+            ViewId::new(self.me, state.take_view_seq()),
+            members,
+            vec![view.id],
+        );
+        ctx.trace("lwg.view.announce", || format!("{lwg} {new_view}"));
+        self.substrate.send(
+            ctx,
+            hwg,
+            payload(LwgMsg::NewLwgView {
+                lwg,
+                flush: Some(flush),
+                view: new_view,
+                hwg,
+            }),
+        );
+    }
+
+    /// Coordinator: announce the view with the members that fell out of
+    /// the HWG removed (no LWG flush needed — see
+    /// `LwgService::handle_hwg_view`).
+    pub(crate) fn announce_pruned_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hview: &View) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        if state.lflush.is_some() || state.switching.is_some() {
+            return; // an explicit flush is already reshaping the view
+        }
+        let Some(view) = state.view.clone() else {
+            return;
+        };
+        let Some(hwg) = state.hwg else { return };
+        let members: Vec<NodeId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| hview.contains(*m))
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let pruned = View::with_predecessors(
+            ViewId::new(self.me, state.take_view_seq()),
+            members,
+            vec![view.id],
+        );
+        ctx.trace("lwg.prune", || format!("{lwg} {pruned}"));
+        ctx.metrics().incr("lwg.prunes");
+        self.substrate.send(
+            ctx,
+            hwg,
+            payload(LwgMsg::NewLwgView {
+                lwg,
+                flush: None,
+                view: pruned,
+                hwg,
+            }),
+        );
+    }
+
+    pub(crate) fn install_lwg_view(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        view: View,
+        on_hwg: HwgId,
+    ) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let old_hwg = state.hwg;
+        if let Some(old) = &state.view {
+            state.history.insert(old.id);
+        }
+        for p in &view.predecessors {
+            state.history.insert(*p);
+        }
+        state.bump_view_seq(if view.id.coordinator == self.me {
+            view.id.seq
+        } else {
+            0
+        });
+        ctx.trace("lwg.view.install", || format!("{lwg} {view} on {on_hwg}"));
+        ctx.metrics().incr("lwg.views_installed");
+        state.view = Some(view.clone());
+        state.hwg = Some(on_hwg);
+        state.phase = Phase::Member;
+        state.join_deadline = None;
+        state.join_attempts = 0;
+        state.lflush = None;
+        state.switching = None;
+        state.follow_switch = None;
+        state.early_oks.clear();
+        state.awaiting_prune = None;
+        for m in &view.members {
+            state.pending_joins.remove(m);
+        }
+        state.pending_leaves.retain(|l| view.contains(*l));
+        let pending = std::mem::take(&mut state.pending_send);
+        self.idle_hwgs.remove(&on_hwg);
+        self.events.push(LwgEvent::View {
+            lwg,
+            view: view.clone(),
+        });
+        // If the mapping moved, leave a forward pointer and consider
+        // shrinking the old HWG.
+        if let Some(old) = old_hwg {
+            if old != on_hwg {
+                self.forward.insert(lwg, on_hwg);
+                self.note_idle_if_unused(ctx, old);
+            }
+        }
+        // Coordinator records the mapping.
+        if self.lwg_coordinator(lwg) == Some(self.me) {
+            self.refresh_mapping(ctx, lwg);
+        }
+        // Release buffered sends in the new view.
+        for data in pending {
+            self.send(ctx, lwg, data);
+        }
+        // Queued membership changes are handled in a follow-up flush.
+        self.maybe_start_lwg_flush(ctx, lwg);
+    }
+
+    /// Writes the current view-to-view mapping to the naming service.
+    pub(crate) fn refresh_mapping(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        let Some(view) = &state.view else { return };
+        let Some(hwg) = state.hwg else { return };
+        let Some(hview) = self.substrate.view_of(hwg) else {
+            return;
+        };
+        let mapping = Mapping {
+            lwg_view: view.id,
+            members: view.members.clone(),
+            hwg,
+            hwg_view: hview.id,
+        };
+        let preds = view.predecessors.clone();
+        self.ns.set(ctx, lwg, mapping, preds);
+    }
+
+    /// Starts an LWG flush if this node coordinates `lwg` and membership
+    /// changes are pending (join/leave/members fallen out of the HWG).
+    pub(crate) fn maybe_start_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        if self.lwg_coordinator(lwg) != Some(self.me) {
+            return;
+        }
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        if state.lflush.is_some() || state.switching.is_some() {
+            return;
+        }
+        let Some(view) = &state.view else { return };
+        let Some(hwg) = state.hwg else { return };
+        let Some(hview) = self.substrate.view_of(hwg) else {
+            return;
+        };
+        let has_join = state
+            .pending_joins
+            .iter()
+            .any(|j| hview.contains(*j) && !view.contains(*j));
+        let has_leave = state.pending_leaves.iter().any(|l| view.contains(*l));
+        if !(has_join || has_leave) {
+            return;
+        }
+        // Members still reachable participate in the flush.
+        let members: Vec<NodeId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| hview.contains(*m))
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let state = self.lwgs.get_mut(&lwg).expect("checked");
+        let flush = LFlushId {
+            initiator: self.me,
+            nonce: state.take_flush_nonce(),
+        };
+        ctx.trace("lwg.flush.start", || {
+            format!("{lwg} {flush} members {members:?}")
+        });
+        ctx.metrics().incr("lwg.flushes");
+        // Barrier: the flush announcement must not overtake our own
+        // buffered data for the closing view.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
+        self.substrate.send(
+            ctx,
+            hwg,
+            payload(LwgMsg::Flush {
+                lwg,
+                flush,
+                members,
+            }),
+        );
+    }
+
+    pub(crate) fn handle_dissolved(&mut self, ctx: &mut Context<'_>, lwg: LwgId, flush: LFlushId) {
+        let leaving = self.lwgs.get(&lwg).is_some_and(|s| {
+            s.phase == Phase::Leaving || s.lflush.as_ref().is_some_and(|f| f.flush == flush)
+        });
+        if leaving {
+            let hwg = self.lwgs.get(&lwg).and_then(|s| s.hwg);
+            self.lwgs.remove(&lwg);
+            self.events.push(LwgEvent::Left { lwg });
+            if let Some(h) = hwg {
+                self.note_idle_if_unused(ctx, h);
+            }
+        }
+    }
+}

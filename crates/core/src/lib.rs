@@ -3,7 +3,8 @@
 //! This crate is the reproduction of the paper's contribution: a
 //! *Light-Weight Group Service* that maps many user-level groups (LWGs)
 //! onto a small pool of virtually-synchronous heavy-weight groups (HWGs,
-//! provided by [`plwg_vsync`]), preserving the full group interface of
+//! any [`HwgSubstrate`] — production uses `plwg_vsync::VsyncStack`, tests
+//! can use the in-memory [`ScriptedHwg`]), preserving the full interface of
 //! paper Table 1 towards the user while sharing failure detection,
 //! flushes and transport — and that keeps working across **network
 //! partitions**, reconciling the inconsistent mapping decisions concurrent
@@ -15,9 +16,10 @@
 //!   application            LwgEvent::{View,Data,Left}   join/leave/send
 //!        ▲                                                   │
 //!   ┌────┴───────────────────────────────────────────────────▼────┐
-//!   │ LwgService   mapping table · policies (Fig. 1) · heal steps │
+//!   │ LwgService<S>  mapping table · policies (Fig. 1) · healing  │
 //!   ├──────────────────────────┬───────────────────────────────────┤
-//!   │ VsyncStack (HWG layer)   │ NsClient → replicated NameServers  │
+//!   │ S: HwgSubstrate (Table 1)│ NsClient → replicated NameServers  │
+//!   │  VsyncStack / ScriptedHwg│                                    │
 //!   └──────────────────────────┴───────────────────────────────────┘
 //! ```
 //!
@@ -43,11 +45,18 @@
 
 mod batch;
 mod config;
+mod data_plane;
 mod events;
+mod flush;
+mod mapping;
+mod merge;
 mod msg;
 mod node;
 mod policy;
+mod scripted;
 mod service;
+mod state;
+mod switch;
 
 pub use config::LwgConfig;
 pub use events::LwgEvent;
@@ -56,8 +65,10 @@ pub use node::LwgNode;
 pub use policy::{
     closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction,
 };
-pub use service::{LwgService, LwgStatus, ServiceStats};
+pub use scripted::ScriptedHwg;
+pub use service::LwgService;
+pub use state::{LwgStatus, ServiceStats};
 
-// Re-export the identifier and view types user code needs.
+// Re-export the identifier, view and substrate types user code needs.
+pub use plwg_hwg::{GroupStatus, HwgConfig, HwgEvent, HwgId, HwgSubstrate, View, ViewId};
 pub use plwg_naming::{LwgId, Mapping};
-pub use plwg_vsync::{HwgId, View, ViewId};

@@ -1,0 +1,529 @@
+//! Naming-service interaction and the LWG→HWG mapping policies: the join
+//! flow (paper §3.1 and Table 2), MULTIPLE-MAPPINGS reconciliation (§6.2
+//! step 2), the housekeeping tick, the Figure-1 interference/share rules,
+//! and the shrink rule that releases idle HWGs.
+
+use crate::msg::LwgMsg;
+use crate::policy::{self, PolicyAction};
+use crate::service::LwgService;
+use crate::state::{LwgState, NsPurpose, Phase};
+use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, ViewId};
+use plwg_naming::{LwgId, Mapping, NsEvent};
+use plwg_sim::{payload, Context, NodeId};
+use std::collections::BTreeSet;
+
+impl<S: HwgSubstrate> LwgService<S> {
+    // ------------------------------------------------------------------
+    // Naming events: join lookups and MULTIPLE-MAPPINGS reconciliation
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_ns_event(&mut self, ctx: &mut Context<'_>, ev: NsEvent) {
+        match ev {
+            NsEvent::Reply { req, lwg, mappings } => match self.ns_lookups.remove(&req) {
+                Some((_, NsPurpose::JoinLookup)) => self.continue_join(ctx, lwg, &mappings),
+                Some((_, NsPurpose::FoundClaim)) => self.resolve_found_claim(ctx, lwg, &mappings),
+                Some((_, NsPurpose::Poll)) if mappings.len() > 1 => {
+                    self.reconcile(ctx, lwg, &mappings);
+                }
+                Some((_, NsPurpose::Poll)) | None => {}
+            },
+            NsEvent::MultipleMappings { lwg, mappings } => {
+                self.reconcile(ctx, lwg, &mappings);
+            }
+        }
+    }
+
+    /// Join step 2: the naming lookup answered; pick the target HWG.
+    fn continue_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        if state.phase != Phase::ReadingNs {
+            return;
+        }
+        if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
+            // Follow the recorded mapping (reconciliation rule picks the
+            // highest HWG id when several exist).
+            let hwg = best.hwg;
+            self.begin_hwg_join(ctx, lwg, hwg, false);
+        } else if let Some(&fwd) = self.forward.get(&lwg) {
+            self.begin_hwg_join(ctx, lwg, fwd, false);
+        } else {
+            // No mapping anywhere: optimistic rule — reuse an HWG we are
+            // already in (preferring one that carries our LWGs over idle
+            // leftovers; highest id breaks ties), else allocate a fresh one.
+            let member_hwgs = self.hwgs();
+            let existing = member_hwgs
+                .iter()
+                .copied()
+                .filter(|&h| self.hwg_in_use(h))
+                .max()
+                .or_else(|| member_hwgs.into_iter().max());
+            match existing {
+                Some(hwg) => self.begin_hwg_join(ctx, lwg, hwg, false),
+                None => {
+                    let hwg = self.fresh_hwg_id();
+                    self.begin_hwg_join(ctx, lwg, hwg, true);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn begin_hwg_join(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        hwg: HwgId,
+        create: bool,
+    ) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        state.phase = Phase::JoiningHwg;
+        state.hwg = Some(hwg);
+        state.create_hwg = create;
+        state.join_attempts = 0;
+        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        match self.substrate.status_of(hwg) {
+            GroupStatus::Left => {
+                if create {
+                    self.substrate.create(ctx, hwg);
+                } else {
+                    self.substrate.join(ctx, hwg);
+                }
+            }
+            GroupStatus::Member => {
+                if self
+                    .substrate
+                    .view_of(hwg)
+                    .is_some_and(|v| v.contains(self.me))
+                {
+                    self.request_admission(ctx, lwg, hwg);
+                }
+            }
+            GroupStatus::Joining | GroupStatus::Leaving => {}
+        }
+    }
+
+    /// Join step 3: we are an HWG member; ask the LWG coordinator (if any)
+    /// to admit us.
+    pub(crate) fn request_admission(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        state.phase = Phase::AwaitingAdmission;
+        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        self.substrate
+            .send(ctx, hwg, payload(LwgMsg::JoinReq { lwg }));
+    }
+
+    /// Join fallback, part 1: nobody admitted us — claim the mapping with
+    /// `ns.testset` (paper Table 2) *before* founding a view. If another
+    /// founder won the race we follow its mapping instead of creating a
+    /// competing view.
+    fn claim_founding(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        let Some(hwg) = state.hwg else { return };
+        let Some(hview) = self.substrate.view_of(hwg) else {
+            return;
+        };
+        let planned = ViewId::new(self.me, state.next_view_seq + 1);
+        let mapping = Mapping {
+            lwg_view: planned,
+            members: vec![self.me],
+            hwg,
+            hwg_view: hview.id,
+        };
+        ctx.trace("lwg.claim", || format!("{lwg} {planned} on {hwg}"));
+        let req = self.ns.testset(ctx, lwg, mapping, vec![]);
+        self.ns_lookups.insert(req, (lwg, NsPurpose::FoundClaim));
+        // Push the deadline out while the claim is in flight.
+        if let Some(state) = self.lwgs.get_mut(&lwg) {
+            state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        }
+    }
+
+    /// Join fallback, part 2: the test-and-set answered.
+    fn resolve_found_claim(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        if state.phase != Phase::AwaitingAdmission {
+            return;
+        }
+        let won = mappings
+            .iter()
+            .any(|m| m.lwg_view.coordinator == self.me && state.hwg == Some(m.hwg));
+        if won {
+            self.found_lwg_view(ctx, lwg);
+        } else if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
+            // Someone else holds the mapping: follow it.
+            let hwg = best.hwg;
+            let state = self.lwgs.get_mut(&lwg).expect("checked");
+            state.join_attempts = 0;
+            self.begin_hwg_join(ctx, lwg, hwg, false);
+        }
+    }
+
+    /// Installs the group's founding (singleton) view on the target HWG.
+    fn found_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(hwg) = state.hwg else { return };
+        let seq = state.take_view_seq();
+        let view = plwg_hwg::View::initial(ViewId::new(self.me, seq), vec![self.me]);
+        ctx.trace("lwg.found", || format!("{lwg} {view} on {hwg}"));
+        self.install_lwg_view(ctx, lwg, view, hwg);
+        // Concurrent founders on the same HWG merge via Fig. 5.
+        self.trigger_merge_views(ctx, hwg);
+    }
+
+    /// Step 2 of partition healing (paper §6.2): on MULTIPLE-MAPPINGS, the
+    /// coordinator of each concurrent view switches deterministically to
+    /// the HWG with the **highest group identifier**.
+    fn reconcile(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+        ctx.metrics().incr("lwg.reconciliations");
+        let Some(target) = mappings.iter().map(|m| m.hwg).max() else {
+            return;
+        };
+        if self.lwg_coordinator(lwg) != Some(self.me) {
+            return;
+        }
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        let current = state.hwg;
+        if current == Some(target) {
+            // We are already on the winning HWG. A MERGE-VIEWS barrier only
+            // helps once the other views' members actually share our HWG
+            // view; before that (the HWG itself is still partitioned or
+            // mid-merge) it would just churn flushes.
+            let others_present = {
+                let hview = self.substrate.view_of(target);
+                mappings.iter().all(|m| {
+                    m.members
+                        .iter()
+                        .all(|mm| hview.is_some_and(|v| v.contains(*mm)))
+                })
+            };
+            if others_present {
+                self.trigger_merge_views(ctx, target);
+            }
+        } else {
+            ctx.trace("lwg.reconcile", || {
+                format!("{lwg}: switch {current:?} -> {target}")
+            });
+            self.start_switch(ctx, lwg, target, false);
+        }
+    }
+
+    /// A `Redirect` forward pointer arrived: our mapping information was
+    /// outdated — retarget the join.
+    pub(crate) fn handle_redirect(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId) {
+        let retarget = self.lwgs.get(&lwg).is_some_and(|s| {
+            matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission) && s.hwg != Some(to)
+        });
+        if retarget {
+            ctx.metrics().incr("lwg.redirects_followed");
+            ctx.trace("lwg.redirect", || format!("{lwg} -> {to}"));
+            let old = self.lwgs.get(&lwg).and_then(|s| s.hwg);
+            self.begin_hwg_join(ctx, lwg, to, false);
+            if let Some(old) = old {
+                self.note_idle_if_unused(ctx, old);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping tick
+    // ------------------------------------------------------------------
+
+    pub(crate) fn tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+
+        // Join deadlines: retry admission, then found our own view.
+        let due: Vec<LwgId> = self
+            .lwgs
+            .iter()
+            .filter(|(_, s)| {
+                matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
+                    && s.join_deadline.is_some_and(|d| now >= d)
+            })
+            .map(|(&l, _)| l)
+            .collect();
+        for lwg in due {
+            let state = self.lwgs.get_mut(&lwg).expect("listed");
+            state.join_attempts += 1;
+            let attempts = state.join_attempts;
+            let phase = state.phase;
+            let hwg = state.hwg;
+            let in_hwg = hwg
+                .and_then(|h| self.substrate.view_of(h))
+                .is_some_and(|v| v.contains(self.me));
+            if !in_hwg {
+                // Still waiting for HWG membership; extend.
+                let state = self.lwgs.get_mut(&lwg).expect("listed");
+                state.join_deadline = Some(now + self.cfg.lwg_join_timeout);
+                continue;
+            }
+            if phase == Phase::JoiningHwg || attempts <= self.cfg.lwg_join_retries {
+                self.request_admission(ctx, lwg, hwg.expect("in_hwg"));
+            } else {
+                self.claim_founding(ctx, lwg);
+            }
+        }
+
+        // Leaving members keep nudging the coordinator.
+        let leaving: Vec<(LwgId, HwgId)> = self
+            .lwgs
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Leaving && s.hwg.is_some())
+            .map(|(&l, s)| (l, s.hwg.expect("filtered")))
+            .collect();
+        for (lwg, hwg) in leaving {
+            self.substrate
+                .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+            self.maybe_start_lwg_flush(ctx, lwg);
+        }
+
+        // LWG flush / switch watchdogs.
+        let stuck: Vec<LwgId> = self
+            .lwgs
+            .iter()
+            .filter(|(_, s)| {
+                s.lflush.as_ref().is_some_and(|f| {
+                    now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout
+                }) || s.switching.as_ref().is_some_and(|sw| {
+                    now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
+                })
+            })
+            .map(|(&l, _)| l)
+            .collect();
+        for lwg in stuck {
+            let state = self.lwgs.get_mut(&lwg).expect("listed");
+            ctx.trace("lwg.flush.abandon", || format!("{lwg}"));
+            state.lflush = None;
+            state.switching = None;
+            state.follow_switch = None;
+            // Re-evaluate: the coordinator will re-flush with the members
+            // still reachable.
+            self.maybe_start_lwg_flush(ctx, lwg);
+        }
+
+        // A pruned-view announcement that never arrived (lost, coordinator
+        // died): release the send buffer; the acting-coordinator rule will
+        // re-announce on the next HWG view change.
+        let prune_stuck: Vec<LwgId> = self
+            .lwgs
+            .iter()
+            .filter(|(_, s)| {
+                s.awaiting_prune
+                    .is_some_and(|t| now.saturating_since(t) >= self.cfg.lwg_flush_timeout)
+            })
+            .map(|(&l, _)| l)
+            .collect();
+        for lwg in prune_stuck {
+            let hview = self
+                .lwgs
+                .get(&lwg)
+                .and_then(|s| s.hwg)
+                .and_then(|h| self.substrate.view_of(h))
+                .cloned();
+            if let Some(state) = self.lwgs.get_mut(&lwg) {
+                state.awaiting_prune = None;
+            }
+            if let Some(hview) = hview {
+                if self.lwg_coordinator(lwg) == Some(self.me) {
+                    self.announce_pruned_view(ctx, lwg, &hview);
+                }
+            }
+        }
+
+        // Foreign-tagged data: if still unexplained after the grace period,
+        // trigger MERGE-VIEWS on the HWG (Fig. 5 line 106).
+        let deadline = self.cfg.foreign_data_timeout;
+        let mut trigger: BTreeSet<HwgId> = BTreeSet::new();
+        self.foreign.retain(|f| {
+            let expired = now.saturating_since(f.seen_at) >= deadline;
+            if expired {
+                let still_unknown = self.lwgs.get(&f.lwg).is_some_and(|s| {
+                    s.view.as_ref().is_some_and(|v| v.id != f.view_id)
+                        && !s.history.contains(&f.view_id)
+                });
+                if still_unknown {
+                    trigger.insert(f.hwg);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for hwg in trigger {
+            self.trigger_merge_views(ctx, hwg);
+        }
+
+        // Callback-vs-polling ablation: coordinators poll the naming
+        // service for their groups (instead of being called back).
+        if let Some(interval) = self.cfg.ns_poll_interval {
+            if now.saturating_since(self.last_ns_poll) >= interval {
+                self.last_ns_poll = now;
+                let mine: Vec<LwgId> = self
+                    .lwgs
+                    .iter()
+                    .filter(|(_, s)| s.phase == Phase::Member)
+                    .map(|(&l, _)| l)
+                    .collect();
+                for lwg in mine {
+                    if self.lwg_coordinator(lwg) == Some(self.me) {
+                        let req = self.ns.read(ctx, lwg);
+                        self.ns_lookups.insert(req, (lwg, NsPurpose::Poll));
+                    }
+                }
+            }
+        }
+
+        // Shrink rule: leave HWGs that have had no local LWG for a while.
+        self.refresh_idle_hwgs(ctx);
+        let to_leave: Vec<HwgId> = self
+            .idle_hwgs
+            .iter()
+            .filter(|(_, &since)| now.saturating_since(since) >= self.cfg.shrink_grace)
+            .map(|(&h, _)| h)
+            .collect();
+        for hwg in to_leave {
+            ctx.trace("lwg.shrink", || format!("leaving {hwg}"));
+            ctx.metrics().incr("lwg.shrinks");
+            self.idle_hwgs.remove(&hwg);
+            self.substrate.leave(ctx, hwg);
+        }
+        self.pump(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Policies (paper Fig. 1)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_policies(&mut self, ctx: &mut Context<'_>) {
+        let known: Vec<(HwgId, BTreeSet<NodeId>)> = self
+            .hwgs()
+            .into_iter()
+            .filter_map(|h| {
+                self.substrate
+                    .view_of(h)
+                    .map(|v| (h, v.members.iter().copied().collect()))
+            })
+            .collect();
+        let mine: Vec<LwgId> = self
+            .lwgs
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Member)
+            .map(|(&l, _)| l)
+            .collect();
+        for lwg in mine {
+            if self.lwg_coordinator(lwg) != Some(self.me) {
+                continue;
+            }
+            let Some(state) = self.lwgs.get(&lwg) else {
+                continue;
+            };
+            if state.lflush.is_some() || state.switching.is_some() {
+                continue;
+            }
+            let Some(view) = &state.view else { continue };
+            let Some(hwg) = state.hwg else { continue };
+            let lwg_members: BTreeSet<NodeId> = view.members.iter().copied().collect();
+            let Some((_, hwg_members)) = known.iter().find(|(h, _)| *h == hwg) else {
+                continue;
+            };
+            // Interference rule first (it protects small groups), then the
+            // share rule (it consolidates similar HWGs).
+            let action = match policy::interference_rule(
+                &lwg_members,
+                (hwg, hwg_members),
+                &known,
+                self.cfg.k_m,
+                self.cfg.k_c,
+            ) {
+                PolicyAction::Stay => policy::share_rule((hwg, hwg_members), &known, self.cfg.k_m),
+                other => other,
+            };
+            match action {
+                PolicyAction::Stay => {}
+                PolicyAction::SwitchTo(target) => {
+                    ctx.trace("lwg.policy.switch", || format!("{lwg} -> {target}"));
+                    self.start_switch(ctx, lwg, target, false);
+                }
+                PolicyAction::CreateAndSwitch => {
+                    let fresh = self.fresh_hwg_id();
+                    ctx.trace("lwg.policy.create", || format!("{lwg} -> {fresh}"));
+                    self.start_switch(ctx, lwg, fresh, true);
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Shrink-rule bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn hwg_in_use(&self, hwg: HwgId) -> bool {
+        self.lwgs.values().any(|s| {
+            s.hwg == Some(hwg)
+                || s.follow_switch.as_ref().is_some_and(|(_, to)| *to == hwg)
+                || s.switching.as_ref().is_some_and(|sw| sw.to == hwg)
+        })
+    }
+
+    pub(crate) fn note_idle_if_unused(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        if self.substrate.status_of(hwg) == GroupStatus::Member && !self.hwg_in_use(hwg) {
+            self.idle_hwgs.entry(hwg).or_insert(ctx.now());
+        }
+    }
+
+    fn refresh_idle_hwgs(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let member_hwgs: Vec<HwgId> = self.hwgs();
+        for hwg in member_hwgs {
+            if self.substrate.status_of(hwg) != GroupStatus::Member {
+                continue;
+            }
+            if self.hwg_in_use(hwg) {
+                self.idle_hwgs.remove(&hwg);
+            } else {
+                self.idle_hwgs.entry(hwg).or_insert(now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Misc
+    // ------------------------------------------------------------------
+
+    pub(crate) fn fresh_hwg_id(&mut self) -> HwgId {
+        self.next_hwg_counter += 1;
+        HwgId(0x8000_0000_0000_0000 | (u64::from(self.me.0) << 32) | self.next_hwg_counter)
+    }
+
+    /// Restarts the join flow for a group whose transport vanished.
+    pub(crate) fn restart_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        if let Some(state) = self.lwgs.get_mut(&lwg) {
+            let had_view = state.view.clone();
+            *state = LwgState::new();
+            if let Some(v) = had_view {
+                state.history.insert(v.id);
+                state.bump_view_seq(if v.id.coordinator == self.me {
+                    v.id.seq
+                } else {
+                    0
+                });
+            }
+            ctx.trace("lwg.rejoin", || format!("{lwg}"));
+            let req = self.ns.read(ctx, lwg);
+            self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! MERGE-VIEWS: healing concurrent LWG views that share one HWG with a
+//! **single** HWG flush (paper Fig. 5, step 4 of the §6 procedure).
+//!
+//! Any member that suspects concurrent views multicasts `MergeViews`; the
+//! HWG coordinator turns it into a forced flush. Every member piggybacks
+//! its LWG view advertisements (`AllViews`) on the flush, so when the new
+//! HWG view is delivered every member holds the same set of advertised
+//! views and can deterministically compute the merged views — no extra
+//! agreement round.
+
+use crate::batch::FlushReason;
+use crate::msg::LwgMsg;
+use crate::service::LwgService;
+use plwg_hwg::{HwgId, HwgSubstrate, View, ViewId};
+use plwg_naming::LwgId;
+use plwg_sim::{payload, Context, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+impl<S: HwgSubstrate> LwgService<S> {
+    /// Requests a merge round on `hwg` (rate-limited): multicast
+    /// `MergeViews` so the HWG coordinator forces the Fig. 5 flush barrier.
+    pub(crate) fn trigger_merge_views(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+        // Cooldown: repeated MERGE-VIEWS within a second only repeat the
+        // same barrier flush — and a constant stream of forced flushes
+        // starves the HWG layer's own beacon-driven merge (the flush
+        // machinery and the merge machinery are mutually exclusive).
+        let now = ctx.now();
+        if let Some(&last) = self.last_merge_views.get(&hwg) {
+            if now.saturating_since(last) < plwg_sim::SimDuration::from_secs(1) {
+                return;
+            }
+        }
+        self.last_merge_views.insert(hwg, now);
+        ctx.metrics().incr("lwg.merge_views_sent");
+        // Barrier: the merge request forces an HWG flush; buffered data
+        // belongs to the views being merged and must go out first.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
+        self.substrate.send(ctx, hwg, payload(LwgMsg::MergeViews));
+    }
+
+    /// A `MergeViews` request arrived on `hwg`: note the round and, as the
+    /// coordinator's deterministic stand-in, force the flush barrier.
+    pub(crate) fn handle_merge_views_msg(&mut self, ctx: &mut Context<'_>, hwg: Option<HwgId>) {
+        if let Some(hwg) = hwg {
+            let round = self.rounds.entry(hwg).or_default();
+            if !round.triggered {
+                round.triggered = true;
+                ctx.metrics().incr("lwg.merge_views_observed");
+            }
+            // The HWG coordinator turns the request into the flush
+            // barrier of Fig. 5.
+            self.substrate.force_flush(ctx, hwg);
+        }
+    }
+
+    /// An `AllViews` advertisement arrived on `hwg`: record the advertised
+    /// views for the round that concludes with the next HWG view.
+    pub(crate) fn handle_all_views(&mut self, hwg: Option<HwgId>, views: &[(LwgId, View)]) {
+        if let Some(hwg) = hwg {
+            let round = self.rounds.entry(hwg).or_default();
+            for (lwg, view) in views {
+                round
+                    .collected
+                    .entry(*lwg)
+                    .or_default()
+                    .insert(view.id, view.clone());
+            }
+        }
+    }
+
+    /// After an HWG flush: merge every set of concurrent LWG views the
+    /// AllViews exchange revealed.
+    pub(crate) fn complete_merge_round(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: &View) {
+        let Some(round) = self.rounds.remove(&hwg) else {
+            return;
+        };
+        for (lwg, mut views) in round.collected {
+            // Add our own current view.
+            if let Some(state) = self.lwgs.get(&lwg) {
+                if state.hwg == Some(hwg) {
+                    if let Some(v) = &state.view {
+                        views.insert(v.id, v.clone());
+                    }
+                }
+            }
+            // Drop views that are ancestors of other collected views.
+            let ids: Vec<ViewId> = views.keys().copied().collect();
+            let is_anc = |a: ViewId, b: ViewId, views: &BTreeMap<ViewId, View>| -> bool {
+                // Transitive check over the collected predecessor edges.
+                let mut stack = vec![b];
+                let mut seen = BTreeSet::new();
+                while let Some(v) = stack.pop() {
+                    if let Some(view) = views.get(&v) {
+                        for &p in &view.predecessors {
+                            if p == a {
+                                return true;
+                            }
+                            if seen.insert(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+                false
+            };
+            let concurrent: Vec<ViewId> = ids
+                .iter()
+                .copied()
+                .filter(|&v| !ids.iter().any(|&o| is_anc(v, o, &views)))
+                .collect();
+            if concurrent.len() < 2 {
+                continue;
+            }
+            // Deterministic merged membership: views in id order, members
+            // concatenated, only members present in the current HWG view.
+            let mut members: Vec<NodeId> = Vec::new();
+            for vid in &concurrent {
+                for &m in &views[vid].members {
+                    if hview.contains(m) && !members.contains(&m) {
+                        members.push(m);
+                    }
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            // The merged view's coordinator announces it.
+            if members[0] != self.me {
+                continue;
+            }
+            let Some(state) = self.lwgs.get_mut(&lwg) else {
+                continue;
+            };
+            let merged = View::with_predecessors(
+                ViewId::new(self.me, state.take_view_seq()),
+                members,
+                concurrent.clone(),
+            );
+            ctx.trace("lwg.merge", || format!("{lwg}: {concurrent:?} -> {merged}"));
+            ctx.metrics().incr("lwg.views_merged");
+            self.substrate.send(
+                ctx,
+                hwg,
+                payload(LwgMsg::NewLwgView {
+                    lwg,
+                    flush: None,
+                    view: merged,
+                    hwg,
+                }),
+            );
+        }
+    }
+
+    /// The LWG views of groups this node maps onto `hwg` (the AllViews
+    /// advertisement piggybacked on every HWG flush).
+    pub(crate) fn my_views_on(&self, hwg: HwgId) -> Vec<(LwgId, View)> {
+        self.lwgs
+            .iter()
+            .filter(|(_, s)| s.hwg == Some(hwg))
+            .filter_map(|(&l, s)| s.view.clone().map(|v| (l, v)))
+            .collect()
+    }
+}

@@ -4,9 +4,9 @@
 //! [`plwg_vsync::VsMsg::Data`]); `Redirect` is the only one sent directly
 //! node-to-node (the forward-pointer reply of paper §3.1).
 
+use plwg_hwg::{HwgId, View, ViewId};
 use plwg_naming::LwgId;
 use plwg_sim::{NodeId, Payload};
-use plwg_vsync::{HwgId, View, ViewId};
 use std::fmt;
 
 /// Identifies one LWG-level flush round.

@@ -8,14 +8,15 @@
 use crate::config::LwgConfig;
 use crate::events::LwgEvent;
 use crate::service::LwgService;
+use plwg_hwg::{HwgSubstrate, View};
 use plwg_naming::LwgId;
 use plwg_sim::{Context, NodeId, Payload, Process, TimerToken};
-use plwg_vsync::View;
 use std::any::Any;
 
-/// A simulated node running the LWG service, recording all upcalls.
-pub struct LwgNode {
-    service: LwgService,
+/// A simulated node running the LWG service over substrate `S`, recording
+/// all upcalls.
+pub struct LwgNode<S: HwgSubstrate> {
+    service: LwgService<S>,
     /// Every view installed, in order.
     views: Vec<(LwgId, View)>,
     /// Every delivery, in order.
@@ -24,7 +25,7 @@ pub struct LwgNode {
     lefts: Vec<LwgId>,
 }
 
-impl LwgNode {
+impl<S: HwgSubstrate> LwgNode<S> {
     /// Creates a node for `me`, using the given name servers.
     pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
         LwgNode {
@@ -36,12 +37,12 @@ impl LwgNode {
     }
 
     /// The wrapped service (join/leave/send and introspection).
-    pub fn service(&mut self) -> &mut LwgService {
+    pub fn service(&mut self) -> &mut LwgService<S> {
         &mut self.service
     }
 
     /// Immutable access to the wrapped service.
-    pub fn service_ref(&self) -> &LwgService {
+    pub fn service_ref(&self) -> &LwgService<S> {
         &self.service
     }
 
@@ -87,7 +88,7 @@ impl LwgNode {
     }
 }
 
-impl Process for LwgNode {
+impl<S: HwgSubstrate + 'static> Process for LwgNode<S> {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.service.start(ctx);
     }
@@ -109,7 +110,7 @@ impl Process for LwgNode {
     }
 }
 
-impl std::fmt::Debug for LwgNode {
+impl<S: HwgSubstrate> std::fmt::Debug for LwgNode<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LwgNode")
             .field("service", &self.service)

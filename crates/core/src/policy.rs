@@ -6,8 +6,8 @@
 //! interference** (don't make a small LWG ride a much larger HWG — the
 //! interference rule); the shrink rule cleans up HWGs nobody maps onto.
 
+use plwg_hwg::HwgId;
 use plwg_sim::NodeId;
-use plwg_vsync::HwgId;
 use std::collections::BTreeSet;
 
 /// `g1` is a *minority* of `g2` iff `|g1| <= |g2| / k_m` (paper Fig. 1).

@@ -1,252 +1,100 @@
-//! The light-weight group service state machine.
+//! The light-weight group service: struct, plumbing, and upcall dispatch.
 //!
 //! One [`LwgService`] runs at each application node. It owns the node's
-//! HWG stack ([`plwg_vsync::VsyncStack`]) and naming stub
-//! ([`plwg_naming::NsClient`]), maintains the local mapping table, runs the
-//! Figure-1 policies, and implements the four-step partition-heal procedure
-//! of paper §6.
+//! HWG substrate (any [`HwgSubstrate`] — [`plwg_hwg`] Table-1
+//! implementation) and naming stub ([`plwg_naming::NsClient`]), maintains
+//! the local mapping table, runs the Figure-1 policies, and implements the
+//! four-step partition-heal procedure of paper §6.
+//!
+//! The protocol itself lives in sibling modules, one per concern:
+//!
+//! | module                | concern                                        |
+//! |-----------------------|------------------------------------------------|
+//! | [`crate::mapping`]    | naming-service interaction, LWG→HWG policies   |
+//! | [`crate::data_plane`] | send / pack / subset delivery                  |
+//! | [`crate::flush`]      | LWG flushes, join/leave, view installation     |
+//! | [`crate::switch`]     | re-mapping a group onto another HWG (§3, §6.2) |
+//! | [`crate::merge`]      | MERGE-VIEWS single-flush healing (Fig. 5)      |
 
 use crate::batch::{FlushReason, PackBuffer};
 use crate::config::LwgConfig;
 use crate::events::LwgEvent;
-use crate::msg::{LFlushId, LwgMsg};
-use crate::policy::{self, PolicyAction};
-use plwg_naming::{LwgId, Mapping, NsClient, NsEvent, RequestId};
+use crate::msg::LwgMsg;
+use crate::state::{ForeignTag, LwgState, LwgStatus, MergeRound, NsPurpose, Phase, ServiceStats};
+use plwg_hwg::{HwgEvent, HwgId, HwgSubstrate, View};
+use plwg_naming::{LwgId, NsClient, RequestId};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime, TimerToken};
-use plwg_vsync::{GroupStatus, HwgId, View, ViewId, VsEvent, VsyncStack};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::BTreeMap;
 
-const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
-const TOK_TICK: TimerToken = TimerToken(0x0300_0000_0000_0002);
-const TOK_PACK: TimerToken = TimerToken(0x0300_0000_0000_0003);
+pub(crate) const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
+pub(crate) const TOK_TICK: TimerToken = TimerToken(0x0300_0000_0000_0002);
+pub(crate) const TOK_PACK: TimerToken = TimerToken(0x0300_0000_0000_0003);
 
-/// Why a naming request was issued (routes the reply).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NsPurpose {
-    /// Initial `ns.read` of the join flow.
-    JoinLookup,
-    /// `ns.testset` claiming the mapping before founding the group's
-    /// first view.
-    FoundClaim,
-    /// Periodic coordinator poll (callback-vs-polling ablation).
-    Poll,
-}
-
-/// Where a group member currently stands in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Waiting for the naming service to answer the join lookup.
-    ReadingNs,
-    /// Waiting to become a member of the target HWG.
-    JoiningHwg,
-    /// HWG member; asked the LWG coordinator for admission.
-    AwaitingAdmission,
-    /// Full member of an installed LWG view.
-    Member,
-    /// Asked to leave; waiting for the view that excludes us.
-    Leaving,
-}
-
-/// Member-side state of an in-progress LWG flush (join/leave/switch).
-#[derive(Debug)]
-struct LwgFlush {
-    flush: LFlushId,
-    /// Members whose `FlushOk` is awaited.
-    members: Vec<NodeId>,
-    oks: BTreeSet<NodeId>,
-    /// The successor view, once announced.
-    new_view: Option<(View, HwgId)>,
-    started_at: SimTime,
-}
-
-/// Coordinator-side state of an in-progress switch (paper §3: the
-/// switching protocol; also step 2 of partition healing, §6.2).
-#[derive(Debug)]
-struct SwitchState {
-    flush: LFlushId,
-    to: HwgId,
-    members: Vec<NodeId>,
-    ready: BTreeSet<NodeId>,
-    started_at: SimTime,
-}
-
-/// Per-LWG state at one node.
-#[derive(Debug)]
-struct LwgState {
-    phase: Phase,
-    /// Current LWG view (when `Member`/`Leaving`).
-    view: Option<View>,
-    /// Ids of LWG views this node has installed.
-    history: HashSet<ViewId>,
-    /// The HWG the group is currently mapped onto (target HWG during the
-    /// join flow).
-    hwg: Option<HwgId>,
-    /// Create the target HWG instead of probing for it (fresh allocation).
-    create_hwg: bool,
-    /// Sends buffered while no view is installed or a flush is running.
-    pending_send: Vec<Payload>,
-    /// Admission bookkeeping (joiner side).
-    join_deadline: Option<SimTime>,
-    join_attempts: u32,
-    /// Coordinator bookkeeping.
-    pending_joins: BTreeSet<NodeId>,
-    pending_leaves: BTreeSet<NodeId>,
-    lflush: Option<LwgFlush>,
-    switching: Option<SwitchState>,
-    /// Member-side: the switch we are following (stop data, join target,
-    /// report ready).
-    follow_switch: Option<(LFlushId, HwgId)>,
-    /// `FlushOk`s that arrived before their `Flush` (FIFO is per sender;
-    /// a peer's ack can overtake the coordinator's flush announcement).
-    early_oks: Vec<(LFlushId, NodeId)>,
-    /// Set when the backing HWG view dropped some of this LWG's members:
-    /// a pruned view announcement is imminent (sends are buffered until it
-    /// arrives so no member delivers messages others will not see).
-    awaiting_prune: Option<SimTime>,
-    next_view_seq: u64,
-    next_flush_nonce: u64,
-}
-
-impl LwgState {
-    fn new() -> Self {
-        LwgState {
-            phase: Phase::ReadingNs,
-            view: None,
-            history: HashSet::new(),
-            hwg: None,
-            create_hwg: false,
-            pending_send: Vec::new(),
-            join_deadline: None,
-            join_attempts: 0,
-            pending_joins: BTreeSet::new(),
-            pending_leaves: BTreeSet::new(),
-            lflush: None,
-            switching: None,
-            follow_switch: None,
-            early_oks: Vec::new(),
-            awaiting_prune: None,
-            next_view_seq: 0,
-            next_flush_nonce: 0,
-        }
-    }
-
-    fn take_view_seq(&mut self) -> u64 {
-        self.next_view_seq += 1;
-        self.next_view_seq
-    }
-
-    fn bump_view_seq(&mut self, seen: u64) {
-        self.next_view_seq = self.next_view_seq.max(seen);
-    }
-
-    fn take_flush_nonce(&mut self) -> u64 {
-        self.next_flush_nonce += 1;
-        self.next_flush_nonce
-    }
-}
-
-/// Per-HWG merge-views round: the LWG views advertised by members during
-/// the current HWG view (via `AllViews` piggybacked on every flush).
-#[derive(Debug, Default)]
-struct MergeRound {
-    /// Whether MERGE-VIEWS was multicast/observed in this HWG view.
-    triggered: bool,
-    /// lwg → (view id → view) collected from `AllViews`.
-    collected: BTreeMap<LwgId, BTreeMap<ViewId, View>>,
-}
-
-/// Recently seen data tagged with an LWG view we do not know — potential
-/// evidence of a concurrent view (local peer-discovery fallback).
-#[derive(Debug)]
-struct ForeignTag {
-    seen_at: SimTime,
-    hwg: HwgId,
-    lwg: LwgId,
-    view_id: ViewId,
-}
-
-/// A snapshot of one group's state at this node (see
-/// [`LwgService::stats`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LwgStatus {
-    /// The group.
-    pub lwg: LwgId,
-    /// Lifecycle phase, as a stable label: `"reading-ns"`,
-    /// `"joining-hwg"`, `"awaiting-admission"`, `"member"`, `"leaving"`.
-    pub phase: &'static str,
-    /// Current view id, when installed.
-    pub view: Option<ViewId>,
-    /// Number of members in the current view.
-    pub members: usize,
-    /// The HWG the group is mapped onto (or targeted at, while joining).
-    pub hwg: Option<HwgId>,
-    /// Whether this node acts as the group's coordinator.
-    pub coordinator: bool,
-    /// Whether a flush/switch/prune is in progress.
-    pub busy: bool,
-}
-
-/// A point-in-time summary of the whole service at this node (see
-/// [`LwgService::stats`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServiceStats {
-    /// Per-group status, ordered by group id.
-    pub lwgs: Vec<LwgStatus>,
-    /// HWGs this node is currently a member of.
-    pub hwgs: Vec<HwgId>,
-    /// Forward pointers held (LWGs known to have switched away).
-    pub forward_pointers: usize,
-    /// Naming requests awaiting a reply.
-    pub pending_ns_requests: usize,
-}
-
-/// The light-weight group service at one node.
+/// The light-weight group service at one node, generic over the Table-1
+/// substrate `S` that carries its traffic.
 ///
 /// The owner process forwards messages/timers and drains [`LwgEvent`]s;
 /// [`crate::LwgNode`] is a ready-made wrapper that does exactly that.
-pub struct LwgService {
-    me: NodeId,
-    cfg: LwgConfig,
-    stack: VsyncStack,
-    ns: NsClient,
-    lwgs: BTreeMap<LwgId, LwgState>,
-    rounds: BTreeMap<HwgId, MergeRound>,
+/// Production code instantiates `LwgService<plwg_vsync::VsyncStack>`;
+/// protocol tests use `LwgService<`[`crate::ScriptedHwg`]`>`.
+pub struct LwgService<S: HwgSubstrate> {
+    pub(crate) me: NodeId,
+    pub(crate) cfg: LwgConfig,
+    pub(crate) substrate: S,
+    pub(crate) ns: NsClient,
+    pub(crate) lwgs: BTreeMap<LwgId, LwgState>,
+    pub(crate) rounds: BTreeMap<HwgId, MergeRound>,
     /// Forward pointers left behind by switches (paper §3.1).
-    forward: BTreeMap<LwgId, HwgId>,
+    pub(crate) forward: BTreeMap<LwgId, HwgId>,
     /// Naming requests awaiting a reply, with their purpose.
-    ns_lookups: BTreeMap<RequestId, (LwgId, NsPurpose)>,
-    foreign: Vec<ForeignTag>,
+    pub(crate) ns_lookups: BTreeMap<RequestId, (LwgId, NsPurpose)>,
+    pub(crate) foreign: Vec<ForeignTag>,
     /// HWGs with no local LWG mapped, and since when (shrink rule).
-    idle_hwgs: BTreeMap<HwgId, SimTime>,
-    next_hwg_counter: u64,
-    last_ns_poll: SimTime,
+    pub(crate) idle_hwgs: BTreeMap<HwgId, SimTime>,
+    pub(crate) next_hwg_counter: u64,
+    pub(crate) last_ns_poll: SimTime,
     /// Rate limit for MERGE-VIEWS per HWG: a forced flush is pointless (and
     /// starves the HWG-level beacon merge) more than ~once a second.
-    last_merge_views: BTreeMap<HwgId, SimTime>,
+    pub(crate) last_merge_views: BTreeMap<HwgId, SimTime>,
     /// Sends waiting to be packed into one HWG multicast, per backing HWG
     /// (empty unless `pack_max_msgs > 1`).
-    packs: BTreeMap<HwgId, PackBuffer>,
+    pub(crate) packs: BTreeMap<HwgId, PackBuffer>,
     /// Whether a `TOK_PACK` timer is outstanding (one timer serves all
     /// buffers; it fires, flushes everything non-empty, and is re-armed by
     /// the next buffered send).
-    pack_timer_armed: bool,
-    events: Vec<LwgEvent>,
+    pub(crate) pack_timer_armed: bool,
+    pub(crate) events: Vec<LwgEvent>,
 }
 
-impl LwgService {
+impl<S: HwgSubstrate> LwgService<S> {
     /// Creates the service for node `me`, talking to the given name
-    /// servers.
+    /// servers. The substrate is built from `cfg.hwg` via
+    /// [`HwgSubstrate::build`].
     ///
     /// # Panics
     ///
     /// Panics if `cfg` is invalid or `servers` is empty.
     pub fn new(me: NodeId, servers: Vec<NodeId>, mut cfg: LwgConfig) -> Self {
         // The service answers Stop itself, after advertising its views.
-        cfg.vsync.auto_stop_ok = false;
+        cfg.hwg.auto_stop_ok = false;
+        let substrate = S::build(me, &cfg.hwg);
+        Self::with_substrate(substrate, servers, cfg)
+    }
+
+    /// Creates the service around an already-built substrate endpoint
+    /// (tests that pre-programme a [`crate::ScriptedHwg`], alternative
+    /// backends with out-of-band construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `servers` is empty.
+    pub fn with_substrate(substrate: S, servers: Vec<NodeId>, mut cfg: LwgConfig) -> Self {
+        cfg.hwg.auto_stop_ok = false;
         cfg.validate();
+        let me = substrate.node();
         LwgService {
             me,
-            stack: VsyncStack::new(me, cfg.vsync.clone()),
+            substrate,
             ns: NsClient::new(me, servers, cfg.naming.clone()),
             cfg,
             lwgs: BTreeMap::new(),
@@ -271,176 +119,9 @@ impl LwgService {
 
     /// Must be called from the owner's `on_start`.
     pub fn start(&mut self, ctx: &mut Context<'_>) {
-        self.stack.start(ctx);
+        self.substrate.start(ctx);
         ctx.set_timer(self.cfg.tick_interval, TOK_TICK);
         ctx.set_timer(self.cfg.policy_interval, TOK_POLICY);
-    }
-
-    // ------------------------------------------------------------------
-    // Public API (paper Table 1, user side)
-    // ------------------------------------------------------------------
-
-    /// Joins light-weight group `lwg`. The `View` upcall confirms
-    /// membership. No-op if already joining or a member.
-    pub fn join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        if self.lwgs.contains_key(&lwg) {
-            return;
-        }
-        let state = LwgState::new();
-        self.lwgs.insert(lwg, state);
-        ctx.trace("lwg.join.start", || format!("{lwg}"));
-        let req = self.ns.read(ctx, lwg);
-        self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
-    }
-
-    /// Leaves `lwg`; the `Left` upcall confirms.
-    pub fn leave(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        match state.phase {
-            Phase::ReadingNs | Phase::JoiningHwg | Phase::AwaitingAdmission => {
-                // Not admitted anywhere yet: just abandon the join.
-                self.lwgs.remove(&lwg);
-                self.events.push(LwgEvent::Left { lwg });
-            }
-            Phase::Member => {
-                let view = state.view.clone().expect("member has a view");
-                if view.len() == 1 {
-                    // Sole member: dissolve the group.
-                    let hwg = state.hwg;
-                    self.lwgs.remove(&lwg);
-                    self.ns.unset(ctx, lwg, view.id);
-                    self.events.push(LwgEvent::Left { lwg });
-                    if let Some(h) = hwg {
-                        self.note_idle_if_unused(ctx, h);
-                    }
-                    return;
-                }
-                state.phase = Phase::Leaving;
-                state.pending_leaves.insert(self.me);
-                let hwg = state.hwg;
-                if let Some(hwg) = hwg {
-                    // Barrier: our buffered data must precede the leave
-                    // request in the per-sender FIFO stream.
-                    self.flush_pack(ctx, hwg, FlushReason::Barrier);
-                    self.stack.send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
-                }
-                self.maybe_start_lwg_flush(ctx, lwg);
-            }
-            Phase::Leaving => {}
-        }
-    }
-
-    /// Sends a multicast on `lwg` (buffered until a view is installed and
-    /// no flush is in progress).
-    pub fn send(&mut self, ctx: &mut Context<'_>, lwg: LwgId, data: Payload) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let blocked = state.phase != Phase::Member
-            || state.lflush.is_some()
-            || state.follow_switch.is_some()
-            || state.switching.is_some()
-            || state.awaiting_prune.is_some();
-        if blocked {
-            state.pending_send.push(data);
-            return;
-        }
-        let lwg_view = state.view.as_ref().expect("member has a view").id;
-        let hwg = state.hwg.expect("member has a mapping");
-        ctx.metrics().incr("lwg.data_sent");
-        if self.cfg.pack_max_msgs > 1 {
-            let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);
-            if occupancy >= self.cfg.pack_max_msgs {
-                self.flush_pack(ctx, hwg, FlushReason::Full);
-            } else if !self.pack_timer_armed {
-                self.pack_timer_armed = true;
-                ctx.set_timer(self.cfg.pack_delay, TOK_PACK);
-            }
-            return;
-        }
-        let msg = LwgMsg::Data {
-            lwg,
-            lwg_view,
-            data,
-        };
-        self.send_data_on(ctx, hwg, &[lwg], msg);
-    }
-
-    // ------------------------------------------------------------------
-    // Message packing + subset delivery (data-plane optimisations)
-    // ------------------------------------------------------------------
-
-    /// The subset-multicast target set for data of `lwgs` on `hwg`: the
-    /// union of the groups' current LWG views plus the HWG coordinator
-    /// (whose retransmission store anchors flush pulls). `None` when
-    /// subset delivery is disabled, the HWG view is unknown, or the set is
-    /// not a *strict* subset of the HWG view — then a plain full multicast
-    /// is both cheaper and simpler.
-    fn subset_targets<I>(&self, hwg: HwgId, lwgs: I) -> Option<BTreeSet<NodeId>>
-    where
-        I: IntoIterator<Item = LwgId>,
-    {
-        if !self.cfg.subset_delivery {
-            return None;
-        }
-        let hview = self.stack.view_of(hwg)?;
-        let mut targets: BTreeSet<NodeId> = BTreeSet::new();
-        targets.insert(hview.coordinator());
-        for lwg in lwgs {
-            let view = self.lwgs.get(&lwg)?.view.as_ref()?;
-            targets.extend(view.members.iter().copied());
-        }
-        if targets.len() < hview.len() && targets.iter().all(|t| hview.contains(*t)) {
-            Some(targets)
-        } else {
-            None
-        }
-    }
-
-    /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
-    /// only the interested members when the subset path applies.
-    fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
-        if let Some(targets) = self.subset_targets(hwg, lwgs.iter().copied()) {
-            ctx.metrics().incr("lwg.subset_sends");
-            self.stack.send_to(ctx, hwg, &targets, payload(msg));
-        } else {
-            self.stack.send(ctx, hwg, payload(msg));
-        }
-    }
-
-    /// Flushes the pack buffer of `hwg` into one [`LwgMsg::Batch`]
-    /// multicast. Barrier callers invoke this *before* any flush, view or
-    /// merge control message so a batch never crosses a view cut on
-    /// either layer.
-    fn flush_pack(&mut self, ctx: &mut Context<'_>, hwg: HwgId, reason: FlushReason) {
-        let Some(buf) = self.packs.get_mut(&hwg) else {
-            return;
-        };
-        if buf.is_empty() {
-            return;
-        }
-        let entries = buf.take();
-        ctx.metrics().incr("lwg.batch.sent");
-        ctx.metrics().incr(reason.metric());
-        ctx.metrics()
-            .observe("lwg.batch.occupancy", entries.len() as u64);
-        let lwgs: Vec<LwgId> = entries.iter().map(|(l, _, _)| *l).collect();
-        self.send_data_on(ctx, hwg, &lwgs, LwgMsg::Batch { entries });
-    }
-
-    /// Flushes every non-empty pack buffer (pack-delay timer path).
-    fn flush_all_packs(&mut self, ctx: &mut Context<'_>, reason: FlushReason) {
-        let hwgs: Vec<HwgId> = self
-            .packs
-            .iter()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(&h, _)| h)
-            .collect();
-        for hwg in hwgs {
-            self.flush_pack(ctx, hwg, reason);
-        }
     }
 
     // ------------------------------------------------------------------
@@ -459,7 +140,7 @@ impl LwgService {
 
     /// HWGs this node is currently a member of.
     pub fn hwgs(&self) -> Vec<HwgId> {
-        self.stack.groups().collect()
+        self.substrate.groups()
     }
 
     /// Whether this node is the acting coordinator of `lwg`.
@@ -467,9 +148,14 @@ impl LwgService {
         self.lwg_coordinator(lwg) == Some(self.me)
     }
 
-    /// Direct access to the HWG stack (experiments and tests).
-    pub fn hwg_stack(&self) -> &VsyncStack {
-        &self.stack
+    /// Direct access to the HWG substrate (experiments and tests).
+    pub fn hwg_stack(&self) -> &S {
+        &self.substrate
+    }
+
+    /// Mutable access to the HWG substrate (tests that script it).
+    pub fn hwg_stack_mut(&mut self) -> &mut S {
+        &mut self.substrate
     }
 
     /// Takes the application upcalls produced since the last drain.
@@ -512,11 +198,11 @@ impl LwgService {
 
     /// The acting coordinator of `lwg`: its most senior member that is
     /// still in the backing HWG view.
-    fn lwg_coordinator(&self, lwg: LwgId) -> Option<NodeId> {
+    pub(crate) fn lwg_coordinator(&self, lwg: LwgId) -> Option<NodeId> {
         let state = self.lwgs.get(&lwg)?;
         let view = state.view.as_ref()?;
         let hwg = state.hwg?;
-        let hview = self.stack.view_of(hwg)?;
+        let hview = self.substrate.view_of(hwg)?;
         view.members.iter().copied().find(|&m| hview.contains(m))
     }
 
@@ -526,8 +212,8 @@ impl LwgService {
 
     /// Routes an incoming message. Returns `true` when consumed.
     pub fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
-        if self.stack.on_message(ctx, from, msg) {
-            self.pump_vsync(ctx);
+        if self.substrate.on_message(ctx, from, msg) {
+            self.pump(ctx);
             return true;
         }
         if self.ns.on_message(ctx, from, msg) {
@@ -544,8 +230,8 @@ impl LwgService {
 
     /// Routes a timer. Returns `true` when consumed.
     pub fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
-        if self.stack.on_timer(ctx, token) {
-            self.pump_vsync(ctx);
+        if self.substrate.on_timer(ctx, token) {
+            self.pump(ctx);
             return true;
         }
         if self.ns.on_timer(ctx, token) {
@@ -566,23 +252,26 @@ impl LwgService {
             TOK_PACK => {
                 self.pack_timer_armed = false;
                 self.flush_all_packs(ctx, FlushReason::Timer);
-                self.pump_vsync(ctx);
+                self.pump(ctx);
                 true
             }
             _ => false,
         }
     }
 
-    fn pump_vsync(&mut self, ctx: &mut Context<'_>) {
-        // Drain-and-handle until quiescent: handling one event can enqueue
-        // more (e.g. stop_ok completes a flush which installs a view).
+    /// Drains and handles buffered substrate events until quiescent:
+    /// handling one event can enqueue more (e.g. `stop_ok` completes a
+    /// flush which installs a view). Called automatically from the
+    /// message/timer plumbing; public so tests that inject events straight
+    /// into a scripted substrate can make the service observe them.
+    pub fn pump(&mut self, ctx: &mut Context<'_>) {
         loop {
-            let events = self.stack.drain_events();
+            let events = self.substrate.drain_events();
             if events.is_empty() {
                 break;
             }
             for ev in events {
-                self.handle_vs_event(ctx, ev);
+                self.handle_hwg_event(ctx, ev);
             }
         }
     }
@@ -597,9 +286,9 @@ impl LwgService {
     // HWG upcalls
     // ------------------------------------------------------------------
 
-    fn handle_vs_event(&mut self, ctx: &mut Context<'_>, ev: VsEvent) {
+    fn handle_hwg_event(&mut self, ctx: &mut Context<'_>, ev: HwgEvent) {
         match ev {
-            VsEvent::Stop { hwg } => {
+            HwgEvent::Stop { hwg } => {
                 // Barrier: buffered packs must go out before stop_ok so
                 // they are part of the closing view's message set — a
                 // batch never straddles the HWG view cut.
@@ -610,12 +299,12 @@ impl LwgService {
                 // LWG view present (the ALL-VIEWS exchange of Fig. 5).
                 let views = self.my_views_on(hwg);
                 if !views.is_empty() {
-                    self.stack
+                    self.substrate
                         .send(ctx, hwg, payload(LwgMsg::AllViews { views }));
                 }
-                self.stack.stop_ok(ctx, hwg);
+                self.substrate.stop_ok(ctx, hwg);
             }
-            VsEvent::Data {
+            HwgEvent::Data {
                 hwg,
                 view_id: _,
                 src,
@@ -625,8 +314,8 @@ impl LwgService {
                     self.handle_lwg_msg(ctx, Some(hwg), src, lm);
                 }
             }
-            VsEvent::View { hwg, view } => self.handle_hwg_view(ctx, hwg, view),
-            VsEvent::Left { hwg } => {
+            HwgEvent::View { hwg, view } => self.handle_hwg_view(ctx, hwg, view),
+            HwgEvent::Left { hwg } => {
                 self.idle_hwgs.remove(&hwg);
                 self.rounds.remove(&hwg);
                 // The transport is gone; buffered packs can no longer be
@@ -672,7 +361,7 @@ impl LwgService {
         }
 
         // 2. Members following a switch to this HWG report readiness.
-        let following: Vec<(LwgId, LFlushId)> = self
+        let following: Vec<(LwgId, crate::msg::LFlushId)> = self
             .lwgs
             .iter()
             .filter_map(|(&l, s)| {
@@ -684,7 +373,7 @@ impl LwgService {
             .collect();
         for (lwg, flush) in following {
             if hview.contains(self.me) {
-                self.stack
+                self.substrate
                     .send(ctx, hwg, payload(LwgMsg::SwitchReady { lwg, flush }));
             }
         }
@@ -697,7 +386,7 @@ impl LwgService {
         //    views may now share this HWG without knowing it: trigger
         //    MERGE-VIEWS (step 3→4 of paper §6). Any member may send it;
         //    the HWG coordinator does, deterministically.
-        if hview.predecessors.len() > 1 && self.stack.is_coordinator(hwg) {
+        if hview.predecessors.len() > 1 && self.substrate.is_coordinator(hwg) {
             self.trigger_merge_views(ctx, hwg);
         }
 
@@ -743,11 +432,10 @@ impl LwgService {
     }
 
     // ------------------------------------------------------------------
-    // LWG message handling
+    // LWG message dispatch
     // ------------------------------------------------------------------
 
-    #[allow(clippy::too_many_lines)]
-    fn handle_lwg_msg(
+    pub(crate) fn handle_lwg_msg(
         &mut self,
         ctx: &mut Context<'_>,
         hwg: Option<HwgId>,
@@ -771,14 +459,7 @@ impl LwgService {
                 }
             }
             LwgMsg::JoinReq { lwg } => self.handle_join_req(ctx, hwg, *lwg, from),
-            LwgMsg::LeaveReq { lwg } => {
-                if let Some(state) = self.lwgs.get_mut(lwg) {
-                    if state.view.as_ref().is_some_and(|v| v.contains(from)) {
-                        state.pending_leaves.insert(from);
-                        self.maybe_start_lwg_flush(ctx, *lwg);
-                    }
-                }
-            }
+            LwgMsg::LeaveReq { lwg } => self.handle_leave_req(ctx, *lwg, from),
             LwgMsg::Flush {
                 lwg,
                 flush,
@@ -803,1256 +484,46 @@ impl LwgService {
                 self.handle_lwg_flush(ctx, *lwg, *flush, members.clone(), Some(*to));
             }
             LwgMsg::SwitchReady { lwg, flush } => {
-                let mut complete = false;
-                if let Some(state) = self.lwgs.get_mut(lwg) {
-                    if let Some(sw) = &mut state.switching {
-                        if sw.flush == *flush {
-                            sw.ready.insert(from);
-                            complete = sw.ready.len() == sw.members.len();
-                        }
-                    }
-                }
-                if complete {
-                    self.complete_switch(ctx, *lwg);
-                }
+                self.handle_switch_ready(ctx, *lwg, *flush, from);
             }
-            LwgMsg::MergeViews => {
-                if let Some(hwg) = hwg {
-                    let round = self.rounds.entry(hwg).or_default();
-                    if !round.triggered {
-                        round.triggered = true;
-                        ctx.metrics().incr("lwg.merge_views_observed");
-                    }
-                    // The HWG coordinator turns the request into the flush
-                    // barrier of Fig. 5.
-                    self.stack.force_flush(ctx, hwg);
-                }
-            }
-            LwgMsg::AllViews { views } => {
-                if let Some(hwg) = hwg {
-                    let round = self.rounds.entry(hwg).or_default();
-                    for (lwg, view) in views {
-                        round
-                            .collected
-                            .entry(*lwg)
-                            .or_default()
-                            .insert(view.id, view.clone());
-                    }
-                }
-            }
-            LwgMsg::Dissolved { lwg, flush } => {
-                let leaving = self.lwgs.get(lwg).is_some_and(|s| {
-                    s.phase == Phase::Leaving
-                        || s.lflush.as_ref().is_some_and(|f| f.flush == *flush)
-                });
-                if leaving {
-                    let hwg = self.lwgs.get(lwg).and_then(|s| s.hwg);
-                    self.lwgs.remove(lwg);
-                    self.events.push(LwgEvent::Left { lwg: *lwg });
-                    if let Some(h) = hwg {
-                        self.note_idle_if_unused(ctx, h);
-                    }
-                }
-            }
-            LwgMsg::Redirect { lwg, to } => {
-                // Forward pointer: our mapping information was outdated.
-                let retarget = self.lwgs.get(lwg).is_some_and(|s| {
-                    matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
-                        && s.hwg != Some(*to)
-                });
-                if retarget {
-                    ctx.metrics().incr("lwg.redirects_followed");
-                    ctx.trace("lwg.redirect", || format!("{lwg} -> {to}"));
-                    let old = self.lwgs.get(lwg).and_then(|s| s.hwg);
-                    self.begin_hwg_join(ctx, *lwg, *to, false);
-                    if let Some(old) = old {
-                        self.note_idle_if_unused(ctx, old);
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_lwg_data(
-        &mut self,
-        ctx: &mut Context<'_>,
-        hwg: Option<HwgId>,
-        lwg: LwgId,
-        lwg_view: ViewId,
-        src: NodeId,
-        data: Payload,
-    ) {
-        let Some(state) = self.lwgs.get(&lwg) else {
-            // Filtering cost of co-mapped groups we are not a member of —
-            // this is the "interference" the paper's policies minimise.
-            ctx.metrics().incr("lwg.filtered");
-            return;
-        };
-        match &state.view {
-            Some(view) if view.id == lwg_view => {
-                ctx.metrics().incr("lwg.data_delivered");
-                self.events.push(LwgEvent::Data { lwg, src, data });
-            }
-            Some(_) if state.history.contains(&lwg_view) => {
-                // From a predecessor of our current view; superseded.
-                ctx.metrics().incr("lwg.data_stale");
-            }
-            Some(_) => {
-                // A view we never installed: evidence of a concurrent view
-                // sharing our HWG (local peer discovery, paper §6.3 / Fig. 5
-                // line 106). Remember it; the tick triggers MERGE-VIEWS if
-                // no merge happens first.
-                ctx.metrics().incr("lwg.data_foreign");
-                if let Some(hwg) = hwg {
-                    self.foreign.push(ForeignTag {
-                        seen_at: ctx.now(),
-                        hwg,
-                        lwg,
-                        view_id: lwg_view,
-                    });
-                }
-            }
-            None => {
-                ctx.metrics().incr("lwg.filtered");
-            }
-        }
-    }
-
-    fn handle_join_req(
-        &mut self,
-        ctx: &mut Context<'_>,
-        arrived_on: Option<HwgId>,
-        lwg: LwgId,
-        from: NodeId,
-    ) {
-        let is_member = self.lwgs.get(&lwg).is_some_and(|s| s.view.is_some());
-        if is_member {
-            let mapping = self.lwgs.get(&lwg).and_then(|s| s.hwg);
-            if let Some(to) = mapping {
-                if arrived_on.is_some() && arrived_on != Some(to) {
-                    // The joiner used an outdated mapping: the request
-                    // reached us on an HWG the group no longer rides. Point
-                    // it at the current one (paper §3.1's forward-pointer
-                    // behaviour, here served by a member directly).
-                    ctx.metrics().incr("lwg.redirects_sent");
-                    ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
-                    return;
-                }
-            }
-            if self.lwg_coordinator(lwg) == Some(self.me) {
-                let state = self.lwgs.get_mut(&lwg).expect("checked");
-                if !state.view.as_ref().is_some_and(|v| v.contains(from)) {
-                    state.pending_joins.insert(from);
-                    self.maybe_start_lwg_flush(ctx, lwg);
-                }
-            }
-        } else if let Some(&to) = self.forward.get(&lwg) {
-            // We are not a member but remember where the group went.
-            ctx.metrics().incr("lwg.redirects_sent");
-            ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
-        }
-    }
-
-    /// Member side of an LWG flush (also the old-HWG half of a switch when
-    /// `switch_to` is set): stop sending, acknowledge, and for a switch,
-    /// start joining the target HWG.
-    fn handle_lwg_flush(
-        &mut self,
-        ctx: &mut Context<'_>,
-        lwg: LwgId,
-        flush: LFlushId,
-        members: Vec<NodeId>,
-        switch_to: Option<HwgId>,
-    ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(view) = &state.view else { return };
-        if !view.contains(self.me) || !members.contains(&self.me) {
-            return;
-        }
-        // Supersede rule mirrors the HWG layer: more senior initiator (in
-        // LWG view order) or newer nonce from the same initiator wins.
-        if let Some(cur) = &state.lflush {
-            let rank = |m: NodeId| view.rank(m).unwrap_or(usize::MAX);
-            let supersedes = rank(flush.initiator) < rank(cur.flush.initiator)
-                || (flush.initiator == cur.flush.initiator && flush.nonce > cur.flush.nonce);
-            if !supersedes {
-                return;
-            }
-        }
-        let mut oks = BTreeSet::new();
-        state.early_oks.retain(|(f, n)| {
-            if *f == flush {
-                oks.insert(*n);
-                false
-            } else {
-                true
-            }
-        });
-        state.lflush = Some(LwgFlush {
-            flush,
-            members: members.clone(),
-            oks,
-            new_view: None,
-            started_at: ctx.now(),
-        });
-        let hwg = state.hwg;
-        if let Some(to) = switch_to {
-            state.follow_switch = Some((flush, to));
-        }
-        if let Some(hwg) = hwg {
-            // Barrier: data we buffered in the closing LWG view must
-            // precede our FlushOk in the per-sender FIFO stream, so every
-            // member drains it before installing the successor view.
-            self.flush_pack(ctx, hwg, FlushReason::Barrier);
-            self.stack
-                .send(ctx, hwg, payload(LwgMsg::FlushOk { lwg, flush }));
-        }
-        if let Some(to) = switch_to {
-            // Join the target HWG (the coordinator pre-created it).
-            if self.stack.status_of(to) == GroupStatus::Left {
-                self.stack.join(ctx, to);
-            } else if self.stack.view_of(to).is_some_and(|v| v.contains(self.me)) {
-                // Already a member: report ready immediately.
-                self.stack
-                    .send(ctx, to, payload(LwgMsg::SwitchReady { lwg, flush }));
-            }
-        }
-    }
-
-    fn handle_flush_ok(
-        &mut self,
-        ctx: &mut Context<'_>,
-        lwg: LwgId,
-        flush: LFlushId,
-        from: NodeId,
-    ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(lf) = &mut state.lflush else {
-            state.early_oks.push((flush, from));
-            return;
-        };
-        if lf.flush != flush {
-            state.early_oks.push((flush, from));
-            return;
-        }
-        lf.oks.insert(from);
-        self.try_conclude_lwg_flush(ctx, lwg);
-    }
-
-    fn handle_new_lwg_view(
-        &mut self,
-        ctx: &mut Context<'_>,
-        lwg: LwgId,
-        flush: Option<LFlushId>,
-        view: View,
-        on_hwg: HwgId,
-    ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        if !view.contains(self.me) {
-            // Excludes us: our leave completed (or we were pruned).
-            let ours = state
-                .view
-                .as_ref()
-                .is_some_and(|v| view.predecessors.contains(&v.id));
-            if ours {
-                let hwg = state.hwg;
-                self.lwgs.remove(&lwg);
-                self.events.push(LwgEvent::Left { lwg });
-                if let Some(h) = hwg {
-                    self.note_idle_if_unused(ctx, h);
-                }
-            }
-            return;
-        }
-        match flush {
-            Some(f) => {
-                // Ordinary join/leave/switch view: wait for the flush to
-                // complete (all FlushOks) before installing.
-                let Some(lf) = &mut state.lflush else {
-                    // We were admitted as a *joiner*: no old view to drain.
-                    if state.view.is_none() {
-                        self.install_lwg_view(ctx, lwg, view, on_hwg);
-                    }
-                    return;
-                };
-                if lf.flush == f {
-                    lf.new_view = Some((view, on_hwg));
-                    self.try_conclude_lwg_flush(ctx, lwg);
-                }
-            }
-            None => {
-                // Merge path: the HWG flush already drained the old views.
-                let acceptable = match &state.view {
-                    Some(cur) => view.predecessors.contains(&cur.id) || view.id == cur.id,
-                    None => true,
-                };
-                if acceptable && state.view.as_ref().map(|v| v.id) != Some(view.id) {
-                    self.install_lwg_view(ctx, lwg, view, on_hwg);
-                }
-            }
-        }
-    }
-
-    /// Installs `view` if its flush (when any) has fully acknowledged.
-    fn try_conclude_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(lf) = &state.lflush else { return };
-        let Some((view, on_hwg)) = lf.new_view.clone() else {
-            // Coordinator side: once every member acknowledged, announce
-            // the successor view.
-            let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
-            if all_ok && lf.flush.initiator == self.me && state.switching.is_none() {
-                self.announce_successor_view(ctx, lwg);
-            }
-            return;
-        };
-        let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
-        if all_ok {
-            self.install_lwg_view(ctx, lwg, view, on_hwg);
-        }
-    }
-
-    /// Coordinator: all FlushOks are in — compute and multicast the
-    /// successor view (join/leave/prune path).
-    fn announce_successor_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(view) = state.view.clone() else {
-            return;
-        };
-        let Some(hwg) = state.hwg else { return };
-        let Some(lf) = &state.lflush else { return };
-        let flush = lf.flush;
-        let hview_members: Vec<NodeId> = self
-            .stack
-            .view_of(hwg)
-            .map(|v| v.members.clone())
-            .unwrap_or_default();
-        let state = self.lwgs.get_mut(&lwg).expect("still present");
-        let mut members: Vec<NodeId> = view
-            .members
-            .iter()
-            .copied()
-            .filter(|m| hview_members.contains(m) && !state.pending_leaves.contains(m))
-            .collect();
-        let mut joiners: Vec<NodeId> = state
-            .pending_joins
-            .iter()
-            .copied()
-            .filter(|j| hview_members.contains(j) && !view.contains(*j))
-            .collect();
-        joiners.sort_unstable();
-        members.extend(joiners);
-        if members.is_empty() {
-            // Everybody left: dissolve the group (no successor view).
-            ctx.trace("lwg.dissolve", || format!("{lwg}"));
-            self.ns.unset(ctx, lwg, view.id);
-            self.stack
-                .send(ctx, hwg, payload(LwgMsg::Dissolved { lwg, flush }));
-            return;
-        }
-        let new_view = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
-            members,
-            vec![view.id],
-        );
-        ctx.trace("lwg.view.announce", || format!("{lwg} {new_view}"));
-        self.stack.send(
-            ctx,
-            hwg,
-            payload(LwgMsg::NewLwgView {
-                lwg,
-                flush: Some(flush),
-                view: new_view,
-                hwg,
-            }),
-        );
-    }
-
-    /// Coordinator: announce the view with the members that fell out of
-    /// the HWG removed (no LWG flush needed — see `handle_hwg_view`).
-    fn announce_pruned_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hview: &View) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        if state.lflush.is_some() || state.switching.is_some() {
-            return; // an explicit flush is already reshaping the view
-        }
-        let Some(view) = state.view.clone() else {
-            return;
-        };
-        let Some(hwg) = state.hwg else { return };
-        let members: Vec<NodeId> = view
-            .members
-            .iter()
-            .copied()
-            .filter(|m| hview.contains(*m))
-            .collect();
-        if members.is_empty() {
-            return;
-        }
-        let pruned = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
-            members,
-            vec![view.id],
-        );
-        ctx.trace("lwg.prune", || format!("{lwg} {pruned}"));
-        ctx.metrics().incr("lwg.prunes");
-        self.stack.send(
-            ctx,
-            hwg,
-            payload(LwgMsg::NewLwgView {
-                lwg,
-                flush: None,
-                view: pruned,
-                hwg,
-            }),
-        );
-    }
-
-    fn install_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, view: View, on_hwg: HwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let old_hwg = state.hwg;
-        if let Some(old) = &state.view {
-            state.history.insert(old.id);
-        }
-        for p in &view.predecessors {
-            state.history.insert(*p);
-        }
-        state.bump_view_seq(if view.id.coordinator == self.me {
-            view.id.seq
-        } else {
-            0
-        });
-        ctx.trace("lwg.view.install", || format!("{lwg} {view} on {on_hwg}"));
-        ctx.metrics().incr("lwg.views_installed");
-        state.view = Some(view.clone());
-        state.hwg = Some(on_hwg);
-        state.phase = Phase::Member;
-        state.join_deadline = None;
-        state.join_attempts = 0;
-        state.lflush = None;
-        state.switching = None;
-        state.follow_switch = None;
-        state.early_oks.clear();
-        state.awaiting_prune = None;
-        for m in &view.members {
-            state.pending_joins.remove(m);
-        }
-        state.pending_leaves.retain(|l| view.contains(*l));
-        let pending = std::mem::take(&mut state.pending_send);
-        self.idle_hwgs.remove(&on_hwg);
-        self.events.push(LwgEvent::View {
-            lwg,
-            view: view.clone(),
-        });
-        // If the mapping moved, leave a forward pointer and consider
-        // shrinking the old HWG.
-        if let Some(old) = old_hwg {
-            if old != on_hwg {
-                self.forward.insert(lwg, on_hwg);
-                self.note_idle_if_unused(ctx, old);
-            }
-        }
-        // Coordinator records the mapping.
-        if self.lwg_coordinator(lwg) == Some(self.me) {
-            self.refresh_mapping(ctx, lwg);
-        }
-        // Release buffered sends in the new view.
-        for data in pending {
-            self.send(ctx, lwg, data);
-        }
-        // Queued membership changes are handled in a follow-up flush.
-        self.maybe_start_lwg_flush(ctx, lwg);
-    }
-
-    /// Writes the current view-to-view mapping to the naming service.
-    fn refresh_mapping(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        let Some(view) = &state.view else { return };
-        let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else {
-            return;
-        };
-        let mapping = Mapping {
-            lwg_view: view.id,
-            members: view.members.clone(),
-            hwg,
-            hwg_view: hview.id,
-        };
-        let preds = view.predecessors.clone();
-        self.ns.set(ctx, lwg, mapping, preds);
-    }
-
-    // ------------------------------------------------------------------
-    // LWG flush initiation (coordinator)
-    // ------------------------------------------------------------------
-
-    /// Starts an LWG flush if this node coordinates `lwg` and membership
-    /// changes are pending (join/leave/members fallen out of the HWG).
-    fn maybe_start_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        if self.lwg_coordinator(lwg) != Some(self.me) {
-            return;
-        }
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        if state.lflush.is_some() || state.switching.is_some() {
-            return;
-        }
-        let Some(view) = &state.view else { return };
-        let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else {
-            return;
-        };
-        let has_join = state
-            .pending_joins
-            .iter()
-            .any(|j| hview.contains(*j) && !view.contains(*j));
-        let has_leave = state.pending_leaves.iter().any(|l| view.contains(*l));
-        if !(has_join || has_leave) {
-            return;
-        }
-        // Members still reachable participate in the flush.
-        let members: Vec<NodeId> = view
-            .members
-            .iter()
-            .copied()
-            .filter(|m| hview.contains(*m))
-            .collect();
-        if members.is_empty() {
-            return;
-        }
-        let state = self.lwgs.get_mut(&lwg).expect("checked");
-        let flush = LFlushId {
-            initiator: self.me,
-            nonce: state.take_flush_nonce(),
-        };
-        ctx.trace("lwg.flush.start", || {
-            format!("{lwg} {flush} members {members:?}")
-        });
-        ctx.metrics().incr("lwg.flushes");
-        // Barrier: the flush announcement must not overtake our own
-        // buffered data for the closing view.
-        self.flush_pack(ctx, hwg, FlushReason::Barrier);
-        self.stack.send(
-            ctx,
-            hwg,
-            payload(LwgMsg::Flush {
-                lwg,
-                flush,
-                members,
-            }),
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Switching (paper §3 + §6.2)
-    // ------------------------------------------------------------------
-
-    /// Coordinator: re-map `lwg` onto `to`. `create` indicates `to` is a
-    /// freshly allocated HWG this node should create rather than probe.
-    fn start_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId, create: bool) {
-        if self.lwg_coordinator(lwg) != Some(self.me) {
-            return;
-        }
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        if state.lflush.is_some() || state.switching.is_some() || state.hwg == Some(to) {
-            return;
-        }
-        let Some(view) = state.view.clone() else {
-            return;
-        };
-        let Some(hwg) = state.hwg else { return };
-        let members = view.members.clone();
-        let state = self.lwgs.get_mut(&lwg).expect("checked");
-        let flush = LFlushId {
-            initiator: self.me,
-            nonce: state.take_flush_nonce(),
-        };
-        state.switching = Some(SwitchState {
-            flush,
-            to,
-            members: members.clone(),
-            ready: BTreeSet::new(),
-            started_at: ctx.now(),
-        });
-        ctx.trace("lwg.switch.start", || format!("{lwg}: {hwg} -> {to}"));
-        ctx.metrics().incr("lwg.switches");
-        if create {
-            self.stack.create(ctx, to);
-        } else if self.stack.status_of(to) == GroupStatus::Left {
-            self.stack.join(ctx, to);
-        }
-        // Barrier: a switch doubles as a flush of the old mapping.
-        self.flush_pack(ctx, hwg, FlushReason::Barrier);
-        self.stack.send(
-            ctx,
-            hwg,
-            payload(LwgMsg::SwitchTo {
-                lwg,
-                flush,
-                to,
-                members,
-            }),
-        );
-    }
-
-    /// Coordinator: every member reported ready on the target HWG —
-    /// install the switched view there.
-    fn complete_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(sw) = state.switching.take() else {
-            return;
-        };
-        let Some(view) = state.view.clone() else {
-            return;
-        };
-        let new_view = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
-            sw.members.clone(),
-            vec![view.id],
-        );
-        ctx.trace("lwg.switch.complete", || {
-            format!("{lwg} -> {} as {new_view}", sw.to)
-        });
-        self.stack.send(
-            ctx,
-            sw.to,
-            payload(LwgMsg::NewLwgView {
-                lwg,
-                flush: Some(sw.flush),
-                view: new_view,
-                hwg: sw.to,
-            }),
-        );
-        // Pull any concurrent views present on the target HWG into a merge.
-        self.trigger_merge_views(ctx, sw.to);
-    }
-
-    // ------------------------------------------------------------------
-    // Merge-views (paper Fig. 5, step 4 of §6)
-    // ------------------------------------------------------------------
-
-    fn trigger_merge_views(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
-        // Cooldown: repeated MERGE-VIEWS within a second only repeat the
-        // same barrier flush — and a constant stream of forced flushes
-        // starves the HWG layer's own beacon-driven merge (the flush
-        // machinery and the merge machinery are mutually exclusive).
-        let now = ctx.now();
-        if let Some(&last) = self.last_merge_views.get(&hwg) {
-            if now.saturating_since(last) < plwg_sim::SimDuration::from_secs(1) {
-                return;
-            }
-        }
-        self.last_merge_views.insert(hwg, now);
-        ctx.metrics().incr("lwg.merge_views_sent");
-        // Barrier: the merge request forces an HWG flush; buffered data
-        // belongs to the views being merged and must go out first.
-        self.flush_pack(ctx, hwg, FlushReason::Barrier);
-        self.stack.send(ctx, hwg, payload(LwgMsg::MergeViews));
-    }
-
-    /// After an HWG flush: merge every set of concurrent LWG views the
-    /// AllViews exchange revealed.
-    fn complete_merge_round(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: &View) {
-        let Some(round) = self.rounds.remove(&hwg) else {
-            return;
-        };
-        for (lwg, mut views) in round.collected {
-            // Add our own current view.
-            if let Some(state) = self.lwgs.get(&lwg) {
-                if state.hwg == Some(hwg) {
-                    if let Some(v) = &state.view {
-                        views.insert(v.id, v.clone());
-                    }
-                }
-            }
-            // Drop views that are ancestors of other collected views.
-            let ids: Vec<ViewId> = views.keys().copied().collect();
-            let is_anc = |a: ViewId, b: ViewId, views: &BTreeMap<ViewId, View>| -> bool {
-                // Transitive check over the collected predecessor edges.
-                let mut stack = vec![b];
-                let mut seen = BTreeSet::new();
-                while let Some(v) = stack.pop() {
-                    if let Some(view) = views.get(&v) {
-                        for &p in &view.predecessors {
-                            if p == a {
-                                return true;
-                            }
-                            if seen.insert(p) {
-                                stack.push(p);
-                            }
-                        }
-                    }
-                }
-                false
-            };
-            let concurrent: Vec<ViewId> = ids
-                .iter()
-                .copied()
-                .filter(|&v| !ids.iter().any(|&o| is_anc(v, o, &views)))
-                .collect();
-            if concurrent.len() < 2 {
-                continue;
-            }
-            // Deterministic merged membership: views in id order, members
-            // concatenated, only members present in the current HWG view.
-            let mut members: Vec<NodeId> = Vec::new();
-            for vid in &concurrent {
-                for &m in &views[vid].members {
-                    if hview.contains(m) && !members.contains(&m) {
-                        members.push(m);
-                    }
-                }
-            }
-            if members.is_empty() {
-                continue;
-            }
-            // The merged view's coordinator announces it.
-            if members[0] != self.me {
-                continue;
-            }
-            let Some(state) = self.lwgs.get_mut(&lwg) else {
-                continue;
-            };
-            let merged = View::with_predecessors(
-                ViewId::new(self.me, state.take_view_seq()),
-                members,
-                concurrent.clone(),
-            );
-            ctx.trace("lwg.merge", || format!("{lwg}: {concurrent:?} -> {merged}"));
-            ctx.metrics().incr("lwg.views_merged");
-            self.stack.send(
-                ctx,
-                hwg,
-                payload(LwgMsg::NewLwgView {
-                    lwg,
-                    flush: None,
-                    view: merged,
-                    hwg,
-                }),
-            );
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Naming events: join lookups and MULTIPLE-MAPPINGS reconciliation
-    // ------------------------------------------------------------------
-
-    fn handle_ns_event(&mut self, ctx: &mut Context<'_>, ev: NsEvent) {
-        match ev {
-            NsEvent::Reply { req, lwg, mappings } => match self.ns_lookups.remove(&req) {
-                Some((_, NsPurpose::JoinLookup)) => self.continue_join(ctx, lwg, &mappings),
-                Some((_, NsPurpose::FoundClaim)) => self.resolve_found_claim(ctx, lwg, &mappings),
-                Some((_, NsPurpose::Poll)) if mappings.len() > 1 => {
-                    self.reconcile(ctx, lwg, &mappings);
-                }
-                Some((_, NsPurpose::Poll)) | None => {}
-            },
-            NsEvent::MultipleMappings { lwg, mappings } => {
-                self.reconcile(ctx, lwg, &mappings);
-            }
-        }
-    }
-
-    /// Join step 2: the naming lookup answered; pick the target HWG.
-    fn continue_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        if state.phase != Phase::ReadingNs {
-            return;
-        }
-        if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
-            // Follow the recorded mapping (reconciliation rule picks the
-            // highest HWG id when several exist).
-            let hwg = best.hwg;
-            self.begin_hwg_join(ctx, lwg, hwg, false);
-        } else if let Some(&fwd) = self.forward.get(&lwg) {
-            self.begin_hwg_join(ctx, lwg, fwd, false);
-        } else {
-            // No mapping anywhere: optimistic rule — reuse an HWG we are
-            // already in (preferring one that carries our LWGs over idle
-            // leftovers; highest id breaks ties), else allocate a fresh one.
-            let member_hwgs = self.hwgs();
-            let existing = member_hwgs
-                .iter()
-                .copied()
-                .filter(|&h| self.hwg_in_use(h))
-                .max()
-                .or_else(|| member_hwgs.into_iter().max());
-            match existing {
-                Some(hwg) => self.begin_hwg_join(ctx, lwg, hwg, false),
-                None => {
-                    let hwg = self.fresh_hwg_id();
-                    self.begin_hwg_join(ctx, lwg, hwg, true);
-                }
-            }
-        }
-    }
-
-    fn begin_hwg_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId, create: bool) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        state.phase = Phase::JoiningHwg;
-        state.hwg = Some(hwg);
-        state.create_hwg = create;
-        state.join_attempts = 0;
-        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
-        match self.stack.status_of(hwg) {
-            GroupStatus::Left => {
-                if create {
-                    self.stack.create(ctx, hwg);
-                } else {
-                    self.stack.join(ctx, hwg);
-                }
-            }
-            GroupStatus::Member => {
-                if self.stack.view_of(hwg).is_some_and(|v| v.contains(self.me)) {
-                    self.request_admission(ctx, lwg, hwg);
-                }
-            }
-            GroupStatus::Joining | GroupStatus::Leaving => {}
-        }
-    }
-
-    /// Join step 3: we are an HWG member; ask the LWG coordinator (if any)
-    /// to admit us.
-    fn request_admission(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        state.phase = Phase::AwaitingAdmission;
-        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
-        self.stack.send(ctx, hwg, payload(LwgMsg::JoinReq { lwg }));
-    }
-
-    /// Join fallback, part 1: nobody admitted us — claim the mapping with
-    /// `ns.testset` (paper Table 2) *before* founding a view. If another
-    /// founder won the race we follow its mapping instead of creating a
-    /// competing view.
-    fn claim_founding(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        let Some(hwg) = state.hwg else { return };
-        let Some(hview) = self.stack.view_of(hwg) else {
-            return;
-        };
-        let planned = ViewId::new(self.me, state.next_view_seq + 1);
-        let mapping = Mapping {
-            lwg_view: planned,
-            members: vec![self.me],
-            hwg,
-            hwg_view: hview.id,
-        };
-        ctx.trace("lwg.claim", || format!("{lwg} {planned} on {hwg}"));
-        let req = self.ns.testset(ctx, lwg, mapping, vec![]);
-        self.ns_lookups.insert(req, (lwg, NsPurpose::FoundClaim));
-        // Push the deadline out while the claim is in flight.
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
-        }
-    }
-
-    /// Join fallback, part 2: the test-and-set answered.
-    fn resolve_found_claim(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        if state.phase != Phase::AwaitingAdmission {
-            return;
-        }
-        let won = mappings
-            .iter()
-            .any(|m| m.lwg_view.coordinator == self.me && state.hwg == Some(m.hwg));
-        if won {
-            self.found_lwg_view(ctx, lwg);
-        } else if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
-            // Someone else holds the mapping: follow it.
-            let hwg = best.hwg;
-            let state = self.lwgs.get_mut(&lwg).expect("checked");
-            state.join_attempts = 0;
-            self.begin_hwg_join(ctx, lwg, hwg, false);
-        }
-    }
-
-    /// Installs the group's founding (singleton) view on the target HWG.
-    fn found_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
-        let Some(hwg) = state.hwg else { return };
-        let seq = state.take_view_seq();
-        let view = View::initial(ViewId::new(self.me, seq), vec![self.me]);
-        ctx.trace("lwg.found", || format!("{lwg} {view} on {hwg}"));
-        self.install_lwg_view(ctx, lwg, view, hwg);
-        // Concurrent founders on the same HWG merge via Fig. 5.
-        self.trigger_merge_views(ctx, hwg);
-    }
-
-    /// Step 2 of partition healing (paper §6.2): on MULTIPLE-MAPPINGS, the
-    /// coordinator of each concurrent view switches deterministically to
-    /// the HWG with the **highest group identifier**.
-    fn reconcile(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        ctx.metrics().incr("lwg.reconciliations");
-        let Some(target) = mappings.iter().map(|m| m.hwg).max() else {
-            return;
-        };
-        if self.lwg_coordinator(lwg) != Some(self.me) {
-            return;
-        }
-        let Some(state) = self.lwgs.get(&lwg) else {
-            return;
-        };
-        let current = state.hwg;
-        if current == Some(target) {
-            // We are already on the winning HWG. A MERGE-VIEWS barrier only
-            // helps once the other views' members actually share our HWG
-            // view; before that (the HWG itself is still partitioned or
-            // mid-merge) it would just churn flushes.
-            let others_present = {
-                let hview = self.stack.view_of(target);
-                mappings.iter().all(|m| {
-                    m.members
-                        .iter()
-                        .all(|mm| hview.is_some_and(|v| v.contains(*mm)))
-                })
-            };
-            if others_present {
-                self.trigger_merge_views(ctx, target);
-            }
-        } else {
-            ctx.trace("lwg.reconcile", || {
-                format!("{lwg}: switch {current:?} -> {target}")
-            });
-            self.start_switch(ctx, lwg, target, false);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Housekeeping tick
-    // ------------------------------------------------------------------
-
-    fn tick(&mut self, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-
-        // Join deadlines: retry admission, then found our own view.
-        let due: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
-                matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
-                    && s.join_deadline.is_some_and(|d| now >= d)
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in due {
-            let state = self.lwgs.get_mut(&lwg).expect("listed");
-            state.join_attempts += 1;
-            let attempts = state.join_attempts;
-            let phase = state.phase;
-            let hwg = state.hwg;
-            let in_hwg = hwg
-                .and_then(|h| self.stack.view_of(h))
-                .is_some_and(|v| v.contains(self.me));
-            if !in_hwg {
-                // Still waiting for HWG membership; extend.
-                let state = self.lwgs.get_mut(&lwg).expect("listed");
-                state.join_deadline = Some(now + self.cfg.lwg_join_timeout);
-                continue;
-            }
-            if phase == Phase::JoiningHwg || attempts <= self.cfg.lwg_join_retries {
-                self.request_admission(ctx, lwg, hwg.expect("in_hwg"));
-            } else {
-                self.claim_founding(ctx, lwg);
-            }
-        }
-
-        // Leaving members keep nudging the coordinator.
-        let leaving: Vec<(LwgId, HwgId)> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::Leaving && s.hwg.is_some())
-            .map(|(&l, s)| (l, s.hwg.expect("filtered")))
-            .collect();
-        for (lwg, hwg) in leaving {
-            self.stack.send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
-            self.maybe_start_lwg_flush(ctx, lwg);
-        }
-
-        // LWG flush / switch watchdogs.
-        let stuck: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
-                s.lflush.as_ref().is_some_and(|f| {
-                    now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout
-                }) || s.switching.as_ref().is_some_and(|sw| {
-                    now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
-                })
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in stuck {
-            let state = self.lwgs.get_mut(&lwg).expect("listed");
-            ctx.trace("lwg.flush.abandon", || format!("{lwg}"));
-            state.lflush = None;
-            state.switching = None;
-            state.follow_switch = None;
-            // Re-evaluate: the coordinator will re-flush with the members
-            // still reachable.
-            self.maybe_start_lwg_flush(ctx, lwg);
-        }
-
-        // A pruned-view announcement that never arrived (lost, coordinator
-        // died): release the send buffer; the acting-coordinator rule will
-        // re-announce on the next HWG view change.
-        let prune_stuck: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
-                s.awaiting_prune
-                    .is_some_and(|t| now.saturating_since(t) >= self.cfg.lwg_flush_timeout)
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in prune_stuck {
-            let hview = self
-                .lwgs
-                .get(&lwg)
-                .and_then(|s| s.hwg)
-                .and_then(|h| self.stack.view_of(h))
-                .cloned();
-            if let Some(state) = self.lwgs.get_mut(&lwg) {
-                state.awaiting_prune = None;
-            }
-            if let Some(hview) = hview {
-                if self.lwg_coordinator(lwg) == Some(self.me) {
-                    self.announce_pruned_view(ctx, lwg, &hview);
-                }
-            }
-        }
-
-        // Foreign-tagged data: if still unexplained after the grace period,
-        // trigger MERGE-VIEWS on the HWG (Fig. 5 line 106).
-        let deadline = self.cfg.foreign_data_timeout;
-        let mut trigger: BTreeSet<HwgId> = BTreeSet::new();
-        self.foreign.retain(|f| {
-            let expired = now.saturating_since(f.seen_at) >= deadline;
-            if expired {
-                let still_unknown = self.lwgs.get(&f.lwg).is_some_and(|s| {
-                    s.view.as_ref().is_some_and(|v| v.id != f.view_id)
-                        && !s.history.contains(&f.view_id)
-                });
-                if still_unknown {
-                    trigger.insert(f.hwg);
-                }
-                false
-            } else {
-                true
-            }
-        });
-        for hwg in trigger {
-            self.trigger_merge_views(ctx, hwg);
-        }
-
-        // Callback-vs-polling ablation: coordinators poll the naming
-        // service for their groups (instead of being called back).
-        if let Some(interval) = self.cfg.ns_poll_interval {
-            if now.saturating_since(self.last_ns_poll) >= interval {
-                self.last_ns_poll = now;
-                let mine: Vec<LwgId> = self
-                    .lwgs
-                    .iter()
-                    .filter(|(_, s)| s.phase == Phase::Member)
-                    .map(|(&l, _)| l)
-                    .collect();
-                for lwg in mine {
-                    if self.lwg_coordinator(lwg) == Some(self.me) {
-                        let req = self.ns.read(ctx, lwg);
-                        self.ns_lookups.insert(req, (lwg, NsPurpose::Poll));
-                    }
-                }
-            }
-        }
-
-        // Shrink rule: leave HWGs that have had no local LWG for a while.
-        self.refresh_idle_hwgs(ctx);
-        let to_leave: Vec<HwgId> = self
-            .idle_hwgs
-            .iter()
-            .filter(|(_, &since)| now.saturating_since(since) >= self.cfg.shrink_grace)
-            .map(|(&h, _)| h)
-            .collect();
-        for hwg in to_leave {
-            ctx.trace("lwg.shrink", || format!("leaving {hwg}"));
-            ctx.metrics().incr("lwg.shrinks");
-            self.idle_hwgs.remove(&hwg);
-            self.stack.leave(ctx, hwg);
-        }
-        self.pump_vsync(ctx);
-    }
-
-    // ------------------------------------------------------------------
-    // Policies (paper Fig. 1)
-    // ------------------------------------------------------------------
-
-    fn run_policies(&mut self, ctx: &mut Context<'_>) {
-        let known: Vec<(HwgId, BTreeSet<NodeId>)> = self
-            .hwgs()
-            .into_iter()
-            .filter_map(|h| {
-                self.stack
-                    .view_of(h)
-                    .map(|v| (h, v.members.iter().copied().collect()))
-            })
-            .collect();
-        let mine: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::Member)
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in mine {
-            if self.lwg_coordinator(lwg) != Some(self.me) {
-                continue;
-            }
-            let Some(state) = self.lwgs.get(&lwg) else {
-                continue;
-            };
-            if state.lflush.is_some() || state.switching.is_some() {
-                continue;
-            }
-            let Some(view) = &state.view else { continue };
-            let Some(hwg) = state.hwg else { continue };
-            let lwg_members: BTreeSet<NodeId> = view.members.iter().copied().collect();
-            let Some((_, hwg_members)) = known.iter().find(|(h, _)| *h == hwg) else {
-                continue;
-            };
-            // Interference rule first (it protects small groups), then the
-            // share rule (it consolidates similar HWGs).
-            let action = match policy::interference_rule(
-                &lwg_members,
-                (hwg, hwg_members),
-                &known,
-                self.cfg.k_m,
-                self.cfg.k_c,
-            ) {
-                PolicyAction::Stay => policy::share_rule((hwg, hwg_members), &known, self.cfg.k_m),
-                other => other,
-            };
-            match action {
-                PolicyAction::Stay => {}
-                PolicyAction::SwitchTo(target) => {
-                    ctx.trace("lwg.policy.switch", || format!("{lwg} -> {target}"));
-                    self.start_switch(ctx, lwg, target, false);
-                }
-                PolicyAction::CreateAndSwitch => {
-                    let fresh = self.fresh_hwg_id();
-                    ctx.trace("lwg.policy.create", || format!("{lwg} -> {fresh}"));
-                    self.start_switch(ctx, lwg, fresh, true);
-                }
-            }
-        }
-        self.pump_vsync(ctx);
-    }
-
-    // ------------------------------------------------------------------
-    // Shrink-rule bookkeeping
-    // ------------------------------------------------------------------
-
-    fn hwg_in_use(&self, hwg: HwgId) -> bool {
-        self.lwgs.values().any(|s| {
-            s.hwg == Some(hwg)
-                || s.follow_switch.as_ref().is_some_and(|(_, to)| *to == hwg)
-                || s.switching.as_ref().is_some_and(|sw| sw.to == hwg)
-        })
-    }
-
-    fn note_idle_if_unused(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
-        if self.stack.status_of(hwg) == GroupStatus::Member && !self.hwg_in_use(hwg) {
-            self.idle_hwgs.entry(hwg).or_insert(ctx.now());
-        }
-    }
-
-    fn refresh_idle_hwgs(&mut self, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        let member_hwgs: Vec<HwgId> = self.hwgs();
-        for hwg in member_hwgs {
-            if self.stack.status_of(hwg) != GroupStatus::Member {
-                continue;
-            }
-            if self.hwg_in_use(hwg) {
-                self.idle_hwgs.remove(&hwg);
-            } else {
-                self.idle_hwgs.entry(hwg).or_insert(now);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Misc
-    // ------------------------------------------------------------------
-
-    fn my_views_on(&self, hwg: HwgId) -> Vec<(LwgId, View)> {
-        self.lwgs
-            .iter()
-            .filter(|(_, s)| s.hwg == Some(hwg))
-            .filter_map(|(&l, s)| s.view.clone().map(|v| (l, v)))
-            .collect()
-    }
-
-    fn fresh_hwg_id(&mut self) -> HwgId {
-        self.next_hwg_counter += 1;
-        HwgId(0x8000_0000_0000_0000 | (u64::from(self.me.0) << 32) | self.next_hwg_counter)
-    }
-
-    /// Restarts the join flow for a group whose transport vanished.
-    fn restart_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            let had_view = state.view.clone();
-            *state = LwgState::new();
-            if let Some(v) = had_view {
-                state.history.insert(v.id);
-                state.bump_view_seq(if v.id.coordinator == self.me {
-                    v.id.seq
-                } else {
-                    0
-                });
-            }
-            ctx.trace("lwg.rejoin", || format!("{lwg}"));
-            let req = self.ns.read(ctx, lwg);
-            self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
+            LwgMsg::MergeViews => self.handle_merge_views_msg(ctx, hwg),
+            LwgMsg::AllViews { views } => self.handle_all_views(hwg, views),
+            LwgMsg::Dissolved { lwg, flush } => self.handle_dissolved(ctx, *lwg, *flush),
+            LwgMsg::Redirect { lwg, to } => self.handle_redirect(ctx, *lwg, *to),
         }
     }
 }
 
-impl std::fmt::Debug for LwgService {
+impl<S: HwgSubstrate> std::fmt::Debug for LwgService<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LwgService")
             .field("me", &self.me)
             .field("lwgs", &self.lwgs.keys().collect::<Vec<_>>())
             .field("hwgs", &self.hwgs())
             .finish_non_exhaustive()
+    }
+}
+
+/// The service is also a [`plwg_sim::Endpoint`], so
+/// `plwg_sim::Driver<LwgService<S>>` puts it on a simulated node without a
+/// hand-written [`plwg_sim::Process`] demux ([`crate::LwgNode`] remains the
+/// richer wrapper that additionally indexes the recorded upcalls).
+impl<S: HwgSubstrate> plwg_sim::Endpoint for LwgService<S> {
+    type Event = LwgEvent;
+
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        LwgService::start(self, ctx);
+    }
+
+    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+        LwgService::on_message(self, ctx, from, msg)
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+        LwgService::on_timer(self, ctx, token)
+    }
+
+    fn drain(&mut self) -> Vec<LwgEvent> {
+        LwgService::drain_events(self)
     }
 }

@@ -1,0 +1,140 @@
+//! Switching: re-mapping a light-weight group onto another HWG (paper §3's
+//! switching protocol; also step 2 of partition healing, §6.2).
+//!
+//! The coordinator flushes the old mapping (`SwitchTo` doubles as an LWG
+//! flush), every member joins the target HWG and reports `SwitchReady`
+//! there, and the coordinator installs the switched view on the target. A
+//! forward pointer stays behind so stale joiners get redirected
+//! ([`crate::flush`] handles the member-side flush half).
+
+use crate::batch::FlushReason;
+use crate::msg::{LFlushId, LwgMsg};
+use crate::service::LwgService;
+use crate::state::SwitchState;
+use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
+use plwg_naming::LwgId;
+use plwg_sim::{payload, Context, NodeId};
+use std::collections::BTreeSet;
+
+impl<S: HwgSubstrate> LwgService<S> {
+    /// Operator-initiated re-mapping of `lwg` onto the HWG `to` — the same
+    /// switch the Figure-1 policies and the §6.2 reconciliation rule issue
+    /// internally. No-op unless this node currently coordinates `lwg` (or
+    /// while another flush/switch is in progress).
+    pub fn switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId) {
+        self.start_switch(ctx, lwg, to, false);
+    }
+
+    /// Coordinator: re-map `lwg` onto `to`. `create` indicates `to` is a
+    /// freshly allocated HWG this node should create rather than probe.
+    pub(crate) fn start_switch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        to: HwgId,
+        create: bool,
+    ) {
+        if self.lwg_coordinator(lwg) != Some(self.me) {
+            return;
+        }
+        let Some(state) = self.lwgs.get(&lwg) else {
+            return;
+        };
+        if state.lflush.is_some() || state.switching.is_some() || state.hwg == Some(to) {
+            return;
+        }
+        let Some(view) = state.view.clone() else {
+            return;
+        };
+        let Some(hwg) = state.hwg else { return };
+        let members = view.members.clone();
+        let state = self.lwgs.get_mut(&lwg).expect("checked");
+        let flush = LFlushId {
+            initiator: self.me,
+            nonce: state.take_flush_nonce(),
+        };
+        state.switching = Some(SwitchState {
+            flush,
+            to,
+            members: members.clone(),
+            ready: BTreeSet::new(),
+            started_at: ctx.now(),
+        });
+        ctx.trace("lwg.switch.start", || format!("{lwg}: {hwg} -> {to}"));
+        ctx.metrics().incr("lwg.switches");
+        if create {
+            self.substrate.create(ctx, to);
+        } else if self.substrate.status_of(to) == GroupStatus::Left {
+            self.substrate.join(ctx, to);
+        }
+        // Barrier: a switch doubles as a flush of the old mapping.
+        self.flush_pack(ctx, hwg, FlushReason::Barrier);
+        self.substrate.send(
+            ctx,
+            hwg,
+            payload(LwgMsg::SwitchTo {
+                lwg,
+                flush,
+                to,
+                members,
+            }),
+        );
+    }
+
+    /// A member reported ready on the target HWG; once everyone has, the
+    /// coordinator installs the switched view.
+    pub(crate) fn handle_switch_ready(
+        &mut self,
+        ctx: &mut Context<'_>,
+        lwg: LwgId,
+        flush: LFlushId,
+        from: NodeId,
+    ) {
+        let mut complete = false;
+        if let Some(state) = self.lwgs.get_mut(&lwg) {
+            if let Some(sw) = &mut state.switching {
+                if sw.flush == flush {
+                    sw.ready.insert(from);
+                    complete = sw.ready.len() == sw.members.len();
+                }
+            }
+        }
+        if complete {
+            self.complete_switch(ctx, lwg);
+        }
+    }
+
+    /// Coordinator: every member reported ready on the target HWG —
+    /// install the switched view there.
+    fn complete_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+        let Some(state) = self.lwgs.get_mut(&lwg) else {
+            return;
+        };
+        let Some(sw) = state.switching.take() else {
+            return;
+        };
+        let Some(view) = state.view.clone() else {
+            return;
+        };
+        let new_view = View::with_predecessors(
+            ViewId::new(self.me, state.take_view_seq()),
+            sw.members.clone(),
+            vec![view.id],
+        );
+        ctx.trace("lwg.switch.complete", || {
+            format!("{lwg} -> {} as {new_view}", sw.to)
+        });
+        self.substrate.send(
+            ctx,
+            sw.to,
+            payload(LwgMsg::NewLwgView {
+                lwg,
+                flush: Some(sw.flush),
+                view: new_view,
+                hwg: sw.to,
+            }),
+        );
+        // Pull any concurrent views present on the target HWG into a merge.
+        self.trigger_merge_views(ctx, sw.to);
+    }
+}

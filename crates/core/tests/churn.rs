@@ -2,7 +2,11 @@
 //! over several groups — the system must keep converging and never violate
 //! its structural invariants.
 
-use plwg_core::{LwgConfig, LwgId, LwgNode, ServiceStats};
+use plwg_core::{LwgConfig, LwgId, ServiceStats};
+use plwg_vsync::VsyncStack;
+
+/// The production instantiation exercised by these scenarios.
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{NodeId, SimDuration, SimTime, World, WorldConfig};
 

@@ -2,7 +2,11 @@
 //! messaging, crashes, policies, and the partition-heal reconciliation that
 //! is the paper's contribution.
 
-use plwg_core::{HwgId, LwgConfig, LwgId, LwgNode, View};
+use plwg_core::{HwgId, LwgConfig, LwgId, View};
+use plwg_vsync::VsyncStack;
+
+/// The production instantiation exercised by these scenarios.
+type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_sim::{payload, NodeId, SimDuration, SimTime, World, WorldConfig};
 

@@ -5,8 +5,8 @@
 //! run deterministic.
 
 use plwg_core::{closeness, is_minority, share_rule_collapses, PolicyAction};
+use plwg_hwg::HwgId;
 use plwg_sim::{NodeId, SimRng};
-use plwg_vsync::HwgId;
 use std::collections::BTreeSet;
 
 const CASES: u64 = 300;

@@ -1,0 +1,462 @@
+//! Protocol tests driven through the [`ScriptedHwg`] substrate: the test
+//! plays the role of the HWG membership protocol (granting joins, evicting
+//! members, healing partitions by injecting views), which makes the LWG
+//! protocol paths — admission, the virtual-synchrony cut, Stop during an
+//! LWG flush, MERGE-VIEWS healing, merge-during-switch — individually
+//! addressable without the full virtual-synchrony stack underneath.
+//!
+//! The simulated links are configured lossless and jitter-free, as the
+//! scripted substrate requires (it has no retransmission or reordering
+//! repair of its own).
+
+use plwg_core::{HwgId, LwgConfig, LwgId, LwgMsg, ScriptedHwg, View, ViewId};
+use plwg_naming::{NameServer, NamingConfig};
+use plwg_sim::{payload, NetConfig, NodeId, SimDuration, World, WorldConfig};
+
+/// The production-shaped node, instantiated over the scripted substrate.
+type Node = plwg_core::LwgNode<ScriptedHwg>;
+
+const L: LwgId = LwgId(9);
+const H1: HwgId = HwgId(70);
+const H2: HwgId = HwgId(80);
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+fn naming_cfg() -> NamingConfig {
+    NamingConfig {
+        // Faster gossip so MULTIPLE-MAPPINGS callbacks arrive within the
+        // short horizons these tests run for.
+        gossip_interval: ms(100),
+        ..NamingConfig::default()
+    }
+}
+
+fn cfg() -> LwgConfig {
+    LwgConfig {
+        naming: naming_cfg(),
+        lwg_join_timeout: ms(100),
+        tick_interval: ms(50),
+        foreign_data_timeout: ms(400),
+        ..LwgConfig::default()
+    }
+}
+
+/// A world with one name server (`NodeId(0)`) and `n` scripted app nodes.
+fn setup_cfg(n: u32, cfg: LwgConfig) -> (World, Vec<NodeId>) {
+    let mut w = World::new(WorldConfig {
+        seed: 7,
+        trace: true,
+        net: NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let server = w.add_node(Box::new(NameServer::new(NodeId(0), vec![], naming_cfg())));
+    let apps: Vec<NodeId> = (0..n)
+        .map(|i| {
+            w.add_node(Box::new(Node::new(
+                NodeId(1 + i),
+                vec![server],
+                cfg.clone(),
+            )))
+        })
+        .collect();
+    (w, apps)
+}
+
+fn setup(n: u32) -> (World, Vec<NodeId>) {
+    setup_cfg(n, cfg())
+}
+
+fn join(w: &mut World, node: NodeId) {
+    w.invoke(node, |n: &mut Node, ctx| n.service().join(ctx, L));
+}
+
+/// The test's stand-in for the HWG membership protocol: installs a view at
+/// one node's substrate and lets the service observe it.
+fn grant(w: &mut World, node: NodeId, hwg: HwgId, coord: NodeId, seq: u64, members: &[NodeId]) {
+    let view = View::initial(ViewId::new(coord, seq), members.to_vec());
+    w.invoke(node, move |n: &mut Node, ctx| {
+        n.service().hwg_stack_mut().inject_view(hwg, view);
+        n.service().pump(ctx);
+    });
+}
+
+/// Manufactures an installed LWG view at `node` (the state a node is in
+/// after operating inside its own partition): joins `L` and delivers the
+/// view announcement as if its coordinator had multicast it on `hwg`.
+fn seed_lwg_view(w: &mut World, node: NodeId, hwg: HwgId, view: View) {
+    w.invoke(node, move |n: &mut Node, ctx| {
+        let src = view.coordinator();
+        n.service().join(ctx, L);
+        n.service().hwg_stack_mut().inject_data(
+            hwg,
+            src,
+            payload(LwgMsg::NewLwgView {
+                lwg: L,
+                flush: None,
+                view,
+                hwg,
+            }),
+        );
+        n.service().pump(ctx);
+    });
+}
+
+fn send_u32(w: &mut World, node: NodeId, v: u32) {
+    w.invoke(node, move |n: &mut Node, ctx| {
+        n.service().send(ctx, L, payload(v));
+    });
+}
+
+fn view_at(w: &mut World, node: NodeId) -> Option<View> {
+    w.inspect(node, |n: &Node| n.current_view(L).cloned())
+}
+
+fn delivered_from(w: &mut World, node: NodeId, src: NodeId) -> Vec<u32> {
+    w.inspect(node, move |n: &Node| n.delivered_values::<u32>(L, src))
+}
+
+fn stop_oks(w: &mut World, node: NodeId, hwg: HwgId) -> u64 {
+    w.inspect(node, move |n: &Node| {
+        n.service_ref().hwg_stack().stop_oks(hwg)
+    })
+}
+
+fn wants_to_join(w: &mut World, node: NodeId, hwg: HwgId) -> bool {
+    w.inspect(node, move |n: &Node| {
+        n.service_ref().hwg_stack().join_requests().contains(&hwg)
+    })
+}
+
+/// Runs the full organic join flow over the scripted substrate: the first
+/// joiner allocates a fresh HWG, retries admission, claims the mapping and
+/// founds a singleton view; the second follows the recorded mapping, and
+/// the test grants its HWG membership so the coordinator can admit it.
+#[test]
+fn founds_group_then_admits_joiner() {
+    let (mut w, apps) = setup(2);
+    let (a, b) = (apps[0], apps[1]);
+
+    join(&mut w, a);
+    w.run_for(ms(600));
+    let va = view_at(&mut w, a).expect("first joiner founds a view");
+    assert_eq!(va.members, vec![a]);
+    let ha = w
+        .inspect(a, |n: &Node| n.service_ref().mapping_of(L))
+        .expect("founded view is mapped");
+
+    join(&mut w, b);
+    w.run_for(ms(200));
+    assert!(
+        wants_to_join(&mut w, b, ha),
+        "second joiner follows the recorded mapping into the same HWG"
+    );
+
+    // Grant HWG membership; admission then runs the LWG flush.
+    grant(&mut w, a, ha, a, 5, &[a, b]);
+    grant(&mut w, b, ha, a, 5, &[a, b]);
+    w.run_for(ms(300));
+
+    for &n in &[a, b] {
+        let v = view_at(&mut w, n).expect("member after admission");
+        assert_eq!(v.members, vec![a, b], "at {n}");
+        assert_eq!(
+            w.inspect(n, |n: &Node| n.service_ref().mapping_of(L)),
+            Some(ha)
+        );
+    }
+}
+
+/// Messages sent in a view are delivered exactly to that view's members:
+/// a pre-admission multicast never reaches the later joiner, and both
+/// members see identical delivered sets for the shared view.
+#[test]
+fn delivery_respects_the_virtual_synchrony_cut() {
+    let (mut w, apps) = setup(2);
+    let (a, b) = (apps[0], apps[1]);
+
+    join(&mut w, a);
+    w.run_for(ms(600));
+    let ha = w
+        .inspect(a, |n: &Node| n.service_ref().mapping_of(L))
+        .expect("mapped");
+    send_u32(&mut w, a, 1); // sent in the singleton view
+    w.run_for(ms(100));
+
+    join(&mut w, b);
+    w.run_for(ms(200));
+    grant(&mut w, a, ha, a, 5, &[a, b]);
+    grant(&mut w, b, ha, a, 5, &[a, b]);
+    w.run_for(ms(300));
+    assert_eq!(view_at(&mut w, b).expect("admitted").len(), 2);
+
+    send_u32(&mut w, a, 2); // sent in the two-member view
+    w.run_for(ms(100));
+
+    assert_eq!(delivered_from(&mut w, a, a), vec![1, 2]);
+    assert_eq!(
+        delivered_from(&mut w, b, a),
+        vec![2],
+        "the joiner must not see traffic from before its view cut"
+    );
+}
+
+/// An HWG `Stop` arriving while an LWG flush is in flight is answered
+/// immediately (views advertised, `stop_ok` sent) — the HWG flush never
+/// waits on LWG-level progress — and the LWG flush still concludes.
+#[test]
+fn hwg_stop_is_answered_while_lwg_flush_in_flight() {
+    let (mut w, apps) = setup(3);
+    let (a, b, c) = (apps[0], apps[1], apps[2]);
+
+    // Establish {a, b} on a scripted HWG.
+    grant(&mut w, a, H1, a, 1, &[a, b]);
+    grant(&mut w, b, H1, a, 1, &[a, b]);
+    let v1 = View::initial(ViewId::new(a, 1), vec![a, b]);
+    seed_lwg_view(&mut w, a, H1, v1.clone());
+    seed_lwg_view(&mut w, b, H1, v1);
+    w.run_for(ms(200));
+
+    // c appears in the HWG and asks for admission; deliver its JoinReq and
+    // an HWG Stop back-to-back so the Stop is handled while the flush over
+    // {a, b} is still waiting for b's FlushOk (in flight on the network).
+    join(&mut w, c);
+    grant(&mut w, a, H1, a, 2, &[a, b, c]);
+    grant(&mut w, b, H1, a, 2, &[a, b, c]);
+    grant(&mut w, c, H1, a, 2, &[a, b, c]);
+    let (oks_before, oks_after, stopping, busy) = w.invoke(a, move |n: &mut Node, ctx| {
+        let before = n.service_ref().hwg_stack().stop_oks(H1);
+        n.service()
+            .hwg_stack_mut()
+            .inject_data(H1, c, payload(LwgMsg::JoinReq { lwg: L }));
+        n.service().hwg_stack_mut().inject_stop(H1);
+        n.service().pump(ctx);
+        let after = n.service_ref().hwg_stack().stop_oks(H1);
+        let stopping = n.service_ref().hwg_stack().is_stopping(H1);
+        let busy = n
+            .service_ref()
+            .stats()
+            .lwgs
+            .iter()
+            .any(|s| s.lwg == L && s.busy);
+        (before, after, stopping, busy)
+    });
+    assert!(busy, "the LWG flush was still in flight when Stop arrived");
+    assert_eq!(oks_after, oks_before + 1, "Stop answered immediately");
+    assert!(!stopping, "stop_ok cleared the outstanding Stop");
+
+    // The flush is not deadlocked: it concludes and admits c.
+    w.run_for(ms(400));
+    for &n in &[a, b, c] {
+        let v = view_at(&mut w, n).expect("member");
+        assert_eq!(v.members, vec![a, b, c], "at {n}");
+    }
+}
+
+/// §6 healing, three ways concurrent: each node operated alone in its
+/// partition with a singleton view of `L`. When the HWG heals, the
+/// MULTIPLE-MAPPINGS callback triggers MERGE-VIEWS and **one** HWG flush
+/// (Fig. 5) merges all three views — predecessors record every branch, and
+/// pre-heal traffic stays behind its view cut.
+#[test]
+fn three_way_heal_merges_with_a_single_hwg_flush() {
+    let (mut w, apps) = setup(3);
+    let (a, b, c) = (apps[0], apps[1], apps[2]);
+
+    for &n in &[a, b, c] {
+        grant(&mut w, n, H1, n, 1, &[n]);
+        seed_lwg_view(&mut w, n, H1, View::initial(ViewId::new(n, 1), vec![n]));
+    }
+    w.run_for(ms(150));
+    for &n in &[a, b, c] {
+        assert_eq!(view_at(&mut w, n).expect("seeded").members, vec![n]);
+    }
+    send_u32(&mut w, a, 1); // partition-era traffic, singleton cut
+    w.run_for(ms(50));
+
+    // The HWG membership heals: one common view everywhere.
+    for &n in &[a, b, c] {
+        grant(&mut w, n, H1, a, 10, &[a, b, c]);
+    }
+    w.run_for(ms(800));
+
+    let merged = view_at(&mut w, a).expect("merged");
+    assert_eq!(merged.members, vec![a, b, c]);
+    for &n in &[b, c] {
+        assert_eq!(view_at(&mut w, n).as_ref(), Some(&merged), "at {n}");
+    }
+    for &n in &[a, b, c] {
+        assert!(
+            merged.predecessors.contains(&ViewId::new(n, 1)),
+            "merged view must record {n}'s branch"
+        );
+        assert_eq!(
+            stop_oks(&mut w, n, H1),
+            1,
+            "exactly one HWG flush healed all three views (at {n})"
+        );
+    }
+
+    // Virtual synchrony across the heal: the pre-heal message stayed in
+    // its singleton cut; post-merge traffic reaches everyone.
+    assert_eq!(delivered_from(&mut w, a, a), vec![1]);
+    assert_eq!(delivered_from(&mut w, b, a), Vec::<u32>::new());
+    assert_eq!(delivered_from(&mut w, c, a), Vec::<u32>::new());
+    send_u32(&mut w, c, 2);
+    w.run_for(ms(100));
+    for &n in &[a, b, c] {
+        assert_eq!(delivered_from(&mut w, n, c), vec![2], "at {n}");
+    }
+}
+
+/// Merge arriving *during* a switch: `{a, b}` reconcile onto the higher
+/// HWG where `c` already holds a concurrent view. The switch completes on
+/// the target and the MERGE-VIEWS it triggers folds `c`'s view in — the
+/// old HWG never pays a flush.
+#[test]
+fn merge_views_heals_concurrent_view_during_switch() {
+    let (mut w, apps) = setup(3);
+    let (a, b, c) = (apps[0], apps[1], apps[2]);
+
+    // {a, b} with view V1 on the lower HWG.
+    grant(&mut w, a, H1, a, 1, &[a, b]);
+    grant(&mut w, b, H1, a, 1, &[a, b]);
+    let v1 = View::initial(ViewId::new(a, 1), vec![a, b]);
+    seed_lwg_view(&mut w, a, H1, v1.clone());
+    seed_lwg_view(&mut w, b, H1, v1.clone());
+    // {c} with a concurrent view on the higher HWG.
+    grant(&mut w, c, H2, c, 1, &[c]);
+    let vc = View::initial(ViewId::new(c, 1), vec![c]);
+    seed_lwg_view(&mut w, c, H2, vc.clone());
+
+    // MULTIPLE-MAPPINGS reaches a; §6.2 says: switch to the highest HWG.
+    w.run_for(ms(400));
+    assert!(
+        wants_to_join(&mut w, a, H2) && wants_to_join(&mut w, b, H2),
+        "reconciliation makes both old-HWG members join the target"
+    );
+
+    // Grant the target HWG view — with c in it, mid-switch.
+    for &n in &[a, b, c] {
+        grant(&mut w, n, H2, a, 5, &[a, b, c]);
+    }
+    w.run_for(ms(800));
+
+    let merged = view_at(&mut w, a).expect("merged");
+    assert_eq!(merged.members, vec![a, b, c]);
+    for &n in &[b, c] {
+        assert_eq!(view_at(&mut w, n).as_ref(), Some(&merged), "at {n}");
+    }
+    assert!(
+        merged.predecessors.contains(&vc.id),
+        "c's concurrent branch is a predecessor of the merged view"
+    );
+    for &n in &[a, b, c] {
+        assert_eq!(
+            w.inspect(n, |n: &Node| n.service_ref().mapping_of(L)),
+            Some(H2),
+            "everyone ends on the target HWG (at {n})"
+        );
+    }
+    // The switch itself is flush-free at the HWG level: only the target
+    // HWG ran the MERGE-VIEWS flush.
+    assert_eq!(stop_oks(&mut w, a, H1), 0);
+    assert!(stop_oks(&mut w, a, H2) >= 1);
+    // b's history: V1 -> switched view -> merged view.
+    let sizes: Vec<usize> = w.inspect(b, |n: &Node| {
+        n.views().iter().map(|(_, v)| v.len()).collect()
+    });
+    assert_eq!(sizes, vec![2, 2, 3]);
+    // A forward pointer stays behind on the switch initiator.
+    assert!(w.inspect(a, |n: &Node| n.service_ref().stats().forward_pointers) >= 1);
+
+    send_u32(&mut w, c, 7);
+    w.run_for(ms(100));
+    for &n in &[a, b, c] {
+        assert_eq!(delivered_from(&mut w, n, c), vec![7], "at {n}");
+    }
+}
+
+/// With packing enabled, a burst of sends rides a single HWG multicast and
+/// is unpacked in order at the receiver.
+#[test]
+fn packed_sends_share_one_hwg_multicast() {
+    let (mut w, apps) = setup_cfg(
+        2,
+        LwgConfig {
+            pack_max_msgs: 8,
+            pack_delay: ms(2),
+            ..cfg()
+        },
+    );
+    let (a, b) = (apps[0], apps[1]);
+    grant(&mut w, a, H1, a, 1, &[a, b]);
+    grant(&mut w, b, H1, a, 1, &[a, b]);
+    let v1 = View::initial(ViewId::new(a, 1), vec![a, b]);
+    seed_lwg_view(&mut w, a, H1, v1.clone());
+    seed_lwg_view(&mut w, b, H1, v1);
+    w.run_for(ms(200));
+
+    let batches_before = w.metrics().counter("lwg.batch.sent");
+    w.invoke(a, |n: &mut Node, ctx| {
+        for v in 1..=3u32 {
+            n.service().send(ctx, L, payload(v));
+        }
+    });
+    w.run_for(ms(100));
+
+    assert_eq!(delivered_from(&mut w, a, a), vec![1, 2, 3]);
+    assert_eq!(delivered_from(&mut w, b, a), vec![1, 2, 3]);
+    assert_eq!(
+        w.metrics().counter("lwg.batch.sent"),
+        batches_before + 1,
+        "three sends shared one HWG multicast"
+    );
+}
+
+/// Losing HWG membership: the evicted member transparently re-joins via
+/// the recorded mapping, while the coordinator prunes it from the view
+/// (no LWG flush needed) and later re-admits it.
+#[test]
+fn eviction_prunes_view_then_readmits_via_mapping() {
+    let (mut w, apps) = setup(2);
+    let (a, b) = (apps[0], apps[1]);
+    grant(&mut w, a, H1, a, 1, &[a, b]);
+    grant(&mut w, b, H1, a, 1, &[a, b]);
+    let v1 = View::initial(ViewId::new(a, 1), vec![a, b]);
+    seed_lwg_view(&mut w, a, H1, v1.clone());
+    seed_lwg_view(&mut w, b, H1, v1);
+    w.run_for(ms(200));
+
+    // b falls out of the HWG; a observes the shrunken HWG view.
+    w.invoke(b, |n: &mut Node, ctx| {
+        n.service().hwg_stack_mut().inject_left(H1);
+        n.service().pump(ctx);
+    });
+    grant(&mut w, a, H1, a, 2, &[a]);
+    w.run_for(ms(300));
+    assert_eq!(
+        view_at(&mut w, a).expect("pruned").members,
+        vec![a],
+        "coordinator prunes the unreachable member without an LWG flush"
+    );
+    assert!(w.metrics().counter("lwg.prunes") >= 1);
+    // b restarted its join and followed the mapping back to the HWG.
+    assert!(wants_to_join(&mut w, b, H1));
+
+    // Readmission once the HWG membership is granted again.
+    grant(&mut w, a, H1, a, 3, &[a, b]);
+    grant(&mut w, b, H1, a, 3, &[a, b]);
+    w.run_for(ms(400));
+    for &n in &[a, b] {
+        let v = view_at(&mut w, n).expect("re-admitted");
+        assert_eq!(v.members, vec![a, b], "at {n}");
+    }
+    send_u32(&mut w, b, 4);
+    w.run_for(ms(100));
+    assert_eq!(delivered_from(&mut w, a, b), vec![4]);
+}

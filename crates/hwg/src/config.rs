@@ -1,13 +1,15 @@
-//! Protocol timing parameters.
+//! Protocol timing parameters shared by every HWG substrate.
 
 use plwg_sim::SimDuration;
 
 /// Tunables of the HWG layer.
 ///
 /// Defaults are sized for the simulator's LAN-ish latency (~1 ms): failure
-/// detection within a second, beacons twice a second.
+/// detection within a second, beacons twice a second. A substrate is free
+/// to ignore the knobs that do not apply to it (the scripted test substrate
+/// in `plwg-core` only honours `auto_stop_ok`).
 #[derive(Debug, Clone)]
-pub struct VsyncConfig {
+pub struct HwgConfig {
     /// Heartbeat send period of the failure detector.
     pub hb_interval: SimDuration,
     /// Silence after which a monitored peer is suspected.
@@ -26,7 +28,7 @@ pub struct VsyncConfig {
     pub merge_timeout: SimDuration,
     /// If `true` (plain applications), the endpoint acknowledges `Stop`
     /// itself. The LWG layer sets this to `false` and calls
-    /// [`crate::VsyncStack::stop_ok`] once its own groups are quiescent.
+    /// [`crate::HwgSubstrate::stop_ok`] once its own groups are quiescent.
     pub auto_stop_ok: bool,
     /// How long a FIFO gap may sit in the hold-back queue before the
     /// receiver asks the sender to retransmit. Without NACKs a message
@@ -38,9 +40,9 @@ pub struct VsyncConfig {
     pub stability_interval: SimDuration,
 }
 
-impl Default for VsyncConfig {
+impl Default for HwgConfig {
     fn default() -> Self {
-        VsyncConfig {
+        HwgConfig {
             hb_interval: SimDuration::from_millis(100),
             suspect_timeout: SimDuration::from_millis(500),
             beacon_interval: SimDuration::from_millis(400),
@@ -55,7 +57,7 @@ impl Default for VsyncConfig {
     }
 }
 
-impl VsyncConfig {
+impl HwgConfig {
     /// Validates invariants between the parameters.
     ///
     /// # Panics
@@ -72,7 +74,7 @@ impl VsyncConfig {
                 && self.merge_timeout > SimDuration::ZERO
                 && self.nack_delay > SimDuration::ZERO
                 && self.stability_interval > SimDuration::ZERO,
-            "vsync periods must be positive"
+            "hwg periods must be positive"
         );
         assert!(
             self.suspect_timeout > self.hb_interval,
@@ -89,15 +91,15 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        VsyncConfig::default().validate();
+        HwgConfig::default().validate();
     }
 
     #[test]
     #[should_panic(expected = "suspect_timeout")]
     fn tight_suspicion_rejected() {
-        VsyncConfig {
+        HwgConfig {
             suspect_timeout: SimDuration::from_millis(50),
-            ..VsyncConfig::default()
+            ..HwgConfig::default()
         }
         .validate();
     }

@@ -1,0 +1,33 @@
+//! # plwg-hwg — the heavy-weight-group substrate interface (paper Table 1)
+//!
+//! The paper's light-weight group service is defined *against an interface*,
+//! not against one membership implementation: Table 1 lists the down-calls
+//! (`Join`, `Leave`, `Send`, `StopOk`) and up-calls (`View`, `Data`, `Stop`)
+//! the LWG layer exchanges with whatever heavy-weight group (HWG) substrate
+//! sits below it — Horus in the original system. This crate captures that
+//! seam as Rust types:
+//!
+//! * [`HwgSubstrate`] — the Table-1 contract. `plwg-vsync` implements it for
+//!   its partitionable virtually-synchronous stack; `plwg-core` provides a
+//!   second, scripted implementation for deterministic protocol tests.
+//! * [`HwgEvent`] — the up-call events (`View` / `Data` / `Stop`, plus the
+//!   `Left` completion notice).
+//! * [`HwgId`], [`ViewId`], [`View`], [`GroupStatus`], [`HwgConfig`] — the
+//!   vocabulary types shared by every layer (naming service included).
+//!
+//! Keeping these types below both `plwg-vsync` and `plwg-core` is what lets
+//! the LWG service compile with **no** dependency on any particular
+//! substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod id;
+mod substrate;
+mod view;
+
+pub use config::HwgConfig;
+pub use id::{HwgId, ViewId};
+pub use substrate::{GroupStatus, HwgEvent, HwgSubstrate};
+pub use view::View;

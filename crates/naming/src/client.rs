@@ -1,7 +1,7 @@
 //! The client-side stub of the naming service.
 //!
 //! A passive component owned by each LWG-service node (same pattern as
-//! [`plwg_vsync::VsyncStack`]): the owner forwards messages and timers and
+//! the HWG stack): the owner forwards messages and timers and
 //! drains [`NsEvent`]s. The stub picks a server, times out, and fails over
 //! to the next one — so requests keep being served as long as *some* server
 //! is reachable in the caller's partition (the paper's placement
@@ -11,8 +11,8 @@ use crate::config::NamingConfig;
 use crate::db::Mapping;
 use crate::id::LwgId;
 use crate::msg::NsMsg;
+use plwg_hwg::ViewId;
 use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime, TimerToken};
-use plwg_vsync::ViewId;
 use std::collections::BTreeMap;
 
 const TOK_NS_RETRY: TimerToken = TimerToken(0x0200_0000_0000_0002);

@@ -7,8 +7,8 @@
 //! until the reconciliation procedure collapses them (Table 4).
 
 use crate::id::LwgId;
+use plwg_hwg::{HwgId, ViewId};
 use plwg_sim::NodeId;
-use plwg_vsync::{HwgId, ViewId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One view-to-view mapping: an LWG view mapped onto an HWG view.
@@ -94,7 +94,7 @@ impl LwgEntry {
 ///
 /// ```
 /// use plwg_naming::{LwgId, Mapping, MappingDb};
-/// use plwg_vsync::{HwgId, ViewId};
+/// use plwg_hwg::{HwgId, ViewId};
 /// use plwg_sim::NodeId;
 ///
 /// let mut db = MappingDb::new();

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Identifies a light-weight group (a *user-level* group).
 ///
-/// Totally ordered, like [`plwg_vsync::HwgId`]; the order is used for
+/// Totally ordered, like [`plwg_hwg::HwgId`]; the order is used for
 /// deterministic policy tie-breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LwgId(pub u64);

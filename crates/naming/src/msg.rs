@@ -3,7 +3,7 @@
 use crate::client::RequestId;
 use crate::db::{Mapping, MappingDb};
 use crate::id::LwgId;
-use plwg_vsync::ViewId;
+use plwg_hwg::ViewId;
 use std::fmt;
 
 /// Messages between naming clients, servers, and server peers.

@@ -1,11 +1,11 @@
 //! Naming-service scenarios over the simulator: request failover,
 //! cross-partition divergence, reconciliation, and callbacks.
 
+use plwg_hwg::{HwgId, ViewId};
 use plwg_naming::{LwgId, Mapping, NameServer, NamingConfig, NsClient, NsEvent, RequestId};
 use plwg_sim::{
     Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
 };
-use plwg_vsync::{HwgId, ViewId};
 use std::any::Any;
 
 /// A bare client node: records replies and callbacks.

@@ -3,9 +3,9 @@
 //! collection only ever removes true ancestors. Cases come from a seeded
 //! in-tree RNG so every run is deterministic.
 
+use plwg_hwg::{HwgId, ViewId};
 use plwg_naming::{LwgId, Mapping, MappingDb};
 use plwg_sim::{NodeId, SimRng};
-use plwg_vsync::{HwgId, ViewId};
 
 const CASES: u64 = 300;
 

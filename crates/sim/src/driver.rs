@@ -1,0 +1,98 @@
+//! A generic [`Process`] adapter for protocol endpoints.
+//!
+//! Every protocol layer in this workspace exposes the same plumbing shape:
+//! `start`, an `on_message`/`on_timer` pair returning whether the input was
+//! consumed, and a `drain_events` queue of upcalls. Putting such an
+//! endpoint on a simulated node used to mean hand-writing the same
+//! [`Process`] demux in every example and harness; [`Driver`] writes it
+//! once. Implement [`Endpoint`] for the layer and `Box<Driver<E>>` is
+//! ready for [`crate::World::add_node`].
+
+use crate::node::{Context, NodeId, Payload, Process, TimerToken};
+use std::any::Any;
+
+/// A protocol endpoint drivable by the standard message/timer plumbing.
+pub trait Endpoint {
+    /// The upcall type the endpoint produces.
+    type Event;
+
+    /// Called once from the owning process's `on_start`.
+    fn start(&mut self, ctx: &mut Context<'_>);
+
+    /// Offers an incoming message; returns `true` when consumed.
+    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool;
+
+    /// Offers a timer firing; returns `true` when consumed.
+    fn handle_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool;
+
+    /// Takes the upcalls produced since the last call.
+    fn drain(&mut self) -> Vec<Self::Event>;
+}
+
+/// Runs an [`Endpoint`] as a simulated [`Process`], accumulating its
+/// upcalls for later inspection (via [`crate::World::inspect`]).
+pub struct Driver<E: Endpoint> {
+    endpoint: E,
+    events: Vec<E::Event>,
+}
+
+impl<E: Endpoint> Driver<E> {
+    /// Wraps `endpoint`.
+    pub fn new(endpoint: E) -> Self {
+        Driver {
+            endpoint,
+            events: Vec::new(),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> &E {
+        &self.endpoint
+    }
+
+    /// Mutable access to the wrapped endpoint (down-calls).
+    pub fn endpoint_mut(&mut self) -> &mut E {
+        &mut self.endpoint
+    }
+
+    /// All upcalls recorded so far, in delivery order.
+    pub fn events(&self) -> &[E::Event] {
+        &self.events
+    }
+
+    /// Takes the recorded upcalls.
+    pub fn take_events(&mut self) -> Vec<E::Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl<E: Endpoint + 'static> Process for Driver<E> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.endpoint.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        if self.endpoint.handle_message(ctx, from, &msg) {
+            self.events.extend(self.endpoint.drain());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if self.endpoint.handle_timer(ctx, token) {
+            self.events.extend(self.endpoint.drain());
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl<E: Endpoint + std::fmt::Debug> std::fmt::Debug for Driver<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver")
+            .field("endpoint", &self.endpoint)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}

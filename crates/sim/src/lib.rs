@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
 mod event;
 mod metrics;
 mod net;
@@ -53,6 +54,7 @@ mod topology;
 mod trace;
 mod world;
 
+pub use driver::{Driver, Endpoint};
 pub use event::{EventQueue, QueuedEvent};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
 pub use net::{DeliveryDecision, NetConfig};

@@ -63,13 +63,13 @@ impl Histogram {
         sorted.sort_unstable();
         let pct = |p: f64| -> u64 {
             let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
-            sorted[idx]
+            sorted.get(idx).copied().unwrap_or(0)
         };
         let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
         HistogramSummary {
             count: sorted.len(),
-            min: sorted[0],
-            max: *sorted.last().expect("non-empty"),
+            min: sorted.first().copied().unwrap_or(0),
+            max: sorted.last().copied().unwrap_or(0),
             mean: sum as f64 / sorted.len() as f64,
             p50: pct(0.50),
             p95: pct(0.95),
@@ -89,7 +89,7 @@ impl Histogram {
 /// m.add("net.sent", 2);
 /// m.observe("latency_us", 1_500);
 /// assert_eq!(m.counter("net.sent"), 3);
-/// assert_eq!(m.histogram("latency_us").unwrap().summary().max, 1_500);
+/// assert_eq!(m.histogram("latency_us").map(|h| h.summary().max), Some(1_500));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {

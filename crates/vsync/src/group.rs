@@ -31,28 +31,13 @@
 //! guarantee ("all processes that install two consecutive views deliver the
 //! same set of messages between these views").
 
-use crate::config::VsyncConfig;
 use crate::fd::FailureDetector;
-use crate::id::{HwgId, ViewId};
 use crate::msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
-use crate::stack::VsEvent;
-use crate::view::View;
+use crate::{GroupStatus, VsEvent, VsyncConfig};
+use plwg_hwg::{HwgId, View, ViewId};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::rc::Rc;
-
-/// Externally observable state of an endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GroupStatus {
-    /// Looking for an existing view to join (probing / awaiting admission).
-    Joining,
-    /// Member of an installed view.
-    Member,
-    /// Member that has asked to leave and awaits exclusion.
-    Leaving,
-    /// No longer (or never) a member; terminal.
-    Left,
-}
 
 /// Member-side state of an in-progress flush.
 #[derive(Debug)]

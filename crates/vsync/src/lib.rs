@@ -34,20 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod config;
 mod fd;
 /// Pure flush-plan computation (digests → delivery target + pull plan).
 pub mod flushcalc;
 mod group;
-mod id;
 mod msg;
 mod stack;
-mod view;
+mod substrate;
 
-pub use config::VsyncConfig;
 pub use fd::{FailureDetector, FdEvent};
-pub use group::GroupStatus;
-pub use id::{HwgId, ViewId};
 pub use msg::{SubsetSkip, VsMsg};
-pub use stack::{VsEvent, VsyncStack};
-pub use view::View;
+pub use plwg_hwg::{
+    GroupStatus, HwgConfig as VsyncConfig, HwgEvent as VsEvent, HwgId, HwgSubstrate, View, ViewId,
+};
+pub use stack::VsyncStack;

@@ -1,7 +1,6 @@
 //! Wire messages of the HWG layer.
 
-use crate::id::{HwgId, ViewId};
-use crate::view::View;
+use plwg_hwg::{HwgId, View, ViewId};
 use plwg_sim::{NodeId, Payload};
 use std::collections::BTreeMap;
 use std::fmt;

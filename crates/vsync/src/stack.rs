@@ -2,50 +2,13 @@
 //! shared failure detector, and exposes the Table-1 interface of the paper
 //! (`Join`, `Leave`, `Send`, `StopOk` down; `View`, `Data`, `Stop` up).
 
-use crate::config::VsyncConfig;
 use crate::fd::{FailureDetector, FdEvent};
-use crate::group::{GroupEndpoint, GroupStatus};
-use crate::id::{HwgId, ViewId};
+use crate::group::GroupEndpoint;
 use crate::msg::VsMsg;
-use crate::view::View;
+use crate::{GroupStatus, VsEvent, VsyncConfig};
+use plwg_hwg::{HwgId, View};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, TimerToken};
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Upcalls from the HWG layer to its owner (paper Table 1).
-#[derive(Debug)]
-pub enum VsEvent {
-    /// A new view was installed for `hwg`.
-    View {
-        /// Group.
-        hwg: HwgId,
-        /// The installed view.
-        view: View,
-    },
-    /// A multicast was delivered.
-    Data {
-        /// Group.
-        hwg: HwgId,
-        /// View the message was sent (and delivered) in.
-        view_id: ViewId,
-        /// Original sender.
-        src: NodeId,
-        /// Opaque payload.
-        data: Payload,
-    },
-    /// Traffic on `hwg` must stop (a view change is in progress). The
-    /// owner confirms with [`VsyncStack::stop_ok`] unless
-    /// [`VsyncConfig::auto_stop_ok`] is set.
-    Stop {
-        /// Group.
-        hwg: HwgId,
-    },
-    /// This node is no longer a member of `hwg` (leave completed, or the
-    /// group dissolved).
-    Left {
-        /// Group.
-        hwg: HwgId,
-    },
-}
 
 /// Timer token used for the failure-detector / protocol tick.
 const TOK_FD: TimerToken = TimerToken(0x0100_0000_0000_0001);

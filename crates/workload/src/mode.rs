@@ -76,7 +76,7 @@ pub struct ViewRecord {
 
 enum Inner {
     Raw(Box<VsyncStack>),
-    Lwg(Box<LwgService>),
+    Lwg(Box<LwgService<VsyncStack>>),
 }
 
 /// An experiment node able to run in any [`ServiceMode`], recording every
@@ -95,7 +95,7 @@ impl BenchNode {
     /// the LWG modes; `vsync_cfg` (inside `cfg`) by all.
     pub fn new(me: NodeId, mode: ServiceMode, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
         let inner = match mode {
-            ServiceMode::NoLwg => Inner::Raw(Box::new(VsyncStack::new(me, cfg.vsync.clone()))),
+            ServiceMode::NoLwg => Inner::Raw(Box::new(VsyncStack::new(me, cfg.hwg.clone()))),
             ServiceMode::StaticLwg | ServiceMode::DynamicLwg => {
                 Inner::Lwg(Box::new(LwgService::new(me, servers, cfg)))
             }

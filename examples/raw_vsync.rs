@@ -2,61 +2,37 @@
 //! want plain partitionable virtual synchrony without the light-weight
 //! multiplexing on top.
 //!
+//! The stack is a [`plwg::sim::Endpoint`], so [`plwg::sim::Driver`]
+//! provides the node plumbing; no hand-written `Process` impl needed.
+//!
 //! Run with: `cargo run --example raw_vsync`
 
 use plwg::prelude::*;
-use plwg::sim::{cast, payload, TimerToken};
+use plwg::sim::{cast, payload, Driver};
 use plwg::vsync::HwgId;
-use std::any::Any;
 
 const GROUP: HwgId = HwgId(42);
 
-/// A minimal chat node: joins one group, prints views and messages.
-struct ChatNode {
-    stack: VsyncStack,
-    log: Vec<String>,
+/// A chat node is just the driven stack.
+type ChatNode = Driver<VsyncStack>;
+
+fn chat_node(me: NodeId) -> Box<ChatNode> {
+    Box::new(Driver::new(VsyncStack::new(me, VsyncConfig::default())))
 }
 
-impl ChatNode {
-    fn new(me: NodeId) -> Self {
-        ChatNode {
-            stack: VsyncStack::new(me, VsyncConfig::default()),
-            log: Vec::new(),
-        }
-    }
-    fn drain(&mut self) {
-        for ev in self.stack.drain_events() {
-            match ev {
-                VsEvent::View { view, .. } => {
-                    self.log.push(format!("view {view}"));
-                }
-                VsEvent::Data { src, data, .. } => {
-                    let text: &String = cast(&data).expect("string payload");
-                    self.log.push(format!("{src}: {text}"));
-                }
-                VsEvent::Stop { .. } | VsEvent::Left { .. } => {}
+/// Renders the recorded upcalls as chat-log lines.
+fn render(events: &[VsEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|ev| match ev {
+            VsEvent::View { view, .. } => Some(format!("view {view}")),
+            VsEvent::Data { src, data, .. } => {
+                let text: &String = cast(data).expect("string payload");
+                Some(format!("{src}: {text}"))
             }
-        }
-    }
-}
-
-impl Process for ChatNode {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.stack.start(ctx);
-    }
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
-        if self.stack.on_message(ctx, from, &msg) {
-            self.drain();
-        }
-    }
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        if self.stack.on_timer(ctx, token) {
-            self.drain();
-        }
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
+            VsEvent::Stop { .. } | VsEvent::Left { .. } => None,
+        })
+        .collect()
 }
 
 fn at(s: u64) -> SimTime {
@@ -66,19 +42,21 @@ fn at(s: u64) -> SimTime {
 fn main() {
     let mut world = World::new(WorldConfig::default());
     let nodes: Vec<NodeId> = (0..4)
-        .map(|i| world.add_node(Box::new(ChatNode::new(NodeId(i)))))
+        .map(|i| world.add_node(chat_node(NodeId(i))))
         .collect();
 
     // First node creates the group; the rest rendezvous via probes.
-    world.invoke(nodes[0], |c: &mut ChatNode, ctx| c.stack.create(ctx, GROUP));
+    world.invoke(nodes[0], |c: &mut ChatNode, ctx| {
+        c.endpoint_mut().create(ctx, GROUP)
+    });
     for (i, &n) in nodes[1..].iter().enumerate() {
         world.invoke_at(at(1 + i as u64), n, |c: &mut ChatNode, ctx| {
-            c.stack.join(ctx, GROUP)
+            c.endpoint_mut().join(ctx, GROUP)
         });
     }
     world.run_until(at(8));
     world.invoke(nodes[1], |c: &mut ChatNode, ctx| {
-        c.stack.send(
+        c.endpoint_mut().send(
             ctx,
             GROUP,
             payload("hello, virtually synchronous world".to_owned()),
@@ -93,11 +71,11 @@ fn main() {
     );
     world.run_until(at(16));
     world.invoke(nodes[0], |c: &mut ChatNode, ctx| {
-        c.stack
+        c.endpoint_mut()
             .send(ctx, GROUP, payload("anyone there?".to_owned()));
     });
     world.invoke(nodes[3], |c: &mut ChatNode, ctx| {
-        c.stack
+        c.endpoint_mut()
             .send(ctx, GROUP, payload("our side is fine".to_owned()));
     });
     world.heal_at(at(18));
@@ -105,12 +83,12 @@ fn main() {
 
     for &n in &nodes {
         println!("--- {n} ---");
-        let log = world.inspect(n, |c: &ChatNode| c.log.clone());
+        let log = world.inspect(n, |c: &ChatNode| render(c.events()));
         for line in log {
             println!("  {line}");
         }
         let final_view = world.inspect(n, |c: &ChatNode| {
-            c.stack.view_of(GROUP).cloned().expect("view")
+            c.endpoint().view_of(GROUP).cloned().expect("view")
         });
         assert_eq!(final_view.len(), 4, "merged back to 4: {final_view}");
     }

@@ -65,17 +65,28 @@
 #![warn(missing_docs)]
 
 pub use plwg_core as core;
+pub use plwg_hwg as hwg;
 pub use plwg_naming as naming;
 pub use plwg_sim as sim;
 pub use plwg_vsync as vsync;
 pub use plwg_workload as workload;
 
 /// The most commonly used items, for `use plwg::prelude::*`.
+///
+/// `LwgNode` and `LwgService` are the **production instantiations** of the
+/// generic types in [`plwg_core`], fixed to the [`plwg_vsync::VsyncStack`]
+/// substrate. To swap the substrate (e.g. [`plwg_core::ScriptedHwg`] in
+/// protocol tests), use the generic types from [`plwg_core`] directly.
 pub mod prelude {
-    pub use plwg_core::{HwgId, LwgConfig, LwgEvent, LwgId, LwgNode, LwgService, View, ViewId};
+    pub use plwg_core::{HwgId, HwgSubstrate, LwgConfig, LwgEvent, LwgId, View, ViewId};
     pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
     pub use plwg_sim::{
         Context, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,
     };
     pub use plwg_vsync::{VsEvent, VsyncConfig, VsyncStack};
+
+    /// The LWG service over the production virtual-synchrony substrate.
+    pub type LwgService = plwg_core::LwgService<VsyncStack>;
+    /// The ready-made simulated node over the production substrate.
+    pub type LwgNode = plwg_core::LwgNode<VsyncStack>;
 }
