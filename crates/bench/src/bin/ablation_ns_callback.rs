@@ -73,8 +73,8 @@ fn run(poll: Option<SimDuration>, lwgs: u64) -> Outcome {
         }
     }
     w.run_until(at(25));
-    let reads_before = w.metrics().counter("ns.reads");
-    let callbacks_before = w.metrics().counter("ns.callbacks");
+    let reads_before = w.metrics().counter(plwg_naming::keys::READS);
+    let callbacks_before = w.metrics().counter(plwg_naming::keys::CALLBACKS);
     w.heal_at(at(25));
 
     // Wait for every group to span all four members again.
@@ -96,8 +96,8 @@ fn run(poll: Option<SimDuration>, lwgs: u64) -> Outcome {
     // Run on a while to account for steady-state polling load.
     w.run_until(at(120));
     Outcome {
-        reads: w.metrics().counter("ns.reads") - reads_before,
-        callbacks: w.metrics().counter("ns.callbacks") - callbacks_before,
+        reads: w.metrics().counter(plwg_naming::keys::READS) - reads_before,
+        callbacks: w.metrics().counter(plwg_naming::keys::CALLBACKS) - callbacks_before,
         reconverged,
     }
 }

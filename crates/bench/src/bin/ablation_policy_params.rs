@@ -69,7 +69,7 @@ fn run(k_m: u32, k_c: u32) -> (u64, bool) {
     }
     // Several policy rounds.
     w.run_for(SimDuration::from_secs(40));
-    let switches = w.metrics().counter("lwg.switches");
+    let switches = w.metrics().counter(plwg_core::keys::SWITCHES);
     let separated = {
         let hb = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(BIG));
         let hs = w.inspect(apps[0], |a: &LwgNode| a.service_ref().mapping_of(SMALL));

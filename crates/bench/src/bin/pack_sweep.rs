@@ -142,7 +142,7 @@ fn run(groups: usize, cfg: &Cfg, seed: u64) -> Row {
 
     let m = w.metrics();
     let occupancy = m
-        .histogram("lwg.batch.occupancy")
+        .histogram(plwg_core::keys::BATCH_OCCUPANCY)
         .map_or(0.0, |h| h.summary().mean);
     Row {
         label: cfg.label,
@@ -150,12 +150,12 @@ fn run(groups: usize, cfg: &Cfg, seed: u64) -> Row {
         pack_max_msgs: cfg.pack_max_msgs,
         pack_delay_ms: cfg.pack_delay.as_micros() as f64 / 1000.0,
         subset: cfg.subset,
-        sent: m.counter("lwg.data_sent"),
-        delivered: m.counter("lwg.data_delivered"),
-        hwg_multicasts: m.counter("hwg.data_sent"),
-        filtered: m.counter("lwg.filtered"),
+        sent: m.counter(plwg_core::keys::DATA_SENT),
+        delivered: m.counter(plwg_core::keys::DATA_DELIVERED),
+        hwg_multicasts: m.counter(plwg_vsync::keys::DATA_SENT),
+        filtered: m.counter(plwg_core::keys::FILTERED),
         occupancy_mean: occupancy,
-        throughput: m.counter("lwg.data_delivered") as f64 / TRAFFIC_SECS as f64,
+        throughput: m.counter(plwg_core::keys::DATA_DELIVERED) as f64 / TRAFFIC_SECS as f64,
     }
 }
 

@@ -13,9 +13,10 @@
 //!   change, leave, switch, merge) — so a batch never straddles a view
 //!   cut on either layer.
 
+use crate::keys;
 use plwg_hwg::ViewId;
 use plwg_naming::LwgId;
-use plwg_sim::Payload;
+use plwg_sim::{CounterKey, Payload};
 
 /// Why a pack buffer was flushed (drives the `lwg.batch.flush_*`
 /// metrics; the barrier reason is the one that keeps packing safe).
@@ -32,11 +33,11 @@ pub(crate) enum FlushReason {
 
 impl FlushReason {
     /// The metric counter recording this flush cause.
-    pub(crate) fn metric(self) -> &'static str {
+    pub(crate) fn metric(self) -> CounterKey {
         match self {
-            FlushReason::Full => "lwg.batch.flush_full",
-            FlushReason::Timer => "lwg.batch.flush_timer",
-            FlushReason::Barrier => "lwg.batch.flush_barrier",
+            FlushReason::Full => keys::BATCH_FLUSH_FULL,
+            FlushReason::Timer => keys::BATCH_FLUSH_TIMER,
+            FlushReason::Barrier => keys::BATCH_FLUSH_BARRIER,
         }
     }
 }

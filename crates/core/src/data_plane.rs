@@ -10,6 +10,7 @@
 
 use crate::batch::FlushReason;
 use crate::events::LwgEvent;
+use crate::keys;
 use crate::msg::LwgMsg;
 use crate::service::{LwgService, TOK_PACK};
 use crate::state::{ForeignTag, Phase};
@@ -36,7 +37,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         }
         let lwg_view = state.view.as_ref().expect("member has a view").id;
         let hwg = state.hwg.expect("member has a mapping");
-        ctx.metrics().incr("lwg.data_sent");
+        ctx.metrics().incr(keys::DATA_SENT);
         if self.cfg.pack_max_msgs > 1 {
             let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);
             if occupancy >= self.cfg.pack_max_msgs {
@@ -86,7 +87,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// only the interested members when the subset path applies.
     fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
         if let Some(targets) = self.subset_targets(hwg, lwgs.iter().copied()) {
-            ctx.metrics().incr("lwg.subset_sends");
+            ctx.metrics().incr(keys::SUBSET_SENDS);
             self.substrate.send_to(ctx, hwg, &targets, payload(msg));
         } else {
             self.substrate.send(ctx, hwg, payload(msg));
@@ -105,10 +106,10 @@ impl<S: HwgSubstrate> LwgService<S> {
             return;
         }
         let entries = buf.take();
-        ctx.metrics().incr("lwg.batch.sent");
+        ctx.metrics().incr(keys::BATCH_SENT);
         ctx.metrics().incr(reason.metric());
         ctx.metrics()
-            .observe("lwg.batch.occupancy", entries.len() as u64);
+            .observe(keys::BATCH_OCCUPANCY, entries.len() as u64);
         let lwgs: Vec<LwgId> = entries.iter().map(|(l, _, _)| *l).collect();
         self.send_data_on(ctx, hwg, &lwgs, LwgMsg::Batch { entries });
     }
@@ -141,24 +142,24 @@ impl<S: HwgSubstrate> LwgService<S> {
         let Some(state) = self.lwgs.get(&lwg) else {
             // Filtering cost of co-mapped groups we are not a member of —
             // this is the "interference" the paper's policies minimise.
-            ctx.metrics().incr("lwg.filtered");
+            ctx.metrics().incr(keys::FILTERED);
             return;
         };
         match &state.view {
             Some(view) if view.id == lwg_view => {
-                ctx.metrics().incr("lwg.data_delivered");
+                ctx.metrics().incr(keys::DATA_DELIVERED);
                 self.events.push(LwgEvent::Data { lwg, src, data });
             }
             Some(_) if state.history.contains(&lwg_view) => {
                 // From a predecessor of our current view; superseded.
-                ctx.metrics().incr("lwg.data_stale");
+                ctx.metrics().incr(keys::DATA_STALE);
             }
             Some(_) => {
                 // A view we never installed: evidence of a concurrent view
                 // sharing our HWG (local peer discovery, paper §6.3 / Fig. 5
                 // line 106). Remember it; the tick triggers MERGE-VIEWS if
                 // no merge happens first.
-                ctx.metrics().incr("lwg.data_foreign");
+                ctx.metrics().incr(keys::DATA_FOREIGN);
                 if let Some(hwg) = hwg {
                     self.foreign.push(ForeignTag {
                         seen_at: ctx.now(),
@@ -169,7 +170,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                 }
             }
             None => {
-                ctx.metrics().incr("lwg.filtered");
+                ctx.metrics().incr(keys::FILTERED);
             }
         }
     }

@@ -7,7 +7,7 @@ use plwg_naming::LwgId;
 use plwg_sim::{NodeId, Payload};
 
 /// An event delivered to the application by [`crate::LwgService`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum LwgEvent {
     /// A new view of `lwg` was installed at this member.
     View {
@@ -30,4 +30,102 @@ pub enum LwgEvent {
         /// The light-weight group.
         lwg: LwgId,
     },
+}
+
+/// The recorded upcall stream of an [`crate::LwgNode`]: a full in-order
+/// history plus a drain cursor, so applications consume events by
+/// subscription (`node.events().drain()`) instead of polling accessors.
+///
+/// Draining advances the cursor without discarding history —
+/// [`LwgEvents::history`] keeps serving assertions over the whole run.
+#[derive(Debug, Default)]
+pub struct LwgEvents {
+    log: Vec<LwgEvent>,
+    cursor: usize,
+}
+
+impl LwgEvents {
+    pub(crate) fn record(&mut self, ev: LwgEvent) {
+        self.log.push(ev);
+    }
+
+    /// Events recorded since the previous `drain` call, oldest first.
+    pub fn drain(&mut self) -> Vec<LwgEvent> {
+        let new = self.log[self.cursor..].to_vec();
+        self.cursor = self.log.len();
+        new
+    }
+
+    /// Every event recorded over the node's lifetime, in delivery order
+    /// (including already-drained ones).
+    pub fn history(&self) -> &[LwgEvent] {
+        &self.log
+    }
+
+    /// All views installed for `lwg`, in installation order.
+    pub fn views_of(&self, lwg: LwgId) -> Vec<&View> {
+        self.log
+            .iter()
+            .filter_map(|ev| match ev {
+                LwgEvent::View { lwg: l, view } if *l == lwg => Some(view),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Groups this node has left, in completion order.
+    pub fn lefts(&self) -> Vec<LwgId> {
+        self.log
+            .iter()
+            .filter_map(|ev| match ev {
+                LwgEvent::Left { lwg } => Some(*lwg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Payloads delivered on `lwg` from `src`, downcast to `T` (test
+    /// convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matching delivery holds a payload of another type.
+    pub fn data_from<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
+        self.log
+            .iter()
+            .filter_map(|ev| match ev {
+                LwgEvent::Data {
+                    lwg: l,
+                    src: s,
+                    data,
+                } if *l == lwg && *s == src => {
+                    Some(plwg_sim::cast::<T>(data).expect("payload type").clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_sim::payload;
+
+    #[test]
+    fn drain_advances_cursor_but_keeps_history() {
+        let mut evs = LwgEvents::default();
+        evs.record(LwgEvent::Left { lwg: LwgId(1) });
+        evs.record(LwgEvent::Data {
+            lwg: LwgId(2),
+            src: NodeId(3),
+            data: payload(7u64),
+        });
+        assert_eq!(evs.drain().len(), 2);
+        assert!(evs.drain().is_empty());
+        evs.record(LwgEvent::Left { lwg: LwgId(2) });
+        assert_eq!(evs.drain().len(), 1);
+        assert_eq!(evs.history().len(), 3);
+        assert_eq!(evs.data_from::<u64>(LwgId(2), NodeId(3)), vec![7]);
+    }
 }

@@ -12,7 +12,9 @@
 
 use crate::batch::FlushReason;
 use crate::events::LwgEvent;
+use crate::keys;
 use crate::msg::{LFlushId, LwgMsg};
+use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::{LwgFlush, LwgState, NsPurpose, Phase};
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
@@ -33,7 +35,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         }
         let state = LwgState::new();
         self.lwgs.insert(lwg, state);
-        ctx.trace("lwg.join.start", || format!("{lwg}"));
+        ctx.emit(|| LwgProtocolEvent::JoinStart { lwg });
         let req = self.ns.read(ctx, lwg);
         self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
     }
@@ -98,7 +100,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                     // reached us on an HWG the group no longer rides. Point
                     // it at the current one (paper §3.1's forward-pointer
                     // behaviour, here served by a member directly).
-                    ctx.metrics().incr("lwg.redirects_sent");
+                    ctx.metrics().incr(keys::REDIRECTS_SENT);
                     ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
                     return;
                 }
@@ -112,7 +114,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             }
         } else if let Some(&to) = self.forward.get(&lwg) {
             // We are not a member but remember where the group went.
-            ctx.metrics().incr("lwg.redirects_sent");
+            ctx.metrics().incr(keys::REDIRECTS_SENT);
             ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
         }
     }
@@ -335,7 +337,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         members.extend(joiners);
         if members.is_empty() {
             // Everybody left: dissolve the group (no successor view).
-            ctx.trace("lwg.dissolve", || format!("{lwg}"));
+            ctx.emit(|| LwgProtocolEvent::Dissolve { lwg });
             self.ns.unset(ctx, lwg, view.id);
             self.substrate
                 .send(ctx, hwg, payload(LwgMsg::Dissolved { lwg, flush }));
@@ -346,7 +348,10 @@ impl<S: HwgSubstrate> LwgService<S> {
             members,
             vec![view.id],
         );
-        ctx.trace("lwg.view.announce", || format!("{lwg} {new_view}"));
+        ctx.emit(|| LwgProtocolEvent::ViewAnnounce {
+            lwg,
+            view: new_view.clone(),
+        });
         self.substrate.send(
             ctx,
             hwg,
@@ -387,8 +392,11 @@ impl<S: HwgSubstrate> LwgService<S> {
             members,
             vec![view.id],
         );
-        ctx.trace("lwg.prune", || format!("{lwg} {pruned}"));
-        ctx.metrics().incr("lwg.prunes");
+        ctx.emit(|| LwgProtocolEvent::Prune {
+            lwg,
+            view: pruned.clone(),
+        });
+        ctx.metrics().incr(keys::PRUNES);
         self.substrate.send(
             ctx,
             hwg,
@@ -423,8 +431,12 @@ impl<S: HwgSubstrate> LwgService<S> {
         } else {
             0
         });
-        ctx.trace("lwg.view.install", || format!("{lwg} {view} on {on_hwg}"));
-        ctx.metrics().incr("lwg.views_installed");
+        ctx.emit(|| LwgProtocolEvent::ViewInstall {
+            lwg,
+            view: view.clone(),
+            hwg: on_hwg,
+        });
+        ctx.metrics().incr(keys::VIEWS_INSTALLED);
         state.view = Some(view.clone());
         state.hwg = Some(on_hwg);
         state.phase = Phase::Member;
@@ -525,10 +537,12 @@ impl<S: HwgSubstrate> LwgService<S> {
             initiator: self.me,
             nonce: state.take_flush_nonce(),
         };
-        ctx.trace("lwg.flush.start", || {
-            format!("{lwg} {flush} members {members:?}")
+        ctx.emit(|| LwgProtocolEvent::FlushStart {
+            lwg,
+            flush,
+            members: members.clone(),
         });
-        ctx.metrics().incr("lwg.flushes");
+        ctx.metrics().incr(keys::FLUSHES);
         // Barrier: the flush announcement must not overtake our own
         // buffered data for the closing view.
         self.flush_pack(ctx, hwg, FlushReason::Barrier);

@@ -48,23 +48,26 @@ mod config;
 mod data_plane;
 mod events;
 mod flush;
+pub mod keys;
 mod mapping;
 mod merge;
 mod msg;
 mod node;
 mod policy;
+mod protocol_events;
 mod scripted;
 mod service;
 mod state;
 mod switch;
 
 pub use config::LwgConfig;
-pub use events::LwgEvent;
-pub use msg::LwgMsg;
+pub use events::{LwgEvent, LwgEvents};
+pub use msg::{LFlushId, LwgMsg};
 pub use node::LwgNode;
 pub use policy::{
     closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction,
 };
+pub use protocol_events::LwgProtocolEvent;
 pub use scripted::ScriptedHwg;
 pub use service::LwgService;
 pub use state::{LwgStatus, ServiceStats};

@@ -3,8 +3,10 @@
 //! step 2), the housekeeping tick, the Figure-1 interference/share rules,
 //! and the shrink rule that releases idle HWGs.
 
+use crate::keys;
 use crate::msg::LwgMsg;
 use crate::policy::{self, PolicyAction};
+use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::{LwgState, NsPurpose, Phase};
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, ViewId};
@@ -136,7 +138,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             hwg,
             hwg_view: hview.id,
         };
-        ctx.trace("lwg.claim", || format!("{lwg} {planned} on {hwg}"));
+        ctx.emit(|| LwgProtocolEvent::Claim { lwg, planned, hwg });
         let req = self.ns.testset(ctx, lwg, mapping, vec![]);
         self.ns_lookups.insert(req, (lwg, NsPurpose::FoundClaim));
         // Push the deadline out while the claim is in flight.
@@ -175,7 +177,11 @@ impl<S: HwgSubstrate> LwgService<S> {
         let Some(hwg) = state.hwg else { return };
         let seq = state.take_view_seq();
         let view = plwg_hwg::View::initial(ViewId::new(self.me, seq), vec![self.me]);
-        ctx.trace("lwg.found", || format!("{lwg} {view} on {hwg}"));
+        ctx.emit(|| LwgProtocolEvent::Found {
+            lwg,
+            view: view.clone(),
+            hwg,
+        });
         self.install_lwg_view(ctx, lwg, view, hwg);
         // Concurrent founders on the same HWG merge via Fig. 5.
         self.trigger_merge_views(ctx, hwg);
@@ -185,7 +191,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// coordinator of each concurrent view switches deterministically to
     /// the HWG with the **highest group identifier**.
     fn reconcile(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        ctx.metrics().incr("lwg.reconciliations");
+        ctx.metrics().incr(keys::RECONCILIATIONS);
         let Some(target) = mappings.iter().map(|m| m.hwg).max() else {
             return;
         };
@@ -213,8 +219,10 @@ impl<S: HwgSubstrate> LwgService<S> {
                 self.trigger_merge_views(ctx, target);
             }
         } else {
-            ctx.trace("lwg.reconcile", || {
-                format!("{lwg}: switch {current:?} -> {target}")
+            ctx.emit(|| LwgProtocolEvent::Reconcile {
+                lwg,
+                current,
+                target,
             });
             self.start_switch(ctx, lwg, target, false);
         }
@@ -227,8 +235,8 @@ impl<S: HwgSubstrate> LwgService<S> {
             matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission) && s.hwg != Some(to)
         });
         if retarget {
-            ctx.metrics().incr("lwg.redirects_followed");
-            ctx.trace("lwg.redirect", || format!("{lwg} -> {to}"));
+            ctx.metrics().incr(keys::REDIRECTS_FOLLOWED);
+            ctx.emit(|| LwgProtocolEvent::Redirect { lwg, to });
             let old = self.lwgs.get(&lwg).and_then(|s| s.hwg);
             self.begin_hwg_join(ctx, lwg, to, false);
             if let Some(old) = old {
@@ -304,7 +312,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             .collect();
         for lwg in stuck {
             let state = self.lwgs.get_mut(&lwg).expect("listed");
-            ctx.trace("lwg.flush.abandon", || format!("{lwg}"));
+            ctx.emit(|| LwgProtocolEvent::FlushAbandon { lwg });
             state.lflush = None;
             state.switching = None;
             state.follow_switch = None;
@@ -394,8 +402,8 @@ impl<S: HwgSubstrate> LwgService<S> {
             .map(|(&h, _)| h)
             .collect();
         for hwg in to_leave {
-            ctx.trace("lwg.shrink", || format!("leaving {hwg}"));
-            ctx.metrics().incr("lwg.shrinks");
+            ctx.emit(|| LwgProtocolEvent::Shrink { hwg });
+            ctx.metrics().incr(keys::SHRINKS);
             self.idle_hwgs.remove(&hwg);
             self.substrate.leave(ctx, hwg);
         }
@@ -453,12 +461,12 @@ impl<S: HwgSubstrate> LwgService<S> {
             match action {
                 PolicyAction::Stay => {}
                 PolicyAction::SwitchTo(target) => {
-                    ctx.trace("lwg.policy.switch", || format!("{lwg} -> {target}"));
+                    ctx.emit(|| LwgProtocolEvent::PolicySwitch { lwg, target });
                     self.start_switch(ctx, lwg, target, false);
                 }
                 PolicyAction::CreateAndSwitch => {
                     let fresh = self.fresh_hwg_id();
-                    ctx.trace("lwg.policy.create", || format!("{lwg} -> {fresh}"));
+                    ctx.emit(|| LwgProtocolEvent::PolicyCreate { lwg, fresh });
                     self.start_switch(ctx, lwg, fresh, true);
                 }
             }
@@ -521,7 +529,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                     0
                 });
             }
-            ctx.trace("lwg.rejoin", || format!("{lwg}"));
+            ctx.emit(|| LwgProtocolEvent::Rejoin { lwg });
             let req = self.ns.read(ctx, lwg);
             self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
         }

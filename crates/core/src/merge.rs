@@ -9,7 +9,9 @@
 //! agreement round.
 
 use crate::batch::FlushReason;
+use crate::keys;
 use crate::msg::LwgMsg;
+use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use plwg_hwg::{HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::LwgId;
@@ -31,7 +33,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             }
         }
         self.last_merge_views.insert(hwg, now);
-        ctx.metrics().incr("lwg.merge_views_sent");
+        ctx.metrics().incr(keys::MERGE_VIEWS_SENT);
         // Barrier: the merge request forces an HWG flush; buffered data
         // belongs to the views being merged and must go out first.
         self.flush_pack(ctx, hwg, FlushReason::Barrier);
@@ -45,7 +47,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             let round = self.rounds.entry(hwg).or_default();
             if !round.triggered {
                 round.triggered = true;
-                ctx.metrics().incr("lwg.merge_views_observed");
+                ctx.metrics().incr(keys::MERGE_VIEWS_OBSERVED);
             }
             // The HWG coordinator turns the request into the flush
             // barrier of Fig. 5.
@@ -136,8 +138,12 @@ impl<S: HwgSubstrate> LwgService<S> {
                 members,
                 concurrent.clone(),
             );
-            ctx.trace("lwg.merge", || format!("{lwg}: {concurrent:?} -> {merged}"));
-            ctx.metrics().incr("lwg.views_merged");
+            ctx.emit(|| LwgProtocolEvent::Merge {
+                lwg,
+                concurrent: concurrent.clone(),
+                merged: merged.clone(),
+            });
+            ctx.metrics().incr(keys::VIEWS_MERGED);
             self.substrate.send(
                 ctx,
                 hwg,

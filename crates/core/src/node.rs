@@ -2,11 +2,11 @@
 //! easiest way to put the light-weight group service on a simulated node.
 //!
 //! Applications either embed [`LwgService`] in their own process type (for
-//! custom reaction logic) or use [`LwgNode`] and inspect its recorded
-//! upcalls / drive it with [`plwg_sim::World::invoke`].
+//! custom reaction logic) or use [`LwgNode`] and subscribe to its upcall
+//! stream via [`LwgNode::events`].
 
 use crate::config::LwgConfig;
-use crate::events::LwgEvent;
+use crate::events::{LwgEvent, LwgEvents};
 use crate::service::LwgService;
 use plwg_hwg::{HwgSubstrate, View};
 use plwg_naming::LwgId;
@@ -14,15 +14,20 @@ use plwg_sim::{Context, NodeId, Payload, Process, TimerToken};
 use std::any::Any;
 
 /// A simulated node running the LWG service over substrate `S`, recording
-/// all upcalls.
+/// all upcalls into a drainable [`LwgEvents`] stream.
+///
+/// ```ignore
+/// for ev in world.node_as::<LwgNode<VsyncStack>>(n1).events().drain() {
+///     match ev {
+///         LwgEvent::Data { lwg, src, data } => { /* ... */ }
+///         LwgEvent::View { lwg, view } => { /* ... */ }
+///         LwgEvent::Left { lwg } => { /* ... */ }
+///     }
+/// }
+/// ```
 pub struct LwgNode<S: HwgSubstrate> {
     service: LwgService<S>,
-    /// Every view installed, in order.
-    views: Vec<(LwgId, View)>,
-    /// Every delivery, in order.
-    delivered: Vec<(LwgId, NodeId, Payload)>,
-    /// Groups left.
-    lefts: Vec<LwgId>,
+    events: LwgEvents,
 }
 
 impl<S: HwgSubstrate> LwgNode<S> {
@@ -30,9 +35,7 @@ impl<S: HwgSubstrate> LwgNode<S> {
     pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
         LwgNode {
             service: LwgService::new(me, servers, cfg),
-            views: Vec::new(),
-            delivered: Vec::new(),
-            lefts: Vec::new(),
+            events: LwgEvents::default(),
         }
     }
 
@@ -46,44 +49,68 @@ impl<S: HwgSubstrate> LwgNode<S> {
         &self.service
     }
 
+    /// The recorded upcall stream: `events().drain()` consumes the events
+    /// since the previous drain, `events().history()` keeps the full run.
+    pub fn events(&mut self) -> &mut LwgEvents {
+        &mut self.events
+    }
+
+    /// Read-only view of the upcall stream (no draining).
+    pub fn events_ref(&self) -> &LwgEvents {
+        &self.events
+    }
+
     /// The group's *live* view at this node (`None` once the node has left
-    /// the group). For the historic record use [`LwgNode::views`].
+    /// the group). For the historic record use `events_ref().views_of(..)`.
     pub fn current_view(&self, lwg: LwgId) -> Option<&View> {
         self.service.view_of(lwg)
     }
 
     /// All recorded view installations.
-    pub fn views(&self) -> &[(LwgId, View)] {
-        &self.views
-    }
-
-    /// All recorded deliveries.
-    pub fn delivered(&self) -> &[(LwgId, NodeId, Payload)] {
-        &self.delivered
-    }
-
-    /// Payloads delivered for `lwg` from `src`, downcast to `T` (test
-    /// convenience; panics on a type mismatch).
-    pub fn delivered_values<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
-        self.delivered
+    #[deprecated(note = "subscribe via `events()` / query `events_ref().views_of(..)`")]
+    pub fn views(&self) -> Vec<(LwgId, View)> {
+        self.events
+            .history()
             .iter()
-            .filter(|(l, s, _)| *l == lwg && *s == src)
-            .map(|(_, _, p)| plwg_sim::cast::<T>(p).expect("payload type").clone())
+            .filter_map(|ev| match ev {
+                LwgEvent::View { lwg, view } => Some((*lwg, view.clone())),
+                _ => None,
+            })
             .collect()
     }
 
-    /// Groups this node has left.
-    pub fn lefts(&self) -> &[LwgId] {
-        &self.lefts
+    /// All recorded deliveries.
+    #[deprecated(note = "subscribe via `events()` / query `events_ref().data_from(..)`")]
+    pub fn delivered(&self) -> Vec<(LwgId, NodeId, Payload)> {
+        self.events
+            .history()
+            .iter()
+            .filter_map(|ev| match ev {
+                LwgEvent::Data { lwg, src, data } => Some((*lwg, *src, data.clone())),
+                _ => None,
+            })
+            .collect()
     }
 
-    fn drain(&mut self) {
+    /// Payloads delivered for `lwg` from `src`, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matching delivery holds a payload of another type.
+    #[deprecated(note = "use `events_ref().data_from(..)`")]
+    pub fn delivered_values<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
+        self.events.data_from(lwg, src)
+    }
+
+    /// Groups this node has left.
+    #[deprecated(note = "use `events_ref().lefts()`")]
+    pub fn lefts(&self) -> Vec<LwgId> {
+        self.events.lefts()
+    }
+
+    fn pump_events(&mut self) {
         for ev in self.service.drain_events() {
-            match ev {
-                LwgEvent::View { lwg, view } => self.views.push((lwg, view)),
-                LwgEvent::Data { lwg, src, data } => self.delivered.push((lwg, src, data)),
-                LwgEvent::Left { lwg } => self.lefts.push(lwg),
-            }
+            self.events.record(ev);
         }
     }
 }
@@ -95,13 +122,13 @@ impl<S: HwgSubstrate + 'static> Process for LwgNode<S> {
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
         if self.service.on_message(ctx, from, &msg) {
-            self.drain();
+            self.pump_events();
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
         if self.service.on_timer(ctx, token) {
-            self.drain();
+            self.pump_events();
         }
     }
 
@@ -114,8 +141,7 @@ impl<S: HwgSubstrate> std::fmt::Debug for LwgNode<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LwgNode")
             .field("service", &self.service)
-            .field("views", &self.views.len())
-            .field("delivered", &self.delivered.len())
+            .field("events", &self.events.history().len())
             .finish()
     }
 }

@@ -20,6 +20,7 @@ use crate::batch::{FlushReason, PackBuffer};
 use crate::config::LwgConfig;
 use crate::events::LwgEvent;
 use crate::msg::LwgMsg;
+use crate::protocol_events::LwgProtocolEvent;
 use crate::state::{ForeignTag, LwgState, LwgStatus, MergeRound, NsPurpose, Phase, ServiceStats};
 use plwg_hwg::{HwgEvent, HwgId, HwgSubstrate, View};
 use plwg_naming::{LwgId, NsClient, RequestId};
@@ -340,7 +341,10 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// for HWG membership, run the merge round, refresh naming, prune LWG
     /// members that fell out of the HWG.
     fn handle_hwg_view(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: View) {
-        ctx.trace("lwg.hwg_view", || format!("{hwg} {hview}"));
+        ctx.emit(|| LwgProtocolEvent::HwgView {
+            hwg,
+            view: hview.clone(),
+        });
 
         // Barrier (belt and braces — the Stop upcall already flushed):
         // anything still buffered is multicast now, entirely inside the

@@ -8,7 +8,9 @@
 //! ([`crate::flush`] handles the member-side flush half).
 
 use crate::batch::FlushReason;
+use crate::keys;
 use crate::msg::{LFlushId, LwgMsg};
+use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::SwitchState;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
@@ -60,8 +62,8 @@ impl<S: HwgSubstrate> LwgService<S> {
             ready: BTreeSet::new(),
             started_at: ctx.now(),
         });
-        ctx.trace("lwg.switch.start", || format!("{lwg}: {hwg} -> {to}"));
-        ctx.metrics().incr("lwg.switches");
+        ctx.emit(|| LwgProtocolEvent::SwitchStart { lwg, from: hwg, to });
+        ctx.metrics().incr(keys::SWITCHES);
         if create {
             self.substrate.create(ctx, to);
         } else if self.substrate.status_of(to) == GroupStatus::Left {
@@ -121,8 +123,10 @@ impl<S: HwgSubstrate> LwgService<S> {
             sw.members.clone(),
             vec![view.id],
         );
-        ctx.trace("lwg.switch.complete", || {
-            format!("{lwg} -> {} as {new_view}", sw.to)
+        ctx.emit(|| LwgProtocolEvent::SwitchComplete {
+            lwg,
+            to: sw.to,
+            view: new_view.clone(),
         });
         self.substrate.send(
             ctx,

@@ -2,7 +2,7 @@
 //! messaging, crashes, policies, and the partition-heal reconciliation that
 //! is the paper's contribution.
 
-use plwg_core::{HwgId, LwgConfig, LwgId, View};
+use plwg_core::{HwgId, LwgConfig, LwgEvent, LwgId, View};
 use plwg_vsync::VsyncStack;
 
 /// The production instantiation exercised by these scenarios.
@@ -156,10 +156,16 @@ fn lwg_multicast_is_fifo_and_filtered_by_group() {
     });
     w.run_for(secs(3));
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
         assert_eq!(got, (0..15).collect::<Vec<u64>>(), "FIFO at {n}");
     }
-    let loner_got = w.inspect(loner, |a: &LwgNode| a.delivered().len());
+    let loner_got = w.inspect(loner, |a: &LwgNode| {
+        a.events_ref()
+            .history()
+            .iter()
+            .filter(|e| matches!(e, LwgEvent::Data { .. }))
+            .count()
+    });
     assert_eq!(loner_got, 0, "non-member must not deliver A's data");
 }
 
@@ -184,7 +190,11 @@ fn leave_excludes_member_and_confirms() {
     w.run_for(secs(6));
     assert_converged(&mut w, &apps[..2], A, 2);
     w.inspect(apps[2], |a: &LwgNode| {
-        assert_eq!(a.lefts(), &[A], "leaver must get the Left upcall");
+        assert_eq!(
+            a.events_ref().lefts(),
+            vec![A],
+            "leaver must get the Left upcall"
+        );
     });
 }
 
@@ -195,7 +205,9 @@ fn sole_member_leave_unsets_mapping() {
     w.run_for(secs(6));
     w.invoke(apps[0], |a: &mut LwgNode, ctx| a.service().leave(ctx, A));
     w.run_for(secs(4));
-    w.inspect(apps[0], |a: &LwgNode| assert_eq!(a.lefts(), &[A]));
+    w.inspect(apps[0], |a: &LwgNode| {
+        assert_eq!(a.events_ref().lefts(), vec![A])
+    });
     w.inspect(NodeId(0), |s: &NameServer| {
         assert!(s.db().read(A).is_empty(), "mapping must be unset");
     });
@@ -354,7 +366,7 @@ fn sends_during_membership_change_are_not_lost() {
     assert_converged(&mut w, &apps, A, 3);
     // The original members see every message, in order.
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
         assert_eq!(got, (0..20).collect::<Vec<u64>>());
     }
 }
@@ -665,8 +677,10 @@ fn packed_bursts_cut_hwg_multicasts_and_preserve_fifo() {
     });
     w.run_for(secs(3));
     for &n in &apps {
-        let got_a: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
-        let got_b: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(B, sender));
+        let got_a: Vec<u64> =
+            w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
+        let got_b: Vec<u64> =
+            w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(B, sender));
         assert_eq!(got_a, (0..40).collect::<Vec<u64>>(), "A FIFO at {n}");
         assert_eq!(got_b, (1000..1040).collect::<Vec<u64>>(), "B FIFO at {n}");
     }
@@ -715,7 +729,7 @@ fn packed_sends_across_lwg_flush_are_not_lost() {
     w.run_for(secs(10));
     assert_converged(&mut w, &apps, A, 3);
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
         assert_eq!(got, (0..30).collect::<Vec<u64>>(), "FIFO at {n}");
     }
     assert!(
@@ -758,9 +772,13 @@ fn packed_bursts_survive_partition_and_heal() {
         }
     });
     w.run_for(secs(4));
-    let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.delivered_values::<u64>(A, left));
+    let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| {
+        a.events_ref().data_from::<u64>(A, left)
+    });
     assert_eq!(got, (0..20).collect::<Vec<u64>>(), "left side FIFO");
-    let got: Vec<u64> = w.inspect(apps[3], |a: &LwgNode| a.delivered_values::<u64>(A, right));
+    let got: Vec<u64> = w.inspect(apps[3], |a: &LwgNode| {
+        a.events_ref().data_from::<u64>(A, right)
+    });
     assert_eq!(got, (100..120).collect::<Vec<u64>>(), "right side FIFO");
 
     w.heal_at(at(30));
@@ -774,7 +792,7 @@ fn packed_bursts_survive_partition_and_heal() {
     });
     w.run_for(secs(3));
     for &n in &apps {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.delivered_values::<u64>(A, left));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, left));
         let expect: Vec<u64> = if n == apps[0] || n == apps[1] {
             (0..20).chain(200..210).collect()
         } else {
@@ -815,10 +833,16 @@ fn subset_delivery_cuts_interference_filtering() {
             }
         });
         w.run_for(secs(3));
-        let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.delivered_values::<u64>(B, sender));
+        let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| {
+            a.events_ref().data_from::<u64>(B, sender)
+        });
         assert_eq!(got, (0..30).collect::<Vec<u64>>(), "B FIFO unharmed");
         let outsider = w.inspect(apps[2], |a: &LwgNode| {
-            a.delivered().iter().filter(|(l, _, _)| *l == B).count()
+            a.events_ref()
+                .history()
+                .iter()
+                .filter(|e| matches!(e, LwgEvent::Data { lwg, .. } if *lwg == B))
+                .count()
         });
         assert_eq!(outsider, 0, "non-member must not deliver B's data");
         (

@@ -10,7 +10,9 @@
 //! repair of its own).
 
 use plwg_core::{HwgId, LwgConfig, LwgId, LwgMsg, ScriptedHwg, View, ViewId};
+use plwg_hwg::view_key;
 use plwg_naming::{NameServer, NamingConfig};
+use plwg_obs::Timeline;
 use plwg_sim::{payload, NetConfig, NodeId, SimDuration, World, WorldConfig};
 
 /// The production-shaped node, instantiated over the scripted substrate.
@@ -117,7 +119,9 @@ fn view_at(w: &mut World, node: NodeId) -> Option<View> {
 }
 
 fn delivered_from(w: &mut World, node: NodeId, src: NodeId) -> Vec<u32> {
-    w.inspect(node, move |n: &Node| n.delivered_values::<u32>(L, src))
+    w.inspect(node, move |n: &Node| {
+        n.events_ref().data_from::<u32>(L, src)
+    })
 }
 
 fn stop_oks(w: &mut World, node: NodeId, hwg: HwgId) -> u64 {
@@ -301,6 +305,30 @@ fn three_way_heal_merges_with_a_single_hwg_flush() {
         );
     }
 
+    // The typed trace agrees: the causal timeline shows exactly one
+    // MERGE-VIEWS conclusion for the healed LWG, causally downstream of
+    // all three concurrent branches.
+    let tl = Timeline::build(w.trace());
+    let merges = tl.merges_of(L.0);
+    assert_eq!(
+        merges.len(),
+        1,
+        "exactly one lwg.merge event per healed LWG"
+    );
+    for &n in &[a, b, c] {
+        assert!(
+            merges[0]
+                .refs
+                .parents
+                .contains(&view_key(ViewId::new(n, 1))),
+            "merge refs must link {n}'s concurrent view"
+        );
+    }
+    assert!(
+        !merges[0].causes.is_empty(),
+        "merge must be causally linked to the branch views"
+    );
+
     // Virtual synchrony across the heal: the pre-heal message stayed in
     // its singleton cut; post-merge traffic reaches everyone.
     assert_eq!(delivered_from(&mut w, a, a), vec![1]);
@@ -368,7 +396,7 @@ fn merge_views_heals_concurrent_view_during_switch() {
     assert!(stop_oks(&mut w, a, H2) >= 1);
     // b's history: V1 -> switched view -> merged view.
     let sizes: Vec<usize> = w.inspect(b, |n: &Node| {
-        n.views().iter().map(|(_, v)| v.len()).collect()
+        n.events_ref().views_of(L).iter().map(|v| v.len()).collect()
     });
     assert_eq!(sizes, vec![2, 2, 3]);
     // A forward pointer stays behind on the switch initiator.

@@ -57,6 +57,24 @@ impl fmt::Display for ViewId {
     }
 }
 
+/// Identifies one flush round of the Table-1 `Stop`/`StopOk` barrier: who
+/// initiated it and a per-initiator nonce. A more senior initiator (lower
+/// rank in the current view) or a larger nonce from the same initiator
+/// supersedes an in-progress flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlushId {
+    /// The member coordinating this flush.
+    pub initiator: NodeId,
+    /// Initiator-local round counter.
+    pub nonce: u64,
+}
+
+impl fmt::Display for FlushId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.initiator, self.nonce)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

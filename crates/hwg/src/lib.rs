@@ -23,11 +23,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod events;
 mod id;
+pub mod keys;
 mod substrate;
 mod view;
 
 pub use config::HwgConfig;
-pub use id::{HwgId, ViewId};
+pub use events::{flush_key, view_key, HwgTraceEvent};
+pub use id::{FlushId, HwgId, ViewId};
 pub use substrate::{GroupStatus, HwgEvent, HwgSubstrate};
 pub use view::View;

@@ -180,7 +180,7 @@ impl NsClient {
             // Fail over to the next server.
             p.server_idx = (p.server_idx + 1) % self.servers.len();
             p.deadline = now + self.cfg.request_timeout;
-            ctx.metrics().incr("ns.client_retries");
+            ctx.metrics().incr(crate::keys::CLIENT_RETRIES);
             ctx.send(self.servers[p.server_idx], payload(p.template.clone()));
             self.pending.insert(req, p);
         }
@@ -209,7 +209,7 @@ impl NsClient {
         // Spread load: each client starts from a home server and rotates on
         // failure.
         let idx = self.me.index() % self.servers.len();
-        ctx.metrics().incr("ns.client_requests");
+        ctx.metrics().incr(crate::keys::CLIENT_REQUESTS);
         ctx.send(self.servers[idx], payload(msg.clone()));
         let had_pending = !self.pending.is_empty();
         self.pending.insert(

@@ -1,0 +1,86 @@
+//! Typed trace events of the naming service.
+//!
+//! This is the naming layer's side of the workspace-wide typed event
+//! model: anti-entropy reconciliation and `MULTIPLE-MAPPINGS` callbacks
+//! (the two transitions that drive partition healing, paper §6.1) are
+//! first-class events with causal [`EventRefs`]. Distinct from
+//! [`crate::NsEvent`], which carries client-stub up-calls.
+
+use crate::id::LwgId;
+use plwg_sim::{EventRefs, NodeId, ProtocolEvent, TraceLayer};
+
+/// One protocol transition of the naming service.
+#[derive(Debug, Clone)]
+pub enum NamingEvent {
+    /// A server noticed concurrent mappings for a group and called back
+    /// every member of every mapping (paper §6.1, `MULTIPLE-MAPPINGS`).
+    MultipleMappings {
+        /// The group with concurrent mappings.
+        lwg: LwgId,
+        /// How many concurrent mappings the replica holds.
+        mappings: usize,
+        /// The members being notified.
+        targets: Vec<NodeId>,
+    },
+    /// Anti-entropy gossip changed this replica: the listed groups gained
+    /// or lost mappings (paper §5.2 reconciliation).
+    Reconcile {
+        /// The groups whose entries changed.
+        changed: Vec<LwgId>,
+    },
+}
+
+impl ProtocolEvent for NamingEvent {
+    fn layer(&self) -> TraceLayer {
+        TraceLayer::Naming
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            NamingEvent::MultipleMappings { .. } => "ns.multiple_mappings",
+            NamingEvent::Reconcile { .. } => "ns.reconcile",
+        }
+    }
+
+    fn refs(&self) -> EventRefs {
+        let mut refs = EventRefs::default();
+        match self {
+            NamingEvent::MultipleMappings { lwg, .. } => refs.lwg = Some(lwg.0),
+            NamingEvent::Reconcile { changed } => refs.lwg = changed.first().map(|l| l.0),
+        }
+        refs
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            NamingEvent::MultipleMappings {
+                lwg,
+                mappings,
+                targets,
+            } => format!("{lwg}: {mappings} mappings -> {targets:?}"),
+            NamingEvent::Reconcile { changed } => format!("changed {changed:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_refs() {
+        let e = NamingEvent::MultipleMappings {
+            lwg: LwgId(5),
+            mappings: 2,
+            targets: vec![NodeId(1), NodeId(2)],
+        };
+        assert_eq!(e.kind(), "ns.multiple_mappings");
+        assert_eq!(e.refs().lwg, Some(5));
+        assert_eq!(e.detail(), "lwg5: 2 mappings -> [NodeId(1), NodeId(2)]");
+        let r = NamingEvent::Reconcile {
+            changed: vec![LwgId(7)],
+        };
+        assert_eq!(r.kind(), "ns.reconcile");
+        assert_eq!(r.refs().lwg, Some(7));
+    }
+}

@@ -1,0 +1,24 @@
+//! Canonical metric keys of the naming service.
+
+use plwg_sim::CounterKey;
+
+/// `ns.set` requests served.
+pub const SETS: CounterKey = CounterKey::new("ns.sets");
+/// `ns.read` requests served.
+pub const READS: CounterKey = CounterKey::new("ns.reads");
+/// `ns.testset` requests served.
+pub const TESTSETS: CounterKey = CounterKey::new("ns.testsets");
+/// `ns.unset` requests served.
+pub const UNSETS: CounterKey = CounterKey::new("ns.unsets");
+/// `MULTIPLE-MAPPINGS` callbacks emitted.
+pub const CALLBACKS: CounterKey = CounterKey::new("ns.callbacks");
+/// Gossip rounds that changed the local replica.
+pub const RECONCILIATIONS: CounterKey = CounterKey::new("ns.reconciliations");
+/// Gossip messages sent.
+pub const GOSSIP_SENT: CounterKey = CounterKey::new("ns.gossip_sent");
+/// Lineage edges removed by periodic compaction.
+pub const COMPACTED_EDGES: CounterKey = CounterKey::new("ns.compacted_edges");
+/// Client-stub requests dispatched.
+pub const CLIENT_REQUESTS: CounterKey = CounterKey::new("ns.client_requests");
+/// Client-stub retries after a server timeout.
+pub const CLIENT_RETRIES: CounterKey = CounterKey::new("ns.client_retries");

@@ -28,13 +28,16 @@
 mod client;
 mod config;
 mod db;
+mod events;
 mod id;
+pub mod keys;
 mod msg;
 mod server;
 
 pub use client::{NsClient, NsEvent, RequestId};
 pub use config::NamingConfig;
 pub use db::{Mapping, MappingDb};
+pub use events::NamingEvent;
 pub use id::LwgId;
 pub use msg::NsMsg;
 pub use server::NameServer;

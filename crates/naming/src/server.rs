@@ -8,7 +8,9 @@
 
 use crate::config::NamingConfig;
 use crate::db::MappingDb;
+use crate::events::NamingEvent;
 use crate::id::LwgId;
+use crate::keys;
 use crate::msg::NsMsg;
 use plwg_sim::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
 use std::any::Any;
@@ -65,9 +67,11 @@ impl NameServer {
                 .iter()
                 .flat_map(|m| m.members.iter().copied())
                 .collect();
-            ctx.metrics().incr("ns.callbacks");
-            ctx.trace("ns.multiple_mappings", || {
-                format!("{lwg}: {} mappings -> {targets:?}", mappings.len())
+            ctx.metrics().incr(keys::CALLBACKS);
+            ctx.emit(|| NamingEvent::MultipleMappings {
+                lwg,
+                mappings: mappings.len(),
+                targets: targets.iter().copied().collect(),
             });
             for t in targets {
                 ctx.send(
@@ -103,13 +107,13 @@ impl Process for NameServer {
                 mapping,
                 preds,
             } => {
-                ctx.metrics().incr("ns.sets");
+                ctx.metrics().incr(keys::SETS);
                 self.db.set(*lwg, mapping.clone(), preds);
                 self.reply(ctx, from, *req, *lwg);
                 self.notify_inconsistencies(ctx);
             }
             NsMsg::Read { req, lwg } => {
-                ctx.metrics().incr("ns.reads");
+                ctx.metrics().incr(keys::READS);
                 self.reply(ctx, from, *req, *lwg);
             }
             NsMsg::TestSet {
@@ -118,7 +122,7 @@ impl Process for NameServer {
                 mapping,
                 preds,
             } => {
-                ctx.metrics().incr("ns.testsets");
+                ctx.metrics().incr(keys::TESTSETS);
                 let winners = self.db.testset(*lwg, mapping.clone(), preds);
                 ctx.send(
                     from,
@@ -131,15 +135,17 @@ impl Process for NameServer {
                 self.notify_inconsistencies(ctx);
             }
             NsMsg::Unset { req, lwg, lwg_view } => {
-                ctx.metrics().incr("ns.unsets");
+                ctx.metrics().incr(keys::UNSETS);
                 self.db.unset(*lwg, *lwg_view);
                 self.reply(ctx, from, *req, *lwg);
             }
             NsMsg::Gossip { db } => {
                 let changed = self.db.merge(db);
                 if !changed.is_empty() {
-                    ctx.metrics().incr("ns.reconciliations");
-                    ctx.trace("ns.reconcile", || format!("changed {changed:?}"));
+                    ctx.metrics().incr(keys::RECONCILIATIONS);
+                    ctx.emit(|| NamingEvent::Reconcile {
+                        changed: changed.clone(),
+                    });
                     self.notify_inconsistencies(ctx);
                 }
             }
@@ -154,7 +160,7 @@ impl Process for NameServer {
             return;
         }
         for &p in &self.peers {
-            ctx.metrics().incr("ns.gossip_sent");
+            ctx.metrics().incr(keys::GOSSIP_SENT);
             ctx.send(
                 p,
                 payload(NsMsg::Gossip {
@@ -171,7 +177,7 @@ impl Process for NameServer {
         if self.gossip_rounds.is_multiple_of(32) {
             let removed = self.db.compact();
             if removed > 0 {
-                ctx.metrics().add("ns.compacted_edges", removed as u64);
+                ctx.metrics().add(keys::COMPACTED_EDGES, removed as u64);
             }
         }
         ctx.set_timer(self.cfg.gossip_interval, TOK_GOSSIP);

@@ -1,0 +1,258 @@
+//! The causal timeline: trace events ordered and linked by their
+//! [`EventRefs`].
+//!
+//! The simulator is single-threaded and deterministic, so the emission
+//! order of [`TraceEvent`]s is already a total order consistent with
+//! causality. The timeline keeps that order and adds explicit *cause*
+//! edges wherever two events share protocol identity:
+//!
+//! * **view lineage** — an event about view `v` is caused by the previous
+//!   event about `v`, and by the events that introduced each of `v`'s
+//!   predecessor views (`refs.parents`);
+//! * **flush identity** — an event of flush `f` is caused by the previous
+//!   event of `f` (so `hwg.flush.start → hwg.flush.member → …` chains up).
+
+use plwg_sim::{EventRefs, NodeId, SimTime, Trace, TraceEvent, TraceLayer};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One event on the timeline, with its causal predecessors resolved to
+/// timeline sequence numbers.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// Position in the timeline (index into [`Timeline::entries`]).
+    pub seq: usize,
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Emitting node (`None` for world-level fault injection).
+    pub node: Option<NodeId>,
+    /// The protocol layer that emitted the event.
+    pub layer: TraceLayer,
+    /// Canonical event kind (e.g. `lwg.merge`).
+    pub kind: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+    /// The layer-agnostic protocol references the event carried.
+    pub refs: EventRefs,
+    /// Sequence numbers of the events this one is causally linked to.
+    pub causes: Vec<usize>,
+}
+
+impl std::fmt::Display for TimelineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let node = match self.node {
+            Some(n) => n.to_string(),
+            None => "world".to_string(),
+        };
+        write!(
+            f,
+            "#{:04} [{} {} {}] {}: {}",
+            self.seq, self.time, node, self.layer, self.kind, self.detail
+        )?;
+        if !self.causes.is_empty() {
+            let list: Vec<String> = self.causes.iter().map(|c| format!("#{c:04}")).collect();
+            write!(f, "   <- {}", list.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A causally-linked, cross-node ordering of a run's protocol events.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Builds the timeline from a recorded trace, resolving the causal
+    /// links described in the module docs.
+    pub fn build(trace: &Trace) -> Self {
+        Self::from_events(trace.events())
+    }
+
+    /// Builds the timeline from a slice of trace events (already in
+    /// emission order).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        // Last timeline position that mentioned a given view / flush key.
+        let mut view_last: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        let mut flush_last: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        let mut entries = Vec::with_capacity(events.len());
+        for (seq, ev) in events.iter().enumerate() {
+            let mut causes: BTreeSet<usize> = BTreeSet::new();
+            if let Some(f) = ev.refs.flush {
+                if let Some(&prev) = flush_last.get(&f) {
+                    causes.insert(prev);
+                }
+                flush_last.insert(f, seq);
+            }
+            for p in &ev.refs.parents {
+                if let Some(&prev) = view_last.get(p) {
+                    causes.insert(prev);
+                }
+            }
+            if let Some(v) = ev.refs.view {
+                if let Some(&prev) = view_last.get(&v) {
+                    causes.insert(prev);
+                }
+                view_last.insert(v, seq);
+            }
+            entries.push(TimelineEntry {
+                seq,
+                time: ev.time,
+                node: ev.node,
+                layer: ev.layer,
+                kind: ev.kind,
+                detail: ev.detail.clone(),
+                refs: ev.refs.clone(),
+                causes: causes.into_iter().collect(),
+            });
+        }
+        Timeline { entries }
+    }
+
+    /// All entries, in causally-consistent emission order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TimelineEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Entries whose refs mention light-weight group `lwg`.
+    pub fn of_lwg(&self, lwg: u64) -> impl Iterator<Item = &TimelineEntry> {
+        self.entries.iter().filter(move |e| e.refs.lwg == Some(lwg))
+    }
+
+    /// Renders the whole timeline, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+
+    /// The paper's four-step heal procedure (§6), extracted from the run:
+    /// every entry from the heal fault (or the first naming
+    /// reconciliation, whichever exists) onward whose kind participates in
+    /// the procedure — naming reconciliation, MULTIPLE-MAPPINGS callbacks,
+    /// mapping switches, and the MERGE-VIEWS flush with the merges it
+    /// produced — in causal order.
+    pub fn heal_procedure(&self) -> Vec<&TimelineEntry> {
+        const HEAL_KINDS: &[&str] = &[
+            "world.heal",
+            "ns.reconcile",
+            "ns.multiple_mappings",
+            "lwg.reconcile",
+            "lwg.switch.start",
+            "lwg.switch.complete",
+            "hwg.merge.start",
+            "hwg.merge.accept",
+            "hwg.merge.complete",
+            "lwg.merge",
+        ];
+        let start = self
+            .entries
+            .iter()
+            .position(|e| e.kind == "world.heal")
+            .unwrap_or(0);
+        self.entries[start..]
+            .iter()
+            .filter(|e| HEAL_KINDS.contains(&e.kind))
+            .collect()
+    }
+
+    /// Merged-view announcements (`lwg.merge`) for one group — the single
+    /// MERGE-VIEWS conclusion per healed LWG the paper's Fig. 5 promises.
+    pub fn merges_of(&self, lwg: u64) -> Vec<&TimelineEntry> {
+        self.of_kind("lwg.merge")
+            .filter(|e| e.refs.lwg == Some(lwg))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_core::LwgProtocolEvent;
+    use plwg_hwg::{view_key, View, ViewId};
+    use plwg_naming::{LwgId, NamingEvent};
+    use plwg_sim::NodeId;
+
+    fn mini_heal_trace() -> Trace {
+        let mut t = Trace::new(true);
+        let n1 = NodeId(1);
+        let n3 = NodeId(3);
+        let va = ViewId::new(n1, 2);
+        let vb = ViewId::new(n3, 2);
+        let t1 = SimTime::from_micros(1_000_000);
+        t.record(t1, Some(NodeId(0)), || NamingEvent::Reconcile {
+            changed: vec![LwgId(1)],
+        });
+        t.record(t1, Some(NodeId(0)), || NamingEvent::MultipleMappings {
+            lwg: LwgId(1),
+            mappings: 2,
+            targets: vec![n1, n3],
+        });
+        let merged = View::with_predecessors(ViewId::new(n1, 3), vec![n1, n3], vec![va, vb]);
+        // The concurrent views enter the record via installs…
+        t.record(t1, Some(n1), || LwgProtocolEvent::ViewInstall {
+            lwg: LwgId(1),
+            view: View::initial(va, vec![n1]),
+            hwg: plwg_hwg::HwgId(7),
+        });
+        t.record(t1, Some(n3), || LwgProtocolEvent::ViewInstall {
+            lwg: LwgId(1),
+            view: View::initial(vb, vec![n3]),
+            hwg: plwg_hwg::HwgId(9),
+        });
+        // …and the merge links back to both of them.
+        t.record(SimTime::from_micros(2_000_000), Some(n1), || {
+            LwgProtocolEvent::Merge {
+                lwg: LwgId(1),
+                concurrent: vec![va, vb],
+                merged,
+            }
+        });
+        t
+    }
+
+    #[test]
+    fn merge_is_caused_by_both_concurrent_views() {
+        let trace = mini_heal_trace();
+        let tl = Timeline::build(&trace);
+        let merge = tl.of_kind("lwg.merge").next().expect("merge entry");
+        // The two ViewInstall entries are seq 2 and 3.
+        assert_eq!(merge.causes, vec![2, 3]);
+        assert_eq!(tl.merges_of(1).len(), 1);
+        let refs = &merge.refs;
+        let trace_views: Vec<(u32, u64)> = vec![
+            view_key(ViewId::new(NodeId(1), 2)),
+            view_key(ViewId::new(NodeId(3), 2)),
+        ];
+        assert_eq!(refs.parents, trace_views);
+    }
+
+    #[test]
+    fn heal_procedure_orders_the_four_steps() {
+        let trace = mini_heal_trace();
+        let tl = Timeline::build(&trace);
+        let steps: Vec<&str> = tl.heal_procedure().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            steps,
+            vec!["ns.reconcile", "ns.multiple_mappings", "lwg.merge"]
+        );
+    }
+
+    #[test]
+    fn render_contains_cause_arrows() {
+        let trace = mini_heal_trace();
+        let tl = Timeline::build(&trace);
+        let text = tl.render();
+        assert!(text.contains("lwg.merge"));
+        assert!(text.contains("<- #0002 #0003"));
+    }
+}

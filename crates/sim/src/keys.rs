@@ -1,0 +1,14 @@
+//! Canonical metric keys owned by the simulator itself.
+//!
+//! Each layer of the stack declares its keys in a module like this one
+//! (`plwg_vsync::keys`, `plwg_naming::keys`, `plwg_core::keys`), so
+//! writers and readers share one typed spelling per metric.
+
+use crate::metrics::CounterKey;
+
+/// Messages handed to the network model by [`crate::Context::send`].
+pub const NET_SENT: CounterKey = CounterKey::new("net.sent");
+/// Messages delivered to a live, reachable process.
+pub const NET_DELIVERED: CounterKey = CounterKey::new("net.delivered");
+/// Messages dropped by loss, partition or crash.
+pub const NET_DROPPED: CounterKey = CounterKey::new("net.dropped");

@@ -45,6 +45,7 @@
 
 mod driver;
 mod event;
+pub mod keys;
 mod metrics;
 mod net;
 mod node;
@@ -56,11 +57,14 @@ mod world;
 
 pub use driver::{Driver, Endpoint};
 pub use event::{EventQueue, QueuedEvent};
-pub use metrics::{Histogram, HistogramSummary, Metrics};
+pub use metrics::{
+    CounterKey, GaugeKey, Histogram, HistogramKey, HistogramSummary, MetricLabels, Metrics,
+    MetricsRegistry,
+};
 pub use net::{DeliveryDecision, NetConfig};
 pub use node::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{ComponentId, LinkState, Topology};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{EventRefs, ProtocolEvent, SimEvent, Trace, TraceEvent, TraceLayer};
 pub use world::{World, WorldConfig};

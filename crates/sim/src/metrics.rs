@@ -1,9 +1,108 @@
-//! Counters and histograms collected during a run.
+//! The metrics registry: counters, gauges and histograms collected during
+//! a run.
 //!
-//! The experiment harness reads these to regenerate the paper's figures:
-//! latency histograms, message counts, throughput, recovery times.
+//! Metrics are addressed by **typed keys** ([`CounterKey`], [`GaugeKey`],
+//! [`HistogramKey`]) — thin `'static`-string newtypes each protocol crate
+//! declares as constants in a `keys` module — optionally qualified by
+//! [`MetricLabels`] (per-node and per-LWG). The experiment harness reads
+//! the registry to regenerate the paper's figures: latency histograms,
+//! message counts, throughput, recovery times.
 
+use crate::node::NodeId;
 use std::collections::BTreeMap;
+
+/// Typed name of a counter metric.
+///
+/// Crates declare these as constants (`pub const NET_SENT: CounterKey =
+/// CounterKey::new("net.sent");`); plain `&'static str` literals also
+/// convert for ad-hoc use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterKey(pub &'static str);
+
+/// Typed name of a gauge metric (a value that goes up and down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GaugeKey(pub &'static str);
+
+/// Typed name of a histogram metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistogramKey(pub &'static str);
+
+macro_rules! key_impls {
+    ($key:ident) => {
+        impl $key {
+            /// Creates a key from its canonical dotted name.
+            pub const fn new(name: &'static str) -> Self {
+                $key(name)
+            }
+
+            /// The canonical dotted name.
+            pub const fn name(self) -> &'static str {
+                self.0
+            }
+        }
+
+        impl From<&'static str> for $key {
+            fn from(name: &'static str) -> Self {
+                $key(name)
+            }
+        }
+
+        impl std::fmt::Display for $key {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.0)
+            }
+        }
+    };
+}
+
+key_impls!(CounterKey);
+key_impls!(GaugeKey);
+key_impls!(HistogramKey);
+
+/// Label set qualifying a metric sample.
+///
+/// The default (no labels) is the **global** series. Protocol code that
+/// wants per-node or per-group breakdowns records under a labelled series;
+/// unlabelled reads aggregate across every series of the key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricLabels {
+    /// The node the sample belongs to, if attributed.
+    pub node: Option<u32>,
+    /// The light-weight group the sample belongs to (raw `LwgId`), if any.
+    pub lwg: Option<u64>,
+}
+
+impl MetricLabels {
+    /// The unlabelled, world-global series.
+    pub const GLOBAL: MetricLabels = MetricLabels {
+        node: None,
+        lwg: None,
+    };
+
+    /// A per-node series.
+    pub fn node(node: NodeId) -> Self {
+        MetricLabels {
+            node: Some(node.0),
+            lwg: None,
+        }
+    }
+
+    /// A per-LWG series (pass the raw `LwgId` value).
+    pub fn lwg(lwg: u64) -> Self {
+        MetricLabels {
+            node: None,
+            lwg: Some(lwg),
+        }
+    }
+
+    /// A per-node, per-LWG series.
+    pub fn node_lwg(node: NodeId, lwg: u64) -> Self {
+        MetricLabels {
+            node: Some(node.0),
+            lwg: Some(lwg),
+        }
+    }
+}
 
 /// A set of values summarised by quantiles.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +146,11 @@ impl Histogram {
     }
 
     /// Computes summary statistics.
+    ///
+    /// Percentiles use the nearest-rank method: `p`-th percentile = the
+    /// `ceil(p·n)`-th smallest sample. With few samples this errs towards
+    /// the larger sample — for `n = 2`, p95 and p99 report the max, not
+    /// the min — which is the conservative choice for latency reporting.
     pub fn summary(&self) -> HistogramSummary {
         if self.values.is_empty() {
             return HistogramSummary {
@@ -61,16 +165,18 @@ impl Histogram {
         }
         let mut sorted = self.values.clone();
         sorted.sort_unstable();
+        let n = sorted.len();
         let pct = |p: f64| -> u64 {
-            let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
-            sorted.get(idx).copied().unwrap_or(0)
+            // Nearest-rank: smallest sample with at least p·n samples ≤ it.
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
         };
         let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
         HistogramSummary {
-            count: sorted.len(),
+            count: n,
             min: sorted.first().copied().unwrap_or(0),
             max: sorted.last().copied().unwrap_or(0),
-            mean: sum as f64 / sorted.len() as f64,
+            mean: sum as f64 / n as f64,
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -78,93 +184,202 @@ impl Histogram {
     }
 }
 
-/// The world's metric sink: named counters and histograms.
+/// Backwards-compatible alias: the registry replaced the old `Metrics`
+/// sink, keeping its unlabelled API surface intact.
+pub type Metrics = MetricsRegistry;
+
+/// The world's metric sink: counters, gauges and histograms addressed by
+/// typed keys and optional [`MetricLabels`].
 ///
-/// Names are free-form dotted strings (`"net.sent"`, `"lwg.switches"`).
-/// `BTreeMap` keeps report output deterministically ordered.
+/// Key names are dotted strings (`"net.sent"`, `"lwg.switches"`); each
+/// crate exports its canonical keys in a `keys` module. `BTreeMap` keeps
+/// report output deterministically ordered.
 ///
 /// ```
-/// let mut m = plwg_sim::Metrics::new();
-/// m.incr("net.sent");
-/// m.add("net.sent", 2);
+/// use plwg_sim::{CounterKey, MetricLabels, MetricsRegistry, NodeId};
+/// const NET_SENT: CounterKey = CounterKey::new("net.sent");
+///
+/// let mut m = MetricsRegistry::new();
+/// m.incr(NET_SENT);
+/// m.add(NET_SENT, 2);
+/// m.incr_for(NET_SENT, MetricLabels::node(NodeId(3)));
 /// m.observe("latency_us", 1_500);
-/// assert_eq!(m.counter("net.sent"), 3);
+/// assert_eq!(m.counter(NET_SENT), 4); // aggregated across labels
+/// assert_eq!(m.counter_for(NET_SENT, MetricLabels::node(NodeId(3))), 1);
 /// assert_eq!(m.histogram("latency_us").map(|h| h.summary().max), Some(1_500));
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+pub struct MetricsRegistry {
+    counters: BTreeMap<(CounterKey, MetricLabels), u64>,
+    gauges: BTreeMap<(GaugeKey, MetricLabels), i64>,
+    histograms: BTreeMap<(HistogramKey, MetricLabels), Histogram>,
 }
 
-impl Metrics {
-    /// Creates an empty sink.
+impl MetricsRegistry {
+    /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds 1 to counter `name`.
-    pub fn incr(&mut self, name: &str) {
-        self.add(name, 1);
+    // -- counters ------------------------------------------------------
+
+    /// Adds 1 to the global series of counter `key`.
+    pub fn incr(&mut self, key: impl Into<CounterKey>) {
+        self.add(key, 1);
     }
 
-    /// Adds `delta` to counter `name`.
-    pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-        } else {
-            self.counters.insert(name.to_owned(), delta);
+    /// Adds `delta` to the global series of counter `key`.
+    pub fn add(&mut self, key: impl Into<CounterKey>, delta: u64) {
+        self.add_for(key, MetricLabels::GLOBAL, delta);
+    }
+
+    /// Adds 1 to the `labels` series of counter `key`.
+    pub fn incr_for(&mut self, key: impl Into<CounterKey>, labels: MetricLabels) {
+        self.add_for(key, labels, 1);
+    }
+
+    /// Adds `delta` to the `labels` series of counter `key`.
+    pub fn add_for(&mut self, key: impl Into<CounterKey>, labels: MetricLabels, delta: u64) {
+        *self.counters.entry((key.into(), labels)).or_insert(0) += delta;
+    }
+
+    /// Value of counter `key` summed across all label series (0 if never
+    /// touched).
+    pub fn counter(&self, key: impl Into<CounterKey>) -> u64 {
+        let key = key.into();
+        self.counters
+            .range((key, MetricLabels::default())..)
+            .take_while(|((k, _), _)| *k == key)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Value of one labelled series of counter `key` (0 if never touched).
+    pub fn counter_for(&self, key: impl Into<CounterKey>, labels: MetricLabels) -> u64 {
+        self.counters
+            .get(&(key.into(), labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All counters aggregated by key name, sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let mut agg: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ((k, _), &v) in &self.counters {
+            *agg.entry(k.name()).or_insert(0) += v;
         }
+        agg.into_iter()
     }
 
-    /// Current value of counter `name` (0 if never touched).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+    /// Every labelled counter series, sorted by (key, labels).
+    pub fn counters_labeled(&self) -> impl Iterator<Item = (CounterKey, MetricLabels, u64)> + '_ {
+        self.counters.iter().map(|(&(k, l), &v)| (k, l, v))
     }
 
-    /// Records `value` into histogram `name`.
-    pub fn observe(&mut self, name: &str, value: u64) {
-        if let Some(h) = self.histograms.get_mut(name) {
-            h.record(value);
-        } else {
-            let mut h = Histogram::default();
-            h.record(value);
-            self.histograms.insert(name.to_owned(), h);
+    // -- gauges --------------------------------------------------------
+
+    /// Sets the global series of gauge `key`.
+    pub fn set_gauge(&mut self, key: impl Into<GaugeKey>, value: i64) {
+        self.set_gauge_for(key, MetricLabels::GLOBAL, value);
+    }
+
+    /// Sets the `labels` series of gauge `key`.
+    pub fn set_gauge_for(&mut self, key: impl Into<GaugeKey>, labels: MetricLabels, value: i64) {
+        self.gauges.insert((key.into(), labels), value);
+    }
+
+    /// The global series of gauge `key`, if ever set.
+    pub fn gauge(&self, key: impl Into<GaugeKey>) -> Option<i64> {
+        self.gauge_for(key, MetricLabels::GLOBAL)
+    }
+
+    /// One labelled series of gauge `key`, if ever set.
+    pub fn gauge_for(&self, key: impl Into<GaugeKey>, labels: MetricLabels) -> Option<i64> {
+        self.gauges.get(&(key.into(), labels)).copied()
+    }
+
+    /// Every labelled gauge series, sorted by (key, labels).
+    pub fn gauges_labeled(&self) -> impl Iterator<Item = (GaugeKey, MetricLabels, i64)> + '_ {
+        self.gauges.iter().map(|(&(k, l), &v)| (k, l, v))
+    }
+
+    // -- histograms ----------------------------------------------------
+
+    /// Records `value` into the global series of histogram `key`.
+    pub fn observe(&mut self, key: impl Into<HistogramKey>, value: u64) {
+        self.observe_for(key, MetricLabels::GLOBAL, value);
+    }
+
+    /// Records `value` into the `labels` series of histogram `key`.
+    pub fn observe_for(&mut self, key: impl Into<HistogramKey>, labels: MetricLabels, value: u64) {
+        self.histograms
+            .entry((key.into(), labels))
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `key` merged across all label series, if any sample
+    /// was recorded.
+    pub fn histogram(&self, key: impl Into<HistogramKey>) -> Option<Histogram> {
+        let key = key.into();
+        let mut merged: Option<Histogram> = None;
+        for ((k, _), h) in self
+            .histograms
+            .range((key, MetricLabels::default())..)
+            .take_while(|((k, _), _)| *k == key)
+        {
+            debug_assert_eq!(*k, key);
+            let m = merged.get_or_insert_with(Histogram::default);
+            for v in h.iter() {
+                m.record(v);
+            }
         }
+        merged
     }
 
-    /// The histogram `name`, if any sample was recorded.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+    /// One labelled series of histogram `key`, if any sample was recorded.
+    pub fn histogram_for(
+        &self,
+        key: impl Into<HistogramKey>,
+        labels: MetricLabels,
+    ) -> Option<&Histogram> {
+        self.histograms.get(&(key.into(), labels))
     }
 
-    /// All counters, sorted by name.
-    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    /// All histogram key names, sorted and de-duplicated.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &'static str> {
+        let names: BTreeMap<&'static str, ()> = self
+            .histograms
+            .keys()
+            .map(|(k, _)| (k.name(), ()))
+            .collect();
+        names.into_keys()
     }
 
-    /// All histogram names, sorted.
-    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
-        self.histograms.keys().map(String::as_str)
-    }
+    // -- lifecycle -----------------------------------------------------
 
-    /// Clears all counters and histograms. Experiments use this to scope
-    /// measurement to a phase (e.g. drop setup traffic, measure steady
-    /// state only).
+    /// Clears all counters, gauges and histograms. Experiments use this to
+    /// scope measurement to a phase (e.g. drop setup traffic, measure
+    /// steady state only).
     pub fn reset(&mut self) {
         self.counters.clear();
+        self.gauges.clear();
         self.histograms.clear();
     }
 
-    /// Merges `other` into `self` (counters add, histograms concatenate).
-    /// Used when aggregating repeated trials of one experiment.
-    pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            self.add(k, *v);
+    /// Merges `other` into `self` (counters add, gauges overwrite,
+    /// histograms concatenate), series by series. Used when aggregating
+    /// repeated trials of one experiment.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&(k, l), &v) in &other.counters {
+            self.add_for(k, l, v);
         }
-        for (k, h) in &other.histograms {
+        for (&(k, l), &v) in &other.gauges {
+            self.set_gauge_for(k, l, v);
+        }
+        for (&(k, l), h) in &other.histograms {
             for v in h.iter() {
-                self.observe(k, v);
+                self.observe_for(k, l, v);
             }
         }
     }
@@ -176,11 +391,39 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut m = Metrics::new();
+        let mut m = MetricsRegistry::new();
         m.incr("a");
         m.add("a", 4);
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn labelled_counters_aggregate_on_global_read() {
+        let mut m = MetricsRegistry::new();
+        m.incr("a");
+        m.incr_for("a", MetricLabels::node(NodeId(1)));
+        m.add_for("a", MetricLabels::node_lwg(NodeId(1), 7), 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter_for("a", MetricLabels::node(NodeId(1))), 1);
+        assert_eq!(m.counter_for("a", MetricLabels::GLOBAL), 1);
+        assert_eq!(m.counter_for("a", MetricLabels::lwg(7)), 0);
+        let series: Vec<_> = m.counters_labeled().collect();
+        assert_eq!(series.len(), 3);
+        let agg: Vec<_> = m.counters().collect();
+        assert_eq!(agg, vec![("a", 5)]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.set_gauge("g", 5);
+        m.set_gauge("g", -2);
+        assert_eq!(m.gauge("g"), Some(-2));
+        m.set_gauge_for("g", MetricLabels::lwg(1), 9);
+        assert_eq!(m.gauge_for("g", MetricLabels::lwg(1)), Some(9));
+        assert_eq!(m.gauges_labeled().count(), 2);
     }
 
     #[test]
@@ -195,6 +438,7 @@ mod tests {
         assert_eq!(s.max, 100);
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
         assert!((s.mean - 50.5).abs() < 1e-9);
     }
 
@@ -204,27 +448,71 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.max, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p95, 0);
     }
 
     #[test]
-    fn merge_combines_both_kinds() {
-        let mut a = Metrics::new();
+    fn one_sample_histogram_reports_it_everywhere() {
+        let mut h = Histogram::default();
+        h.record(42);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (42, 42));
+        assert_eq!((s.p50, s.p95, s.p99), (42, 42, 42));
+    }
+
+    #[test]
+    fn two_sample_histogram_upper_percentiles_hit_max() {
+        let mut h = Histogram::default();
+        h.record(10);
+        h.record(90);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 10);
+        // Nearest-rank: p95 of two samples is the larger one (the old
+        // floor-based index wrongly reported the min here).
+        assert_eq!(s.p95, 90);
+        assert_eq!(s.p99, 90);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
         a.add("c", 2);
         a.observe("h", 10);
-        let mut b = Metrics::new();
+        a.set_gauge("g", 1);
+        let mut b = MetricsRegistry::new();
         b.add("c", 3);
         b.observe("h", 20);
+        b.observe_for("h", MetricLabels::node(NodeId(2)), 30);
+        b.set_gauge("g", 7);
         a.merge(&b);
         assert_eq!(a.counter("c"), 5);
-        assert_eq!(a.histogram("h").map(|h| h.count()), Some(2));
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(3));
+        assert_eq!(
+            a.histogram_for("h", MetricLabels::GLOBAL)
+                .map(Histogram::count),
+            Some(2)
+        );
+        assert_eq!(a.gauge("g"), Some(7));
     }
 
     #[test]
     fn counters_iteration_is_sorted() {
-        let mut m = Metrics::new();
+        let mut m = MetricsRegistry::new();
         m.incr("z");
         m.incr("a");
         let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn histogram_names_deduplicate_across_labels() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 1);
+        m.observe_for("h", MetricLabels::lwg(4), 2);
+        m.observe("b", 3);
+        let names: Vec<&str> = m.histogram_names().collect();
+        assert_eq!(names, vec!["b", "h"]);
     }
 }

@@ -12,12 +12,13 @@
 //! message exchange.
 
 use crate::event::{EventKind, EventQueue};
-use crate::metrics::Metrics;
+use crate::keys;
+use crate::metrics::MetricsRegistry;
 use crate::net::NetConfig;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-use crate::trace::Trace;
+use crate::trace::{ProtocolEvent, Trace};
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -115,7 +116,7 @@ pub struct Context<'a> {
     pub(crate) net: &'a NetConfig,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) trace: &'a mut Trace,
-    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) metrics: &'a mut MetricsRegistry,
     pub(crate) timer_slots: &'a mut HashMap<(NodeId, TimerToken), u64>,
     pub(crate) alive: &'a [bool],
 }
@@ -140,7 +141,7 @@ impl<'a> Context<'a> {
     /// message may be dropped (loss, partition) and arrives after a sampled
     /// latency. Sending to self is allowed and goes through the same model.
     pub fn send(&mut self, to: NodeId, msg: Payload) {
-        self.metrics.incr("net.sent");
+        self.metrics.incr(keys::NET_SENT);
         let decision = self.net.decide(self.topology, self.rng, self.self_id, to);
         match decision {
             crate::net::DeliveryDecision::Deliver(latency) => {
@@ -154,7 +155,7 @@ impl<'a> Context<'a> {
                 );
             }
             crate::net::DeliveryDecision::Drop => {
-                self.metrics.incr("net.dropped");
+                self.metrics.incr(keys::NET_DROPPED);
             }
         }
     }
@@ -198,15 +199,18 @@ impl<'a> Context<'a> {
         self.rng
     }
 
-    /// Records a structured trace event (no-op unless tracing is enabled).
-    pub fn trace(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
+    /// Records a typed protocol trace event attributed to this node.
+    ///
+    /// The closure producing the event is only evaluated when tracing is
+    /// enabled, so disabled (benchmark) runs pay a single branch.
+    pub fn emit<E: ProtocolEvent>(&mut self, event: impl FnOnce() -> E) {
         let node = self.self_id;
         let now = self.now;
-        self.trace.emit(now, Some(node), kind, detail);
+        self.trace.record(now, Some(node), event);
     }
 
-    /// The world's metric sink (counters and histograms).
-    pub fn metrics(&mut self) -> &mut Metrics {
+    /// The world's metric registry (counters, gauges and histograms).
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
         self.metrics
     }
 }

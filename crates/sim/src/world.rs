@@ -2,13 +2,14 @@
 //! event queue, and advances virtual time.
 
 use crate::event::{EventKind, EventQueue};
-use crate::metrics::Metrics;
+use crate::keys;
+use crate::metrics::MetricsRegistry;
 use crate::net::NetConfig;
 use crate::node::{Context, NodeId, Process, TimerToken};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-use crate::trace::Trace;
+use crate::trace::{SimEvent, Trace};
 use std::collections::HashMap;
 
 /// Construction parameters for a [`World`].
@@ -52,7 +53,7 @@ pub struct World {
     net: NetConfig,
     rng: SimRng,
     trace: Trace,
-    metrics: Metrics,
+    metrics: MetricsRegistry,
     nodes: Vec<Option<Box<dyn Process>>>,
     alive: Vec<bool>,
     timer_slots: HashMap<(NodeId, TimerToken), u64>,
@@ -76,7 +77,7 @@ impl World {
             net: config.net,
             rng: SimRng::from_seed(config.seed),
             trace: Trace::new(config.trace),
-            metrics: Metrics::new(),
+            metrics: MetricsRegistry::new(),
             nodes: Vec::new(),
             alive: Vec::new(),
             timer_slots: HashMap::new(),
@@ -129,12 +130,12 @@ impl World {
     }
 
     /// The collected metrics.
-    pub fn metrics(&self) -> &Metrics {
+    pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
 
     /// Mutable access to metrics (for experiment probes).
-    pub fn metrics_mut(&mut self) -> &mut Metrics {
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
     }
 
@@ -185,8 +186,7 @@ impl World {
         }
         self.alive[node.index()] = false;
         let now = self.now;
-        self.trace
-            .emit(now, None, "world.crash", || format!("{node}"));
+        self.trace.record(now, None, || SimEvent::Crash(node));
         if let Some(p) = self.nodes[node.index()].as_mut() {
             p.on_crash(now);
         }
@@ -201,8 +201,7 @@ impl World {
         }
         self.alive[node.index()] = true;
         let now = self.now;
-        self.trace
-            .emit(now, None, "world.restart", || format!("{node}"));
+        self.trace.record(now, None, || SimEvent::Restart(node));
         self.with_node(node, |p, ctx| p.on_start(ctx));
     }
 
@@ -222,8 +221,7 @@ impl World {
             let refs: Vec<&[NodeId]> = groups.iter().map(Vec::as_slice).collect();
             w.topology.split(&refs);
             let now = w.now;
-            w.trace
-                .emit(now, None, "world.split", || format!("{groups:?}"));
+            w.trace.record(now, None, || SimEvent::Split(groups));
         });
     }
 
@@ -232,7 +230,7 @@ impl World {
         self.schedule_at(at, |w| {
             w.topology.heal_all();
             let now = w.now;
-            w.trace.emit(now, None, "world.heal", String::new);
+            w.trace.record(now, None, || SimEvent::Heal);
         });
     }
 
@@ -317,10 +315,10 @@ impl World {
                         }
                         self.busy_until[to.index()] = self.now + self.proc_time;
                     }
-                    self.metrics.incr("net.delivered");
+                    self.metrics.incr(keys::NET_DELIVERED);
                     self.with_node(to, |p, ctx| p.on_message(ctx, from, msg));
                 } else {
-                    self.metrics.incr("net.dropped");
+                    self.metrics.incr(keys::NET_DROPPED);
                 }
             }
             EventKind::Timer {

@@ -34,7 +34,7 @@
 use crate::fd::FailureDetector;
 use crate::msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
 use crate::{GroupStatus, VsEvent, VsyncConfig};
-use plwg_hwg::{HwgId, View, ViewId};
+use plwg_hwg::{keys, HwgId, HwgTraceEvent, View, ViewId};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::rc::Rc;
@@ -287,7 +287,7 @@ impl GroupEndpoint {
             seq: self.send_seq,
             payload: Rc::clone(&data),
         });
-        ctx.metrics().incr("hwg.data_sent");
+        ctx.metrics().incr(keys::DATA_SENT);
         self.multicast(ctx, &view_members, &msg);
         // Synchronous self-delivery.
         self.holdback.insert((self.me, self.send_seq), data);
@@ -349,9 +349,9 @@ impl GroupEndpoint {
                 trimmed += 1;
             }
         }
-        ctx.metrics().incr("hwg.data_sent");
-        ctx.metrics().incr("hwg.subset_sends");
-        ctx.metrics().add("hwg.subset_trimmed", trimmed);
+        ctx.metrics().incr(keys::DATA_SENT);
+        ctx.metrics().incr(keys::SUBSET_SENDS);
+        ctx.metrics().add(keys::SUBSET_TRIMMED, trimmed);
         self.holdback.insert((self.me, seq), data);
         self.try_drain(ctx, events);
     }
@@ -456,13 +456,10 @@ impl GroupEndpoint {
                         .filter(|m| !responders.contains(m) && *m != self.me)
                         .collect()
                 };
-                ctx.trace("hwg.flush.restart", || {
-                    format!(
-                        "{} attempt {} stragglers {:?}",
-                        self.hwg,
-                        attempts + 1,
-                        stragglers
-                    )
+                ctx.emit(|| HwgTraceEvent::FlushRestart {
+                    hwg: self.hwg,
+                    attempt: u64::from(attempts) + 1,
+                    stragglers: stragglers.clone(),
                 });
                 self.running = None;
                 self.start_flush_with_attempts(ctx, fd, &stragglers, events, attempts + 1);
@@ -493,7 +490,7 @@ impl GroupEndpoint {
             }
         }
         if abandon {
-            ctx.trace("hwg.flush.abandon", || format!("{}", self.hwg));
+            ctx.emit(|| HwgTraceEvent::FlushAbandon { hwg: self.hwg });
             self.flush = None;
             self.merge = None;
             self.invited_merge_leader = None;
@@ -517,7 +514,7 @@ impl GroupEndpoint {
             return;
         }
         let view = self.view.as_ref().expect("member has a view");
-        ctx.metrics().incr("hwg.beacons");
+        ctx.metrics().incr(keys::BEACONS);
         ctx.broadcast(payload(VsMsg::Beacon {
             hwg: self.hwg,
             view_id: view.id,
@@ -527,7 +524,7 @@ impl GroupEndpoint {
     fn send_probe(&mut self, ctx: &mut Context<'_>, cfg: &VsyncConfig) {
         self.probe_attempts += 1;
         self.join_target = None;
-        ctx.metrics().incr("hwg.join_probes");
+        ctx.metrics().incr(keys::JOIN_PROBES);
         ctx.broadcast(payload(VsMsg::JoinProbe { hwg: self.hwg }));
         // The stack's tick has hb_interval granularity; the deadline is
         // checked there.
@@ -538,7 +535,10 @@ impl GroupEndpoint {
         self.status = GroupStatus::Member;
         self.probe_deadline = None;
         let view = View::initial(ViewId::new(self.me, self.take_view_seq()), vec![self.me]);
-        ctx.trace("hwg.singleton", || format!("{} {}", self.hwg, view));
+        ctx.emit(|| HwgTraceEvent::Singleton {
+            hwg: self.hwg,
+            view: view.clone(),
+        });
         self.install_view(view, ctx, events);
     }
 
@@ -680,12 +680,12 @@ impl GroupEndpoint {
         if view.id != view_id {
             // Sent in a different (older or concurrent) view: never
             // delivered here (paper §5.1).
-            ctx.metrics().incr("hwg.data_foreign_view");
+            ctx.metrics().incr(keys::DATA_FOREIGN_VIEW);
             return;
         }
         let expected = self.expected.get(&sender).copied().unwrap_or(1);
         if seq < expected || self.store.contains_key(&(sender, seq)) {
-            ctx.metrics().incr("hwg.data_dup");
+            ctx.metrics().incr(keys::DATA_DUP);
             return;
         }
         self.holdback.insert((sender, seq), data);
@@ -721,9 +721,9 @@ impl GroupEndpoint {
                         // FIFO, stability and flush digests advance) but
                         // nothing is delivered to the layer above.
                         self.thin_held.insert((sender, next));
-                        ctx.metrics().incr("hwg.subset_skipped");
+                        ctx.metrics().incr(keys::SUBSET_SKIPPED);
                     } else {
-                        ctx.metrics().incr("hwg.data_delivered");
+                        ctx.metrics().incr(keys::DATA_DELIVERED);
                         events.push(VsEvent::Data {
                             hwg: self.hwg,
                             view_id,
@@ -767,8 +767,10 @@ impl GroupEndpoint {
                 return;
             }
         }
-        ctx.trace("hwg.flush.member", || {
-            format!("{} {} from {}", self.hwg, flush, from)
+        ctx.emit(|| HwgTraceEvent::FlushMember {
+            hwg: self.hwg,
+            flush,
+            from,
         });
         let awaiting = !cfg.auto_stop_ok;
         let _ = purpose;
@@ -851,7 +853,7 @@ impl GroupEndpoint {
                 .or_else(|| self.holdback.get(&(sender, seq)))
                 .cloned();
             if let Some(data) = data {
-                ctx.metrics().incr("hwg.flush_fills");
+                ctx.metrics().incr(keys::FLUSH_FILLS);
                 let msg = Rc::new(VsMsg::FlushFill {
                     hwg: self.hwg,
                     view_id,
@@ -1043,13 +1045,12 @@ impl GroupEndpoint {
         } else {
             FlushPurpose::ViewChange
         };
-        ctx.trace("hwg.flush.start", || {
-            format!(
-                "{} {} purpose {:?} reporters {:?} joiners {:?}",
-                self.hwg, flush, purpose, reporters, joiners
-            )
+        ctx.emit(|| HwgTraceEvent::FlushStart {
+            hwg: self.hwg,
+            flush,
+            note: format!("purpose {purpose:?} reporters {reporters:?} joiners {joiners:?}"),
         });
-        ctx.metrics().incr("hwg.flushes");
+        ctx.metrics().incr(keys::FLUSHES);
         self.running = Some(RunningFlush {
             flush,
             purpose,
@@ -1111,8 +1112,10 @@ impl GroupEndpoint {
         let reporters = running.reporters.clone();
         let plan = crate::flushcalc::compute_plan(&running.digests);
 
-        ctx.trace("hwg.flush.target", || {
-            format!("{} {} target {:?}", self.hwg, flush, plan.target)
+        ctx.emit(|| HwgTraceEvent::FlushTarget {
+            hwg: self.hwg,
+            flush,
+            note: format!("target {:?}", plan.target),
         });
         let tmsg = Rc::new(VsMsg::FlushTarget {
             hwg: self.hwg,
@@ -1214,7 +1217,10 @@ impl GroupEndpoint {
     /// Sends `NewView` to every member of `view` (the initiator installs
     /// its own copy through the loop-back delivery).
     fn distribute_view(&mut self, ctx: &mut Context<'_>, view: &View) {
-        ctx.trace("hwg.view.distribute", || format!("{} {}", self.hwg, view));
+        ctx.emit(|| HwgTraceEvent::ViewDistribute {
+            hwg: self.hwg,
+            view: view.clone(),
+        });
         let msg = Rc::new(VsMsg::NewView {
             hwg: self.hwg,
             view: view.clone(),
@@ -1269,8 +1275,11 @@ impl GroupEndpoint {
         if let Some(old) = &self.view {
             self.history.insert(old.id);
         }
-        ctx.trace("hwg.view.install", || format!("{} {}", self.hwg, view));
-        ctx.metrics().incr("hwg.views_installed");
+        ctx.emit(|| HwgTraceEvent::ViewInstall {
+            hwg: self.hwg,
+            view: view.clone(),
+        });
+        ctx.metrics().incr(keys::VIEWS_INSTALLED);
         self.stale_beacons = 0;
         self.gap_since.clear();
         self.stable_info.clear();
@@ -1335,9 +1344,11 @@ impl GroupEndpoint {
                 continue;
             }
             let view_id = self.view.as_ref().expect("checked").id;
-            ctx.metrics().incr("hwg.nacks_sent");
-            ctx.trace("hwg.nack", || {
-                format!("{} {sender} missing {missing:?}", self.hwg)
+            ctx.metrics().incr(keys::NACKS_SENT);
+            ctx.emit(|| HwgTraceEvent::Nack {
+                hwg: self.hwg,
+                sender,
+                missing: missing.clone(),
             });
             ctx.send(
                 sender,
@@ -1366,7 +1377,7 @@ impl GroupEndpoint {
         }
         for &seq in missing {
             if let Some(data) = self.store.get(&(sender, seq)) {
-                ctx.metrics().incr("hwg.nack_resends");
+                ctx.metrics().incr(keys::NACK_RESENDS);
                 ctx.send(
                     from,
                     payload(VsMsg::Data {
@@ -1401,7 +1412,7 @@ impl GroupEndpoint {
         // have this exact prefix, so the multicast (and the gc pass it
         // would trigger) is pure overhead.
         if self.stable_info.get(&self.me) == Some(&prefix) {
-            ctx.metrics().incr("hwg.stability_suppressed");
+            ctx.metrics().incr(keys::STABILITY_SUPPRESSED);
             return;
         }
         self.stable_info.insert(self.me, prefix.clone());
@@ -1467,7 +1478,7 @@ impl GroupEndpoint {
             .retain(|(sender, seq)| *seq > stable.get(sender).copied().unwrap_or(0));
         let dropped = before - self.store.len();
         if dropped > 0 {
-            ctx.metrics().add("hwg.store_gc", dropped as u64);
+            ctx.metrics().add(keys::STORE_GC, dropped as u64);
         }
     }
 
@@ -1509,8 +1520,9 @@ impl GroupEndpoint {
                 && !self.has_merge_in_progress()
             {
                 let old_id = view.id;
-                ctx.trace("hwg.excluded", || {
-                    format!("{} dropped from {}, rejoining", self.hwg, old_id)
+                ctx.emit(|| HwgTraceEvent::Excluded {
+                    hwg: self.hwg,
+                    old: old_id,
                 });
                 if self.status == GroupStatus::Leaving {
                     self.status = GroupStatus::Left;
@@ -1554,10 +1566,12 @@ impl GroupEndpoint {
                 }
             }
             None => {
-                ctx.trace("hwg.merge.start", || {
-                    format!("{} leader {} invites {}", self.hwg, self.me, their_view)
+                ctx.emit(|| HwgTraceEvent::MergeStart {
+                    hwg: self.hwg,
+                    leader: self.me,
+                    invitee_view: their_view,
                 });
-                ctx.metrics().incr("hwg.merges_started");
+                ctx.metrics().incr(keys::MERGES_STARTED);
                 let mut participants = BTreeMap::new();
                 participants.insert(their_view, None);
                 self.merge = Some(MergeState {
@@ -1606,8 +1620,9 @@ impl GroupEndpoint {
             );
             return;
         }
-        ctx.trace("hwg.merge.accept", || {
-            format!("{} invitee of leader {}", self.hwg, from)
+        ctx.emit(|| HwgTraceEvent::MergeAccept {
+            hwg: self.hwg,
+            leader: from,
         });
         self.invited_merge_leader = Some(from);
         self.start_flush(ctx, fd, &[], events);
@@ -1654,10 +1669,11 @@ impl GroupEndpoint {
             members,
             predecessors,
         );
-        ctx.trace("hwg.merge.complete", || {
-            format!("{} merged into {}", self.hwg, view)
+        ctx.emit(|| HwgTraceEvent::MergeComplete {
+            hwg: self.hwg,
+            view: view.clone(),
         });
-        ctx.metrics().incr("hwg.merges_completed");
+        ctx.metrics().incr(keys::MERGES_COMPLETED);
         self.distribute_view(ctx, &view);
     }
 }

@@ -1,0 +1,11 @@
+//! Canonical metric keys of the vsync stack.
+//!
+//! The substrate-level `hwg.*` keys live in [`plwg_hwg::keys`] (re-exported
+//! here for convenience); this module adds the keys specific to this
+//! stack's failure detector.
+
+pub use plwg_hwg::keys::*;
+use plwg_sim::CounterKey;
+
+/// Fresh suspicions raised by the failure detector.
+pub const FD_SUSPICIONS: CounterKey = CounterKey::new("fd.suspicions");

@@ -38,13 +38,15 @@ mod fd;
 /// Pure flush-plan computation (digests → delivery target + pull plan).
 pub mod flushcalc;
 mod group;
+pub mod keys;
 mod msg;
 mod stack;
 mod substrate;
 
 pub use fd::{FailureDetector, FdEvent};
-pub use msg::{SubsetSkip, VsMsg};
+pub use msg::{FlushId, SubsetSkip, VsMsg};
 pub use plwg_hwg::{
-    GroupStatus, HwgConfig as VsyncConfig, HwgEvent as VsEvent, HwgId, HwgSubstrate, View, ViewId,
+    GroupStatus, HwgConfig as VsyncConfig, HwgEvent as VsEvent, HwgId, HwgSubstrate, HwgTraceEvent,
+    View, ViewId,
 };
 pub use stack::VsyncStack;

@@ -5,22 +5,7 @@ use plwg_sim::{NodeId, Payload};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Identifies one flush round: who initiated it and a per-initiator nonce.
-/// A more senior initiator (lower rank in the current view) or a larger
-/// nonce from the same initiator supersedes an in-progress flush.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct FlushId {
-    /// The member coordinating this flush.
-    pub initiator: NodeId,
-    /// Initiator-local round counter.
-    pub nonce: u64,
-}
-
-impl fmt::Display for FlushId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.initiator, self.nonce)
-    }
-}
+pub use plwg_hwg::FlushId;
 
 /// What a flush is for: an ordinary view change installs the successor view
 /// locally; a merge flush freezes the view and reports to the merge leader.

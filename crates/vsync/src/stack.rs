@@ -4,9 +4,10 @@
 
 use crate::fd::{FailureDetector, FdEvent};
 use crate::group::GroupEndpoint;
+use crate::keys;
 use crate::msg::VsMsg;
 use crate::{GroupStatus, VsEvent, VsyncConfig};
-use plwg_hwg::{HwgId, View};
+use plwg_hwg::{HwgId, HwgTraceEvent, View};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, TimerToken};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -216,7 +217,7 @@ impl VsyncStack {
         };
         // Any traffic is evidence of life.
         if let Some(FdEvent::Alive(_)) = self.fd.heard_from(from, ctx.now()) {
-            ctx.trace("fd.alive", || format!("{from}"));
+            ctx.emit(|| HwgTraceEvent::FdAlive { peer: from });
         }
         match vs {
             VsMsg::Heartbeat => {}
@@ -286,8 +287,9 @@ impl VsyncStack {
         let fd_events = self.fd.check(ctx.now(), self.cfg.suspect_timeout);
         for ev in &fd_events {
             if let FdEvent::Suspect(p) = ev {
-                ctx.trace("fd.suspect", || format!("{p}"));
-                ctx.metrics().incr("fd.suspicions");
+                let peer = *p;
+                ctx.emit(|| HwgTraceEvent::FdSuspect { peer });
+                ctx.metrics().incr(keys::FD_SUSPICIONS);
             }
         }
         let now = ctx.now();

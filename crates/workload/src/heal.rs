@@ -114,8 +114,8 @@ pub fn run_heal(params: &HealParams) -> HealResult {
     // Let each side settle into its concurrent views.
     world.run_until(t_split + SimDuration::from_secs(15));
 
-    let flushes_before = world.metrics().counter("hwg.flushes");
-    let merges_before = world.metrics().counter("lwg.views_merged");
+    let flushes_before = world.metrics().counter(plwg_vsync::keys::FLUSHES);
+    let merges_before = world.metrics().counter(plwg_core::keys::VIEWS_MERGED);
     let t_heal = world.now();
     world.heal_at(t_heal);
     let reconverged_at = await_full_views(
@@ -129,8 +129,8 @@ pub fn run_heal(params: &HealParams) -> HealResult {
     HealResult {
         lwgs: params.lwgs,
         reconverge: reconverged_at.saturating_since(t_heal),
-        hwg_flushes: world.metrics().counter("hwg.flushes") - flushes_before,
-        lwg_merges: world.metrics().counter("lwg.views_merged") - merges_before,
+        hwg_flushes: world.metrics().counter(plwg_vsync::keys::FLUSHES) - flushes_before,
+        lwg_merges: world.metrics().counter(plwg_core::keys::VIEWS_MERGED) - merges_before,
     }
 }
 

@@ -142,7 +142,7 @@ pub fn run_overlap(params: &OverlapParams) -> OverlapResult {
         subjects: params.subjects,
         distinct_hwgs: hwgs_everywhere.len(),
         avg_hwgs_per_node: hwg_count_total as f64 / params.processes as f64,
-        switches: world.metrics().counter("lwg.switches"),
+        switches: world.metrics().counter(plwg_core::keys::SWITCHES),
         mean_overhead: if overheads.is_empty() {
             0.0
         } else {

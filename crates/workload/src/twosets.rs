@@ -268,14 +268,14 @@ pub fn run_two_sets(params: &TwoSetsParams) -> TwoSetsResult {
                 });
         }
     }
-    let wire_before = setup.world.metrics().counter("net.sent");
+    let wire_before = setup.world.metrics().counter(plwg_sim::keys::NET_SENT);
     let traffic_span = params
         .traffic
         .interval
         .saturating_mul(params.traffic.msgs_per_group);
     let t_end = t0 + traffic_span + SimDuration::from_secs(3);
     setup.world.run_until(t_end);
-    let wire_msgs = setup.world.metrics().counter("net.sent") - wire_before;
+    let wire_msgs = setup.world.metrics().counter(plwg_sim::keys::NET_SENT) - wire_before;
 
     // --- collect latency / throughput ---
     let mut hist = Histogram::default();

@@ -94,7 +94,7 @@ fn main() {
     });
     world.run_until(at(41));
     let got: Vec<u64> = world.inspect(users[1], |a: &LwgNode| {
-        a.delivered_values(BREAKOUT, users[0])
+        a.events_ref().data_from(BREAKOUT, users[0])
     });
     assert_eq!(got, vec![0, 1, 2]);
     println!("t=41s breakout chat delivered to its members only");

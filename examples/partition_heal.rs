@@ -78,10 +78,12 @@ fn main() {
         });
     }
     world.run_until(at(27));
-    let side_a_got: Vec<u64> =
-        world.inspect(nodes[1], |a: &LwgNode| a.delivered_values(group, nodes[0]));
-    let side_b_got: Vec<u64> =
-        world.inspect(nodes[3], |a: &LwgNode| a.delivered_values(group, nodes[2]));
+    let side_a_got: Vec<u64> = world.inspect(nodes[1], |a: &LwgNode| {
+        a.events_ref().data_from(group, nodes[0])
+    });
+    let side_b_got: Vec<u64> = world.inspect(nodes[3], |a: &LwgNode| {
+        a.events_ref().data_from(group, nodes[2])
+    });
     println!("t=27s  side A delivered {side_a_got:?}, side B delivered {side_b_got:?}");
 
     println!("t=30s  HEAL");
@@ -121,5 +123,22 @@ fn main() {
         for ev in world.trace().of_kind(kind).take(3) {
             println!("  {ev}");
         }
+    }
+
+    // With PLWG_TRACE_DUMP=<path>, write the full event-kind sequence for
+    // golden-snapshot comparison (the simulation is deterministic, so the
+    // sequence is too — CI diffs it against tests/golden/).
+    if let Ok(path) = std::env::var("PLWG_TRACE_DUMP") {
+        let dump: String = world
+            .trace()
+            .events()
+            .iter()
+            .map(|e| format!("{}\n", e.kind))
+            .collect();
+        std::fs::write(&path, &dump).expect("write trace dump");
+        println!(
+            "\ntrace dump: {} event kinds written to {path}",
+            world.trace().events().len()
+        );
     }
 }

@@ -53,7 +53,8 @@ fn main() {
     });
     world.run_for(SimDuration::from_secs(1));
     for &n in &nodes {
-        let got: Vec<u64> = world.inspect(n, |app: &LwgNode| app.delivered_values(group, sender));
+        let got: Vec<u64> =
+            world.inspect(n, |app: &LwgNode| app.events_ref().data_from(group, sender));
         println!("{n} delivered {got:?}");
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }

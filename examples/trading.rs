@@ -112,7 +112,10 @@ fn main() {
         let (count, foreign) = world.inspect(g, |a: &LwgNode| {
             let mut count = 0;
             let mut foreign = 0;
-            for (lwg, _, data) in a.delivered() {
+            for ev in a.events_ref().history() {
+                let LwgEvent::Data { lwg, data, .. } = ev else {
+                    continue;
+                };
                 let tick = plwg::sim::cast::<Tick>(data).expect("tick payload");
                 assert_eq!(tick.subject, lwg.0, "tick delivered to its subject");
                 assert!(tick.price_cents >= 10_000, "prices are sane");

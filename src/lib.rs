@@ -19,7 +19,9 @@
 //! * [`core`] — the light-weight group service itself (mapping policies,
 //!   switching, and the four-step partition-heal procedure);
 //! * [`workload`] — experiment workloads and runners regenerating the
-//!   paper's evaluation.
+//!   paper's evaluation;
+//! * [`obs`] — observability: causal protocol timelines built from the
+//!   typed trace (`cargo run --bin timeline -- heal`).
 //!
 //! ## Quickstart
 //!
@@ -57,7 +59,7 @@
 //!     n.service().send(ctx, g, plwg::sim::payload(42u32))
 //! });
 //! world.run_for(SimDuration::from_secs(1));
-//! let got: Vec<u32> = world.inspect(b, |n: &LwgNode| n.delivered_values(g, a));
+//! let got: Vec<u32> = world.inspect(b, |n: &LwgNode| n.events_ref().data_from(g, a));
 //! assert_eq!(got, vec![42]);
 //! ```
 
@@ -67,6 +69,7 @@
 pub use plwg_core as core;
 pub use plwg_hwg as hwg;
 pub use plwg_naming as naming;
+pub use plwg_obs as obs;
 pub use plwg_sim as sim;
 pub use plwg_vsync as vsync;
 pub use plwg_workload as workload;
@@ -78,7 +81,7 @@ pub use plwg_workload as workload;
 /// substrate. To swap the substrate (e.g. [`plwg_core::ScriptedHwg`] in
 /// protocol tests), use the generic types from [`plwg_core`] directly.
 pub mod prelude {
-    pub use plwg_core::{HwgId, HwgSubstrate, LwgConfig, LwgEvent, LwgId, View, ViewId};
+    pub use plwg_core::{HwgId, HwgSubstrate, LwgConfig, LwgEvent, LwgEvents, LwgId, View, ViewId};
     pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
     pub use plwg_sim::{
         Context, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,

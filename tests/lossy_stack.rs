@@ -93,7 +93,7 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
     // any view it was part of. The messages sent before the crash (while
     // everyone shared the view) must be complete everywhere.
     for &m in &apps[1..3] {
-        let got: Vec<u64> = world.inspect(m, |n: &LwgNode| n.delivered_values(g, sender));
+        let got: Vec<u64> = world.inspect(m, |n: &LwgNode| n.events_ref().data_from(g, sender));
         // Strictly increasing (FIFO, no duplicates)…
         assert!(
             got.windows(2).all(|w| w[0] < w[1]),
@@ -124,7 +124,8 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
     world.run_until(t1 + SimDuration::from_secs(5));
     for &m in &apps[1..3] {
         let got: Vec<u64> = world.inspect(m, |n: &LwgNode| {
-            n.delivered_values(g, sender)
+            n.events_ref()
+                .data_from(g, sender)
                 .into_iter()
                 .filter(|v| *v >= 1_000)
                 .collect()

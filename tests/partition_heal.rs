@@ -162,13 +162,21 @@ fn concurrent_view_data_stays_in_its_view_across_heal() {
         .expect("view");
     assert_eq!(v.len(), 4);
     // …but the partition-era messages never crossed sides.
-    let a1_from_b0: Vec<u64> = f.world.inspect(a1, |a: &LwgNode| a.delivered_values(g, b0));
-    let b1_from_a0: Vec<u64> = f.world.inspect(b1, |a: &LwgNode| a.delivered_values(g, a0));
+    let a1_from_b0: Vec<u64> = f
+        .world
+        .inspect(a1, |a: &LwgNode| a.events_ref().data_from(g, b0));
+    let b1_from_a0: Vec<u64> = f
+        .world
+        .inspect(b1, |a: &LwgNode| a.events_ref().data_from(g, a0));
     assert!(!a1_from_b0.contains(&222));
     assert!(!b1_from_a0.contains(&111));
     // While same-side members did deliver them.
-    let a1_from_a0: Vec<u64> = f.world.inspect(a1, |a: &LwgNode| a.delivered_values(g, a0));
-    let b1_from_b0: Vec<u64> = f.world.inspect(b1, |a: &LwgNode| a.delivered_values(g, b0));
+    let a1_from_a0: Vec<u64> = f
+        .world
+        .inspect(a1, |a: &LwgNode| a.events_ref().data_from(g, a0));
+    let b1_from_b0: Vec<u64> = f
+        .world
+        .inspect(b1, |a: &LwgNode| a.events_ref().data_from(g, b0));
     assert!(a1_from_a0.contains(&111));
     assert!(b1_from_b0.contains(&222));
 }
@@ -200,10 +208,14 @@ fn sends_straddling_the_heal_are_view_consistent() {
     }
     f.world.run_until(at(45));
     // a1 shares every view a0 ever has; it must see the exact sequence.
-    let got: Vec<u64> = f.world.inspect(a1, |a: &LwgNode| a.delivered_values(g, a0));
+    let got: Vec<u64> = f
+        .world
+        .inspect(a1, |a: &LwgNode| a.events_ref().data_from(g, a0));
     assert_eq!(got, (0..40).collect::<Vec<u64>>(), "no loss, no dup at a1");
     // b-side members deliver a suffix (messages from the merged view on).
-    let got_b: Vec<u64> = f.world.inspect(b1, |a: &LwgNode| a.delivered_values(g, a0));
+    let got_b: Vec<u64> = f
+        .world
+        .inspect(b1, |a: &LwgNode| a.events_ref().data_from(g, a0));
     assert_eq!(
         got_b,
         ((40 - got_b.len() as u64)..40).collect::<Vec<u64>>(),

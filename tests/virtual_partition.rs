@@ -94,7 +94,7 @@ fn congestion_episode_splits_and_heals_lwgs() {
     });
     world.run_until(at(72));
     for &m in &apps[1..] {
-        let got: Vec<u64> = world.inspect(m, |n: &LwgNode| n.delivered_values(g, sender));
+        let got: Vec<u64> = world.inspect(m, |n: &LwgNode| n.events_ref().data_from(g, sender));
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 }
