@@ -35,8 +35,16 @@ impl<S: HwgSubstrate> LwgService<S> {
             state.pending_send.push(data);
             return;
         }
-        let lwg_view = state.view.as_ref().expect("member has a view").id;
-        let hwg = state.hwg.expect("member has a mapping");
+        let (lwg_view, hwg) = match (&state.view, state.hwg) {
+            (Some(v), Some(h)) => (v.id, h),
+            // `Phase::Member` always carries a view and a mapping; if the
+            // invariant ever breaks, buffer like any other blocked send
+            // instead of aborting the node.
+            _ => {
+                state.pending_send.push(data);
+                return;
+            }
+        };
         ctx.metrics().incr(keys::DATA_SENT);
         if self.cfg.pack_max_msgs > 1 {
             let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);

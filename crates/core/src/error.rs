@@ -1,0 +1,39 @@
+//! Typed failures of internal protocol steps.
+//!
+//! The hot-path modules are panic-free (enforced by `plwg-tidy`'s `panic`
+//! check): a step that finds its precondition broken — a group the local
+//! table no longer knows, a member without an installed view — returns an
+//! [`LwgError`] instead of unwrapping. Callers treat these as benign
+//! races: membership messages legitimately arrive after a group was
+//! dissolved or while a node re-joins, so the protocol's answer is to
+//! drop the step, never to abort the node.
+
+use plwg_hwg::HwgId;
+use plwg_naming::LwgId;
+use std::fmt;
+
+/// Why an internal protocol step could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LwgError {
+    /// The group is not (or no longer) in the local table.
+    UnknownGroup(LwgId),
+    /// The group has no installed view at this node.
+    NoView(LwgId),
+    /// The group has no LWG→HWG mapping at this node.
+    NoMapping(LwgId),
+    /// The backing HWG has no installed view at this node.
+    NoHwgView(HwgId),
+}
+
+impl fmt::Display for LwgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LwgError::UnknownGroup(lwg) => write!(f, "unknown group {lwg:?}"),
+            LwgError::NoView(lwg) => write!(f, "no installed view for {lwg:?}"),
+            LwgError::NoMapping(lwg) => write!(f, "no HWG mapping for {lwg:?}"),
+            LwgError::NoHwgView(hwg) => write!(f, "no installed view for HWG {hwg:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LwgError {}

@@ -52,7 +52,12 @@ impl<S: HwgSubstrate> LwgService<S> {
                 self.events.push(LwgEvent::Left { lwg });
             }
             Phase::Member => {
-                let view = state.view.clone().expect("member has a view");
+                let Some(view) = state.view.clone() else {
+                    // `Phase::Member` always carries a view; tolerate a
+                    // broken invariant by ignoring the leave (the next
+                    // view install re-runs it) rather than aborting.
+                    return;
+                };
                 if view.len() == 1 {
                     // Sole member: dissolve the group.
                     let hwg = state.hwg;
@@ -106,7 +111,9 @@ impl<S: HwgSubstrate> LwgService<S> {
                 }
             }
             if self.lwg_coordinator(lwg) == Some(self.me) {
-                let state = self.lwgs.get_mut(&lwg).expect("checked");
+                let Ok(state) = self.state_mut(lwg) else {
+                    return;
+                };
                 if !state.view.as_ref().is_some_and(|v| v.contains(from)) {
                     state.pending_joins.insert(from);
                     self.maybe_start_lwg_flush(ctx, lwg);
@@ -320,7 +327,10 @@ impl<S: HwgSubstrate> LwgService<S> {
             .view_of(hwg)
             .map(|v| v.members.clone())
             .unwrap_or_default();
-        let state = self.lwgs.get_mut(&lwg).expect("still present");
+        let me = self.me;
+        let Ok(state) = self.state_mut(lwg) else {
+            return;
+        };
         let mut members: Vec<NodeId> = view
             .members
             .iter()
@@ -344,7 +354,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             return;
         }
         let new_view = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
+            ViewId::new(me, state.take_view_seq()),
             members,
             vec![view.id],
         );
@@ -532,9 +542,12 @@ impl<S: HwgSubstrate> LwgService<S> {
         if members.is_empty() {
             return;
         }
-        let state = self.lwgs.get_mut(&lwg).expect("checked");
+        let me = self.me;
+        let Ok(state) = self.state_mut(lwg) else {
+            return;
+        };
         let flush = LFlushId {
-            initiator: self.me,
+            initiator: me,
             nonce: state.take_flush_nonce(),
         };
         ctx.emit(|| LwgProtocolEvent::FlushStart {

@@ -46,6 +46,7 @@
 mod batch;
 mod config;
 mod data_plane;
+mod error;
 mod events;
 mod flush;
 pub mod keys;
@@ -61,6 +62,7 @@ mod state;
 mod switch;
 
 pub use config::LwgConfig;
+pub use error::LwgError;
 pub use events::{LwgEvent, LwgEvents};
 pub use msg::{LFlushId, LwgMsg};
 pub use node::LwgNode;

@@ -163,7 +163,9 @@ impl<S: HwgSubstrate> LwgService<S> {
         } else if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
             // Someone else holds the mapping: follow it.
             let hwg = best.hwg;
-            let state = self.lwgs.get_mut(&lwg).expect("checked");
+            let Ok(state) = self.state_mut(lwg) else {
+                return;
+            };
             state.join_attempts = 0;
             self.begin_hwg_join(ctx, lwg, hwg, false);
         }
@@ -263,22 +265,28 @@ impl<S: HwgSubstrate> LwgService<S> {
             .map(|(&l, _)| l)
             .collect();
         for lwg in due {
-            let state = self.lwgs.get_mut(&lwg).expect("listed");
+            let Ok(state) = self.state_mut(lwg) else {
+                continue;
+            };
             state.join_attempts += 1;
             let attempts = state.join_attempts;
             let phase = state.phase;
             let hwg = state.hwg;
-            let in_hwg = hwg
-                .and_then(|h| self.substrate.view_of(h))
-                .is_some_and(|v| v.contains(self.me));
-            if !in_hwg {
+            let in_hwg = hwg.filter(|&h| {
+                self.substrate
+                    .view_of(h)
+                    .is_some_and(|v| v.contains(self.me))
+            });
+            let Some(hwg) = in_hwg else {
                 // Still waiting for HWG membership; extend.
-                let state = self.lwgs.get_mut(&lwg).expect("listed");
-                state.join_deadline = Some(now + self.cfg.lwg_join_timeout);
+                let deadline = now + self.cfg.lwg_join_timeout;
+                if let Ok(state) = self.state_mut(lwg) {
+                    state.join_deadline = Some(deadline);
+                }
                 continue;
-            }
+            };
             if phase == Phase::JoiningHwg || attempts <= self.cfg.lwg_join_retries {
-                self.request_admission(ctx, lwg, hwg.expect("in_hwg"));
+                self.request_admission(ctx, lwg, hwg);
             } else {
                 self.claim_founding(ctx, lwg);
             }
@@ -288,8 +296,8 @@ impl<S: HwgSubstrate> LwgService<S> {
         let leaving: Vec<(LwgId, HwgId)> = self
             .lwgs
             .iter()
-            .filter(|(_, s)| s.phase == Phase::Leaving && s.hwg.is_some())
-            .map(|(&l, s)| (l, s.hwg.expect("filtered")))
+            .filter(|(_, s)| s.phase == Phase::Leaving)
+            .filter_map(|(&l, s)| s.hwg.map(|h| (l, h)))
             .collect();
         for (lwg, hwg) in leaving {
             self.substrate
@@ -311,11 +319,21 @@ impl<S: HwgSubstrate> LwgService<S> {
             .map(|(&l, _)| l)
             .collect();
         for lwg in stuck {
-            let state = self.lwgs.get_mut(&lwg).expect("listed");
+            let Ok(state) = self.state_mut(lwg) else {
+                continue;
+            };
             ctx.emit(|| LwgProtocolEvent::FlushAbandon { lwg });
             state.lflush = None;
             state.switching = None;
             state.follow_switch = None;
+            // The abandoned flush froze the data plane; release the sends it
+            // buffered back into the still-installed view, or they would stay
+            // queued until the next view install (which the vanished
+            // initiator may never produce).
+            let pending = std::mem::take(&mut state.pending_send);
+            for data in pending {
+                self.send(ctx, lwg, data);
+            }
             // Re-evaluate: the coordinator will re-flush with the members
             // still reachable.
             self.maybe_start_lwg_flush(ctx, lwg);

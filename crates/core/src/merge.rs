@@ -117,17 +117,18 @@ impl<S: HwgSubstrate> LwgService<S> {
             // concatenated, only members present in the current HWG view.
             let mut members: Vec<NodeId> = Vec::new();
             for vid in &concurrent {
-                for &m in &views[vid].members {
+                let Some(view) = views.get(vid) else {
+                    continue;
+                };
+                for &m in &view.members {
                     if hview.contains(m) && !members.contains(&m) {
                         members.push(m);
                     }
                 }
             }
-            if members.is_empty() {
-                continue;
-            }
-            // The merged view's coordinator announces it.
-            if members[0] != self.me {
+            // The merged view's coordinator (most senior member) announces
+            // it; an empty merged membership has no coordinator.
+            if members.first() != Some(&self.me) {
                 continue;
             }
             let Some(state) = self.lwgs.get_mut(&lwg) else {

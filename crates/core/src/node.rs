@@ -6,7 +6,7 @@
 //! stream via [`LwgNode::events`].
 
 use crate::config::LwgConfig;
-use crate::events::{LwgEvent, LwgEvents};
+use crate::events::LwgEvents;
 use crate::service::LwgService;
 use plwg_hwg::{HwgSubstrate, View};
 use plwg_naming::LwgId;
@@ -64,48 +64,6 @@ impl<S: HwgSubstrate> LwgNode<S> {
     /// the group). For the historic record use `events_ref().views_of(..)`.
     pub fn current_view(&self, lwg: LwgId) -> Option<&View> {
         self.service.view_of(lwg)
-    }
-
-    /// All recorded view installations.
-    #[deprecated(note = "subscribe via `events()` / query `events_ref().views_of(..)`")]
-    pub fn views(&self) -> Vec<(LwgId, View)> {
-        self.events
-            .history()
-            .iter()
-            .filter_map(|ev| match ev {
-                LwgEvent::View { lwg, view } => Some((*lwg, view.clone())),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// All recorded deliveries.
-    #[deprecated(note = "subscribe via `events()` / query `events_ref().data_from(..)`")]
-    pub fn delivered(&self) -> Vec<(LwgId, NodeId, Payload)> {
-        self.events
-            .history()
-            .iter()
-            .filter_map(|ev| match ev {
-                LwgEvent::Data { lwg, src, data } => Some((*lwg, *src, data.clone())),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// Payloads delivered for `lwg` from `src`, downcast to `T`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a matching delivery holds a payload of another type.
-    #[deprecated(note = "use `events_ref().data_from(..)`")]
-    pub fn delivered_values<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
-        self.events.data_from(lwg, src)
-    }
-
-    /// Groups this node has left.
-    #[deprecated(note = "use `events_ref().lefts()`")]
-    pub fn lefts(&self) -> Vec<LwgId> {
-        self.events.lefts()
     }
 
     fn pump_events(&mut self) {

@@ -18,6 +18,7 @@
 
 use crate::batch::{FlushReason, PackBuffer};
 use crate::config::LwgConfig;
+use crate::error::LwgError;
 use crate::events::LwgEvent;
 use crate::msg::LwgMsg;
 use crate::protocol_events::LwgProtocolEvent;
@@ -195,6 +196,13 @@ impl<S: HwgSubstrate> LwgService<S> {
             forward_pointers: self.forward.len(),
             pending_ns_requests: self.ns_lookups.len(),
         }
+    }
+
+    /// The group's state, or a typed error when the group is not (or no
+    /// longer) in the local table. The hot-path modules use this instead
+    /// of unwrapping re-borrows — see [`crate::LwgError`].
+    pub(crate) fn state_mut(&mut self, lwg: LwgId) -> Result<&mut LwgState, LwgError> {
+        self.lwgs.get_mut(&lwg).ok_or(LwgError::UnknownGroup(lwg))
     }
 
     /// The acting coordinator of `lwg`: its most senior member that is

@@ -6,7 +6,7 @@ use crate::msg::LFlushId;
 use plwg_hwg::{HwgId, View, ViewId};
 use plwg_naming::LwgId;
 use plwg_sim::{NodeId, Payload, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a naming request was issued (routes the reply).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,7 @@ pub(crate) struct LwgState {
     /// Current LWG view (when `Member`/`Leaving`).
     pub(crate) view: Option<View>,
     /// Ids of LWG views this node has installed.
-    pub(crate) history: HashSet<ViewId>,
+    pub(crate) history: BTreeSet<ViewId>,
     /// The HWG the group is currently mapped onto (target HWG during the
     /// join flow).
     pub(crate) hwg: Option<HwgId>,
@@ -100,7 +100,7 @@ impl LwgState {
         LwgState {
             phase: Phase::ReadingNs,
             view: None,
-            history: HashSet::new(),
+            history: BTreeSet::new(),
             hwg: None,
             create_hwg: false,
             pending_send: Vec::new(),

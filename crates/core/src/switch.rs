@@ -50,9 +50,12 @@ impl<S: HwgSubstrate> LwgService<S> {
         };
         let Some(hwg) = state.hwg else { return };
         let members = view.members.clone();
-        let state = self.lwgs.get_mut(&lwg).expect("checked");
+        let me = self.me;
+        let Ok(state) = self.state_mut(lwg) else {
+            return;
+        };
         let flush = LFlushId {
-            initiator: self.me,
+            initiator: me,
             nonce: state.take_flush_nonce(),
         };
         state.switching = Some(SwitchState {

@@ -323,6 +323,11 @@ fn interference_rule_switches_small_lwg_off_big_hwg() {
     assert_converged(&mut w, &apps[..2], B, 2);
     // B's members stay in the big HWG only because A still needs it.
     assert_converged(&mut w, &apps, A, 8);
+    // No snug HWG existed for B, so the policy allocated a fresh one.
+    assert!(
+        w.trace().count("lwg.policy.create") >= 1,
+        "interference rule must create a fresh HWG for the evicted LWG"
+    );
 }
 
 /// Shrink rule: once the last LWG leaves an HWG, its members leave the HWG
@@ -466,6 +471,11 @@ fn share_rule_collapses_duplicate_hwgs_after_heal() {
         assert_eq!(hwgs.len(), 1, "{m} should ride a single HWG, has {hwgs:?}");
     }
     assert!(w.metrics().counter("lwg.switches") >= 1);
+    // The collapse is a policy-driven switch onto an existing HWG.
+    assert!(
+        w.trace().count("lwg.policy.switch") >= 1,
+        "share rule must issue a policy switch onto the surviving HWG"
+    );
 }
 
 /// The callbacks-vs-polling ablation's polling mode works end to end:

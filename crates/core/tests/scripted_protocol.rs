@@ -473,8 +473,13 @@ fn eviction_prunes_view_then_readmits_via_mapping() {
         "coordinator prunes the unreachable member without an LWG flush"
     );
     assert!(w.metrics().counter("lwg.prunes") >= 1);
-    // b restarted its join and followed the mapping back to the HWG.
+    // b restarted its join and followed the mapping back to the HWG; the
+    // typed trace records the restart.
     assert!(wants_to_join(&mut w, b, H1));
+    assert!(
+        w.trace().count("lwg.rejoin") >= 1,
+        "losing the transport must emit lwg.rejoin"
+    );
 
     // Readmission once the HWG membership is granted again.
     grant(&mut w, a, H1, a, 3, &[a, b]);
@@ -487,4 +492,56 @@ fn eviction_prunes_view_then_readmits_via_mapping() {
     send_u32(&mut w, b, 4);
     w.run_for(ms(100));
     assert_eq!(delivered_from(&mut w, a, b), vec![4]);
+}
+
+/// A member whose LWG flush never concludes (the initiator multicast
+/// `Flush` and then vanished without a successor view) abandons it after
+/// `lwg_flush_timeout` and unfreezes — the watchdog path of the tick.
+#[test]
+fn stuck_lwg_flush_is_abandoned_by_the_watchdog() {
+    use plwg_core::LFlushId;
+    let (mut w, apps) = setup(2);
+    let (a, b) = (apps[0], apps[1]);
+    grant(&mut w, a, H1, a, 1, &[a, b]);
+    grant(&mut w, b, H1, a, 1, &[a, b]);
+    let v1 = View::initial(ViewId::new(a, 1), vec![a, b]);
+    seed_lwg_view(&mut w, a, H1, v1.clone());
+    seed_lwg_view(&mut w, b, H1, v1);
+    w.run_for(ms(200));
+
+    // b receives a Flush from its coordinator… which then never announces
+    // the successor view (as if it crashed right after the multicast).
+    let flush = LFlushId {
+        initiator: a,
+        nonce: 99,
+    };
+    w.invoke(b, move |n: &mut Node, ctx| {
+        n.service().hwg_stack_mut().inject_data(
+            H1,
+            a,
+            payload(LwgMsg::Flush {
+                lwg: L,
+                flush,
+                members: vec![a, b],
+            }),
+        );
+        n.service().pump(ctx);
+    });
+    // Mid-flush, sends are frozen (buffered).
+    send_u32(&mut w, b, 7);
+    w.run_for(ms(100));
+    assert_eq!(delivered_from(&mut w, b, b), Vec::<u32>::new());
+
+    // Past lwg_flush_timeout (3 s default) the watchdog abandons the
+    // flush; the buffered send is released in the (unchanged) view.
+    w.run_for(SimDuration::from_secs(4));
+    assert!(
+        w.trace().count("lwg.flush.abandon") >= 1,
+        "the watchdog must emit lwg.flush.abandon"
+    );
+    assert_eq!(
+        delivered_from(&mut w, b, b),
+        vec![7],
+        "abandoning the stuck flush unfreezes buffered sends"
+    );
 }

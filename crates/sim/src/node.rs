@@ -20,7 +20,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{ProtocolEvent, Trace};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -117,7 +117,7 @@ pub struct Context<'a> {
     pub(crate) rng: &'a mut SimRng,
     pub(crate) trace: &'a mut Trace,
     pub(crate) metrics: &'a mut MetricsRegistry,
-    pub(crate) timer_slots: &'a mut HashMap<(NodeId, TimerToken), u64>,
+    pub(crate) timer_slots: &'a mut BTreeMap<(NodeId, TimerToken), u64>,
     pub(crate) alive: &'a [bool],
 }
 

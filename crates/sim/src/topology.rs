@@ -12,7 +12,7 @@
 //!   which is exactly a virtual partition.
 
 use crate::node::NodeId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifies a connected component of the network.
@@ -49,7 +49,7 @@ pub enum LinkState {
 #[derive(Debug, Clone)]
 pub struct Topology {
     components: Vec<ComponentId>,
-    cut_links: HashSet<(NodeId, NodeId)>,
+    cut_links: BTreeSet<(NodeId, NodeId)>,
     congestion: f64,
 }
 
@@ -58,7 +58,7 @@ impl Topology {
     pub fn fully_connected(n: usize) -> Self {
         Topology {
             components: vec![ComponentId(0); n],
-            cut_links: HashSet::new(),
+            cut_links: BTreeSet::new(),
             congestion: 1.0,
         }
     }

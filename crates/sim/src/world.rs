@@ -10,7 +10,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{SimEvent, Trace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Construction parameters for a [`World`].
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub struct World {
     metrics: MetricsRegistry,
     nodes: Vec<Option<Box<dyn Process>>>,
     alive: Vec<bool>,
-    timer_slots: HashMap<(NodeId, TimerToken), u64>,
+    timer_slots: BTreeMap<(NodeId, TimerToken), u64>,
     proc_time: SimDuration,
     busy_until: Vec<SimTime>,
 }
@@ -80,7 +80,7 @@ impl World {
             metrics: MetricsRegistry::new(),
             nodes: Vec::new(),
             alive: Vec::new(),
-            timer_slots: HashMap::new(),
+            timer_slots: BTreeMap::new(),
             proc_time: config.proc_time,
             busy_until: Vec::new(),
         }
@@ -536,8 +536,8 @@ mod tests {
             });
             w.run_for(SimDuration::from_secs(10));
             (
-                w.metrics().counter("net.delivered"),
-                w.metrics().counter("net.dropped"),
+                w.metrics().counter(crate::keys::NET_DELIVERED),
+                w.metrics().counter(crate::keys::NET_DROPPED),
             )
         };
         assert_eq!(run(42), run(42));

@@ -1,0 +1,68 @@
+//! `determinism` — the simulation must replay bit-identically from a seed.
+//!
+//! The paper's correctness arguments (single flush per heal, exactly one
+//! `lwg.merge` per healed branch set, byte-identical bench guards) are
+//! only checkable because every run of the simulator is deterministic.
+//! This check keeps the protocol crates free of the std features whose
+//! behaviour varies between runs or hosts:
+//!
+//! - `HashMap`/`HashSet` (and explicit `RandomState`/`DefaultHasher`):
+//!   iteration order is randomized per process — use `BTreeMap`/`BTreeSet`.
+//! - `Instant`/`SystemTime`: wall-clock reads — use [`plwg_sim`]'s
+//!   `SimTime`.
+//! - `thread_rng`/`OsRng`-style ambient randomness — use the in-tree
+//!   seeded `Xoshiro` RNG.
+//! - float-keyed maps/sets: NaN breaks the order relation silently.
+
+use crate::diag::Diagnostic;
+use crate::source::word_matches;
+use crate::walk::Workspace;
+
+pub const NAME: &str = "determinism";
+
+const FORBIDDEN: [(&str, &str); 7] = [
+    ("HashMap", "randomized iteration order; use BTreeMap"),
+    ("HashSet", "randomized iteration order; use BTreeSet"),
+    ("RandomState", "per-process random hasher seed"),
+    ("DefaultHasher", "per-process random hasher seed"),
+    ("Instant", "wall-clock read; use SimTime"),
+    ("SystemTime", "wall-clock read; use SimTime"),
+    (
+        "thread_rng",
+        "ambient OS randomness; use the seeded in-tree Xoshiro RNG",
+    ),
+];
+
+const FLOAT_KEYS: [&str; 4] = ["Map<f32", "Map<f64", "Set<f32", "Set<f64"];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for dir in super::PROTOCOL_CRATES {
+        for file in ws.crate_files(dir) {
+            for (line_no, line) in file.scrubbed_lines() {
+                for (tok, why) in FORBIDDEN {
+                    if word_matches(line, tok).next().is_some() && !file.allowed(line_no, NAME) {
+                        out.push(Diagnostic {
+                            rel: file.rel.clone(),
+                            line: line_no,
+                            check: NAME,
+                            msg: format!("nondeterministic `{tok}` in a protocol crate ({why})"),
+                        });
+                    }
+                }
+                let squeezed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+                for pat in FLOAT_KEYS {
+                    if squeezed.contains(pat) && !file.allowed(line_no, NAME) {
+                        out.push(Diagnostic {
+                            rel: file.rel.clone(),
+                            line: line_no,
+                            check: NAME,
+                            msg: "float-keyed map/set in a protocol crate (NaN breaks \
+                                  ordering); key by an integer or ordered newtype"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

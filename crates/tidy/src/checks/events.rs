@@ -1,0 +1,142 @@
+//! `event-coverage` — no protocol event exists only in theory.
+//!
+//! The typed event enums (PR 5) are the protocol's observable surface:
+//! golden snapshots, the causal Timeline and the exactly-one-merge
+//! assertions are all built from event *kinds*. An event kind no test or
+//! golden snapshot ever observes is either untested protocol behaviour or
+//! a dead variant — both worth a diagnostic.
+//!
+//! The check parses every `impl ProtocolEvent for …` block's `fn kind`
+//! match arms (`Enum::Variant { .. } => "layer.kind"`) and requires each
+//! kind string — or its `Enum::Variant` spelling — to appear in at least
+//! one test file or golden snapshot.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::walk::Workspace;
+
+pub const NAME: &str = "event-coverage";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        for arm in kind_arms(file) {
+            let covered = ws
+                .corpus
+                .iter()
+                .any(|t| t.raw.contains(&arm.kind) || t.raw.contains(&arm.variant_path))
+                || ws.golden.iter().any(|(_, g)| g.contains(&arm.kind));
+            if !covered && !file.allowed(arm.line, NAME) {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: arm.line,
+                    check: NAME,
+                    msg: format!(
+                        "event kind `{}` ({}) never appears in a test or golden \
+                         snapshot; exercise it or drop the variant",
+                        arm.kind, arm.variant_path
+                    ),
+                });
+            }
+        }
+    }
+}
+
+struct KindArm {
+    line: usize,
+    /// `Enum::Variant`.
+    variant_path: String,
+    /// e.g. `lwg.flush.start`.
+    kind: String,
+}
+
+/// Extracts the `Variant => "kind"` arms of `fn kind` bodies inside
+/// `impl ProtocolEvent for <Enum>` blocks, skipping `#[cfg(test)]` regions.
+fn kind_arms(file: &SourceFile) -> Vec<KindArm> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = file.raw.lines().collect();
+    // Everything from the first `#[cfg(test)]` on is the file's test
+    // module; impls there (helper enums for the trait's own tests) are
+    // exercised by construction.
+    let test_start = lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    let mut current_enum: Option<String> = None;
+    let mut in_kind_fn = false;
+    for (idx, line) in lines.iter().enumerate().take(test_start) {
+        if let Some(pos) = line.find("impl ProtocolEvent for ") {
+            let rest = &line[pos + "impl ProtocolEvent for ".len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            current_enum = Some(name);
+            in_kind_fn = false;
+        }
+        if line.contains("fn kind(") {
+            in_kind_fn = true;
+        } else if line.trim_start().starts_with("fn ") {
+            in_kind_fn = false;
+        }
+        if !in_kind_fn {
+            continue;
+        }
+        let Some(enum_name) = &current_enum else {
+            continue;
+        };
+        let Some((pat, val)) = line.split_once("=>") else {
+            continue;
+        };
+        let Some(kind) = quoted(val) else { continue };
+        let Some(variant) = variant_of(pat, enum_name) else {
+            continue;
+        };
+        out.push(KindArm {
+            line: idx + 1,
+            variant_path: format!("{enum_name}::{variant}"),
+            kind,
+        });
+    }
+    out
+}
+
+/// First `"…"` literal in `s`.
+fn quoted(s: &str) -> Option<String> {
+    let open = s.find('"')?;
+    let rest = &s[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// `SimEvent::Crash(_)` / `LwgProtocolEvent::Found { .. }` → `Crash` /
+/// `Found`, checked against the enum the impl is for.
+fn variant_of(pat: &str, enum_name: &str) -> Option<String> {
+    let pos = pat.find(&format!("{enum_name}::"))?;
+    let rest = &pat[pos + enum_name.len() + 2..];
+    let v: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!v.is_empty()).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{quoted, variant_of};
+
+    #[test]
+    fn arm_parsing() {
+        assert_eq!(
+            quoted(" \"hwg.flush.start\","),
+            Some("hwg.flush.start".to_string())
+        );
+        assert_eq!(
+            variant_of("            SimEvent::Crash(_)", "SimEvent"),
+            Some("Crash".to_string())
+        );
+        assert_eq!(
+            variant_of("Lwg::Found { .. }", "Lwg"),
+            Some("Found".to_string())
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! `panic` — the data/control hot path must fail typed, never abort.
+//!
+//! A panic inside the protocol tears down the whole simulated node (and a
+//! whole real node once the service runs over sockets), turning a logic
+//! slip into a correlated crash fault the membership protocol then has to
+//! heal. Inside the hot-path modules every fallible step must either
+//! return a typed error (`LwgError`) or early-return; `unwrap`/`expect`/
+//! `panic!`-family macros and panicking slice indexing are forbidden.
+//! Provably-infallible spots carry a `tidy-allow(panic): <proof>`.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::walk::Workspace;
+
+pub const NAME: &str = "panic";
+
+/// The modules on the send/deliver/flush path (PR 3–4's decomposition).
+const HOT_PATH: [&str; 6] = [
+    "crates/core/src/data_plane.rs",
+    "crates/core/src/flush.rs",
+    "crates/core/src/merge.rs",
+    "crates/core/src/switch.rs",
+    "crates/core/src/mapping.rs",
+    "crates/core/src/batch.rs",
+];
+
+const CALLS: [&str; 2] = [".unwrap()", ".expect("];
+const MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if !HOT_PATH.contains(&file.rel.as_str()) {
+            continue;
+        }
+        scan(file, out);
+    }
+}
+
+fn scan(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (line_no, line) in file.scrubbed_lines() {
+        for pat in CALLS.iter().chain(MACROS.iter()) {
+            if line.contains(pat) && !file.allowed(line_no, NAME) {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: line_no,
+                    check: NAME,
+                    msg: format!(
+                        "`{pat}` in a hot-path module; return a typed `LwgError` \
+                         (or prove infallibility with tidy-allow)",
+                    ),
+                });
+            }
+        }
+        for pos in index_sites(line) {
+            if !file.allowed(line_no, NAME) {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: line_no,
+                    check: NAME,
+                    msg: format!(
+                        "slice/array indexing at column {} can panic on \
+                         out-of-bounds; use `.get(..)`",
+                        pos + 1
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Byte offsets of `[` tokens that start an *index expression*: the
+/// preceding non-space character is an identifier character or a closing
+/// bracket. (`#[attr]`, `vec![…]`, array types/literals and slice
+/// patterns all follow other characters and pass.)
+fn index_sites(line: &str) -> Vec<usize> {
+    const KEYWORDS: [&str; 8] = ["let", "mut", "ref", "in", "return", "else", "match", "if"];
+    let mut out = Vec::new();
+    for (pos, _) in line.match_indices('[') {
+        let before = line[..pos].trim_end();
+        let prev = before.chars().next_back();
+        if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ')' || c == ']') {
+            continue;
+        }
+        // A keyword before `[` starts a pattern or expression position
+        // (`let [a, b] = …`, `return [x]`), not an index.
+        let word: String = before
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if KEYWORDS.contains(&word.as_str()) {
+            continue;
+        }
+        out.push(pos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index_sites;
+
+    #[test]
+    fn indexing_detection() {
+        assert_eq!(index_sites("let x = arr[i];").len(), 1);
+        assert_eq!(index_sites("let y = f()[0];").len(), 1);
+        assert!(index_sites("#[derive(Debug)]").is_empty());
+        assert!(index_sites("let v = vec![1, 2];").is_empty());
+        assert!(index_sites("let a: [u8; 4] = [0; 4];").is_empty());
+        assert!(index_sites("if let [a, b] = &xs[..] {}").len() == 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Diagnostics: what a check reports and how it renders.
+
+use std::fmt;
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// 1-based line number the finding anchors to.
+    pub line: usize,
+    /// The check that produced it (the name `tidy-allow` takes).
+    pub check: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel, self.line, self.check, self.msg
+        )
+    }
+}

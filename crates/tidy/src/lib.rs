@@ -1,0 +1,43 @@
+//! `plwg-tidy` — the workspace's in-tree static-analysis pass.
+//!
+//! A rustc-`tidy`-style token scanner (pure `std`, no external
+//! dependencies) that enforces the project invariants the type system
+//! cannot: protocol determinism, hot-path panic-freedom, metric-key and
+//! protocol-event hygiene, dependency direction, and the module-size
+//! budget. Run it with `cargo run -p plwg-tidy`; CI fails on any
+//! diagnostic.
+//!
+//! Violations that are intentional carry an annotation in the source:
+//!
+//! ```text
+//! // tidy-allow(<check>): <reason>          covers this line and the next
+//! // tidy-allow-file(<check>): <reason>     covers the whole file
+//! ```
+//!
+//! Annotations must name a real check and give a non-empty reason; stale
+//! (unused) annotations are themselves diagnostics, so the allowlist can
+//! only shrink over time. The check catalog lives in [`checks`]; see
+//! DESIGN.md ("Static guarantees") for how to add one.
+
+pub mod checks;
+pub mod diag;
+pub mod source;
+pub mod walk;
+
+use diag::Diagnostic;
+use std::path::Path;
+
+/// Runs every check over the workspace rooted at `root` and returns the
+/// surviving diagnostics, sorted by file and line.
+pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let ws = walk::Workspace::load(root)?;
+    let mut out = Vec::new();
+    for check in checks::all() {
+        (check.run)(&ws, &mut out);
+    }
+    // Allowlist hygiene runs last: it needs to know which annotations the
+    // checks above consumed.
+    checks::allow_hygiene(&ws, &mut out);
+    out.sort();
+    Ok(out)
+}

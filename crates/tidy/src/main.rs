@@ -1,0 +1,74 @@
+//! `cargo run -p plwg-tidy [--list] [root]`
+//!
+//! Scans the workspace (found by walking up from the current directory,
+//! or the given root) and exits nonzero if any check fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => {
+                for c in plwg_tidy::checks::all() {
+                    println!("{:<16} {}", c.name, c.desc);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: plwg-tidy [--list] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("plwg-tidy: no workspace root found (no Cargo.toml with [workspace])");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match plwg_tidy::run(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!(
+                "plwg-tidy: clean ({} checks)",
+                plwg_tidy::checks::all().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("plwg-tidy: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("plwg-tidy: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Nearest ancestor directory whose `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

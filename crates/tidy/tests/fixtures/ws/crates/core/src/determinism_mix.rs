@@ -1,0 +1,14 @@
+//! Fixture: the determinism check fires on each forbidden token and
+//! honours a line allow.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+pub fn scratch(rng: &mut Rng) {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    // tidy-allow(determinism): fixture proves the annotation is honoured
+    let _s: HashSet<u32> = HashSet::new();
+    let _r = thread_rng();
+    let _k: BTreeMap<f64, u32> = BTreeMap::new();
+}

@@ -1,0 +1,12 @@
+//! Fixture: hot-path panic sites; `crates/core/src/flush.rs` is on the list.
+
+pub fn hot(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b = xs.iter().next().expect("nonempty");
+    if xs.is_empty() {
+        panic!("boom");
+    }
+    // tidy-allow(panic): emptiness ruled out by the guard above
+    let c = xs[0];
+    a + b + c
+}

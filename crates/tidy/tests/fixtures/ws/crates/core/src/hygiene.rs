@@ -1,0 +1,6 @@
+//! Fixture: allowlist hygiene — unknown check, missing reason, stale.
+
+// tidy-allow(no-such-check): typo in the check name
+// tidy-allow(determinism)
+// tidy-allow(panic): silences nothing in this file
+pub fn nothing() {}

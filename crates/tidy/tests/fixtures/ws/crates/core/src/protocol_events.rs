@@ -1,0 +1,21 @@
+//! Fixture: event kinds — covered by a test, by a golden file, allowed,
+//! and one truly uncovered.
+
+pub enum FxEvent {
+    Seen,
+    Ghost,
+    Tolerated,
+    Golden,
+}
+
+impl ProtocolEvent for FxEvent {
+    fn kind(&self) -> &'static str {
+        match self {
+            FxEvent::Seen => "fx.seen",
+            FxEvent::Ghost => "fx.ghost",
+            // tidy-allow(event-coverage): variant reserved for the next PR
+            FxEvent::Tolerated => "fx.tolerated",
+            FxEvent::Golden => "fx.golden",
+        }
+    }
+}

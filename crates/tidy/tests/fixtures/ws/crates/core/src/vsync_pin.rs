@@ -1,0 +1,9 @@
+//! Fixture: the substrate-generic rule — `VsyncStack` may not be named in
+//! protocol-crate sources; doc-comment mentions (like this one) are fine.
+
+pub struct Holder {
+    pub stack: VsyncStack,
+}
+
+// tidy-allow(deps): fixture proves the annotation is honoured
+pub type Pinned = VsyncStack;

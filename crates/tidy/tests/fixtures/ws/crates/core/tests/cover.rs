@@ -1,0 +1,7 @@
+//! Fixture corpus: exercises the `fx.seen` event kind and reads LIVE_KEY.
+
+#[test]
+fn seen_kind_is_exercised() {
+    assert_eq!(trace.count("fx.seen"), 1);
+    assert!(metrics.counter(LIVE_KEY) > 0);
+}

@@ -31,12 +31,15 @@
 //! guarantee ("all processes that install two consecutive views deliver the
 //! same set of messages between these views").
 
+// tidy-allow-file(module-size): predates the budget; the data-plane,
+// flush-participant, and initiator/merge roles are candidates for the
+// same per-concern split service.rs got — tracked in ROADMAP.md.
 use crate::fd::FailureDetector;
 use crate::msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
 use crate::{GroupStatus, VsEvent, VsyncConfig};
 use plwg_hwg::{keys, HwgId, HwgTraceEvent, View, ViewId};
 use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Member-side state of an in-progress flush.
@@ -88,7 +91,7 @@ pub(crate) struct GroupEndpoint {
     status: GroupStatus,
     view: Option<View>,
     /// Ids of views this endpoint has installed (its lineage).
-    history: HashSet<ViewId>,
+    history: BTreeSet<ViewId>,
 
     // --- data plane (valid while `view` is Some) ---
     send_seq: u64,
@@ -174,7 +177,7 @@ impl GroupEndpoint {
             me,
             status: GroupStatus::Left,
             view: None,
-            history: HashSet::new(),
+            history: BTreeSet::new(),
             send_seq: 0,
             expected: BTreeMap::new(),
             holdback: BTreeMap::new(),

@@ -44,7 +44,7 @@ mod stack;
 mod substrate;
 
 pub use fd::{FailureDetector, FdEvent};
-pub use msg::{FlushId, SubsetSkip, VsMsg};
+pub use msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
 pub use plwg_hwg::{
     GroupStatus, HwgConfig as VsyncConfig, HwgEvent as VsEvent, HwgId, HwgSubstrate, HwgTraceEvent,
     View, ViewId,

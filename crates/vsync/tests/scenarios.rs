@@ -5,7 +5,9 @@ use plwg_sim::{
     cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World,
     WorldConfig,
 };
-use plwg_vsync::{GroupStatus, HwgId, View, VsEvent, VsyncConfig, VsyncStack};
+use plwg_vsync::{
+    FlushId, FlushPurpose, GroupStatus, HwgId, View, VsEvent, VsMsg, VsyncConfig, VsyncStack,
+};
 use std::any::Any;
 
 /// A test application owning a vsync stack; records every upcall.
@@ -137,6 +139,10 @@ fn join_without_existing_group_forms_singleton() {
     w.run_for(secs(3));
     let v = assert_common_view(&mut w, &nodes, 1);
     assert!(v.predecessors.is_empty());
+    assert!(
+        w.trace().count("hwg.singleton") >= 1,
+        "an unanswered join probe must bootstrap a singleton view"
+    );
 }
 
 #[test]
@@ -557,4 +563,53 @@ fn stability_exchange_bounds_retransmit_buffers() {
             .collect()
     });
     assert_eq!(got, (0..600).collect::<Vec<u64>>());
+}
+
+/// A flush round whose initiator vanishes mid-round would freeze a member
+/// forever: the member's own recovery round cannot supersede the more
+/// senior initiator's. The member-side watchdog abandons the orphaned
+/// round after twice the flush timeout and the group resumes.
+#[test]
+fn member_abandons_flush_whose_initiator_went_silent() {
+    let (mut w, nodes) = world_with(3, 21);
+    bring_up(&mut w, &nodes);
+    let view = assert_common_view(&mut w, &nodes, 3);
+    // Rank-1 member "starts" a flush towards the junior member and then
+    // goes silent: inject the FlushReq directly with nothing following it.
+    let senior = nodes[1];
+    let junior = nodes[2];
+    let req = VsMsg::FlushReq {
+        hwg: G,
+        view_id: view.id,
+        flush: FlushId {
+            initiator: senior,
+            nonce: 99,
+        },
+        proposed: view.members.clone(),
+        purpose: FlushPurpose::ViewChange,
+    };
+    w.invoke(junior, move |a: &mut App, ctx| {
+        if a.stack.on_message(ctx, senior, &payload(req.clone())) {
+            a.drain();
+        }
+    });
+    // Past 2 x flush_timeout (2 x 1.5 s).
+    w.run_for(secs(4));
+    assert!(
+        w.trace().count("hwg.flush.abandon") >= 1,
+        "the member must abandon the orphaned flush round"
+    );
+    // The abandon must leave the group operational: data still flows.
+    let sender = nodes[0];
+    w.invoke(sender, |a: &mut App, ctx| {
+        a.stack.send(ctx, G, payload(7u64))
+    });
+    w.run_for(secs(2));
+    let got = w.inspect(junior, |a: &App| {
+        a.delivered
+            .iter()
+            .filter(|(h, s, v)| *h == G && *s == sender && *v == 7)
+            .count()
+    });
+    assert_eq!(got, 1, "delivery must resume after the abandoned flush");
 }
