@@ -25,7 +25,7 @@ use plwg_vsync::VsyncStack;
 
 type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
-use plwg_sim::{payload, NodeId, SimDuration, World, WorldConfig};
+use plwg_sim::{Frame, NodeId, SimDuration, World, WorldConfig};
 use plwg_workload::Table;
 use std::fmt::Write as _;
 
@@ -50,6 +50,7 @@ struct Row {
     filtered: u64,
     occupancy_mean: f64,
     throughput: f64,
+    net_bytes: u64,
 }
 
 impl Row {
@@ -59,6 +60,13 @@ impl Row {
 
     fn filtered_per_delivered(&self) -> f64 {
         self.filtered as f64 / self.delivered.max(1) as f64
+    }
+
+    /// Wire bytes handed to the network per delivered application message
+    /// (printed only: `BENCH_pack.json` is a byte-identity guard for the
+    /// zero-copy refactor and must not change shape).
+    fn wire_bytes_per_delivered(&self) -> f64 {
+        self.net_bytes as f64 / self.delivered.max(1) as f64
     }
 }
 
@@ -133,7 +141,8 @@ fn run(groups: usize, cfg: &Cfg, seed: u64) -> Row {
             let t = w.now() + SimDuration::from_millis(b * 10);
             w.invoke_at(t, sender, move |a: &mut LwgNode, ctx| {
                 for g in 0..groups {
-                    a.service().send(ctx, LwgId(1 + g as u64), payload(b));
+                    a.service()
+                        .send(ctx, LwgId(1 + g as u64), Frame::from_u64(b));
                 }
             });
         }
@@ -156,6 +165,7 @@ fn run(groups: usize, cfg: &Cfg, seed: u64) -> Row {
         filtered: m.counter(plwg_core::keys::FILTERED),
         occupancy_mean: occupancy,
         throughput: m.counter(plwg_core::keys::DATA_DELIVERED) as f64 / TRAFFIC_SECS as f64,
+        net_bytes: m.counter(plwg_sim::keys::NET_BYTES_SENT),
     }
 }
 
@@ -237,6 +247,7 @@ fn main() {
         "HWG multicasts",
         "mc/delivered",
         "filtered/delivered",
+        "wire B/delivered",
         "occupancy",
         "msg/s",
     ]);
@@ -255,6 +266,7 @@ fn main() {
                 r.hwg_multicasts.to_string(),
                 format!("{:.3}", r.multicasts_per_delivered()),
                 format!("{:.3}", r.filtered_per_delivered()),
+                format!("{:.0}", r.wire_bytes_per_delivered()),
                 if r.occupancy_mean > 0.0 {
                     format!("{:.1}", r.occupancy_mean)
                 } else {

@@ -70,15 +70,15 @@ impl PackBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plwg_sim::{payload, NodeId};
+    use plwg_sim::{Frame, NodeId};
 
     #[test]
     fn push_take_roundtrip_preserves_order() {
         let mut b = PackBuffer::default();
         assert!(b.is_empty());
         let view = ViewId::new(NodeId(1), 1);
-        assert_eq!(b.push(LwgId(1), view, payload(10u64)), 1);
-        assert_eq!(b.push(LwgId(2), view, payload(20u64)), 2);
+        assert_eq!(b.push(LwgId(1), view, Frame::from_u64(10)), 1);
+        assert_eq!(b.push(LwgId(2), view, Frame::from_u64(20)), 2);
         let taken = b.take();
         assert!(b.is_empty());
         assert_eq!(

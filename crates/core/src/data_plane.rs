@@ -14,9 +14,10 @@ use crate::keys;
 use crate::msg::LwgMsg;
 use crate::service::{LwgService, TOK_PACK};
 use crate::state::{ForeignTag, Phase};
+use crate::wire;
 use plwg_hwg::{HwgId, HwgSubstrate, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{payload, Context, NodeId, Payload};
+use plwg_sim::{Context, NodeId, Payload};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -94,11 +95,14 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
     /// only the interested members when the subset path applies.
     fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
+        // Serialize exactly once per multicast (a whole batch is one
+        // encode); the substrate hands out refcount clones per receiver.
+        let frame = wire::frame(&msg);
         if let Some(targets) = self.subset_targets(hwg, lwgs.iter().copied()) {
             ctx.metrics().incr(keys::SUBSET_SENDS);
-            self.substrate.send_to(ctx, hwg, &targets, payload(msg));
+            self.substrate.send_to(ctx, hwg, &targets, frame);
         } else {
-            self.substrate.send(ctx, hwg, payload(msg));
+            self.substrate.send(ctx, hwg, frame);
         }
     }
 

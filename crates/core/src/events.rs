@@ -84,13 +84,23 @@ impl LwgEvents {
             .collect()
     }
 
-    /// Payloads delivered on `lwg` from `src`, downcast to `T` (test
-    /// convenience).
+    /// Payloads delivered on `lwg` from `src`, decoded as the 8-byte
+    /// little-endian integers the test harnesses send (test convenience;
+    /// see [`plwg_sim::Frame::from_u64`]).
     ///
     /// # Panics
     ///
-    /// Panics if a matching delivery holds a payload of another type.
-    pub fn data_from<T: Clone + 'static>(&self, lwg: LwgId, src: NodeId) -> Vec<T> {
+    /// Panics if a matching delivery is not an 8-byte frame.
+    pub fn data_from(&self, lwg: LwgId, src: NodeId) -> Vec<u64> {
+        self.frames_from(lwg, src)
+            .iter()
+            .map(|f| f.try_u64().expect("u64 payload"))
+            .collect()
+    }
+
+    /// The raw payload frames delivered on `lwg` from `src`, in delivery
+    /// order.
+    pub fn frames_from(&self, lwg: LwgId, src: NodeId) -> Vec<Payload> {
         self.log
             .iter()
             .filter_map(|ev| match ev {
@@ -98,9 +108,7 @@ impl LwgEvents {
                     lwg: l,
                     src: s,
                     data,
-                } if *l == lwg && *s == src => {
-                    Some(plwg_sim::cast::<T>(data).expect("payload type").clone())
-                }
+                } if *l == lwg && *s == src => Some(data.clone()),
                 _ => None,
             })
             .collect()
@@ -110,7 +118,7 @@ impl LwgEvents {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plwg_sim::payload;
+    use plwg_sim::Frame;
 
     #[test]
     fn drain_advances_cursor_but_keeps_history() {
@@ -119,13 +127,14 @@ mod tests {
         evs.record(LwgEvent::Data {
             lwg: LwgId(2),
             src: NodeId(3),
-            data: payload(7u64),
+            data: Frame::from_u64(7),
         });
         assert_eq!(evs.drain().len(), 2);
         assert!(evs.drain().is_empty());
         evs.record(LwgEvent::Left { lwg: LwgId(2) });
         assert_eq!(evs.drain().len(), 1);
         assert_eq!(evs.history().len(), 3);
-        assert_eq!(evs.data_from::<u64>(LwgId(2), NodeId(3)), vec![7]);
+        assert_eq!(evs.data_from(LwgId(2), NodeId(3)), vec![7]);
+        assert_eq!(evs.frames_from(LwgId(2), NodeId(3)).len(), 1);
     }
 }

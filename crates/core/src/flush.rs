@@ -17,9 +17,10 @@ use crate::msg::{LFlushId, LwgMsg};
 use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::{LwgFlush, LwgState, NsPurpose, Phase};
+use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::{LwgId, Mapping};
-use plwg_sim::{payload, Context, NodeId};
+use plwg_sim::{Context, NodeId};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -77,7 +78,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                     // request in the per-sender FIFO stream.
                     self.flush_pack(ctx, hwg, FlushReason::Barrier);
                     self.substrate
-                        .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+                        .send(ctx, hwg, wire::frame(&LwgMsg::LeaveReq { lwg }));
                 }
                 self.maybe_start_lwg_flush(ctx, lwg);
             }
@@ -106,7 +107,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                     // it at the current one (paper §3.1's forward-pointer
                     // behaviour, here served by a member directly).
                     ctx.metrics().incr(keys::REDIRECTS_SENT);
-                    ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
+                    ctx.send(from, wire::frame(&LwgMsg::Redirect { lwg, to }));
                     return;
                 }
             }
@@ -122,7 +123,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         } else if let Some(&to) = self.forward.get(&lwg) {
             // We are not a member but remember where the group went.
             ctx.metrics().incr(keys::REDIRECTS_SENT);
-            ctx.send(from, payload(LwgMsg::Redirect { lwg, to }));
+            ctx.send(from, wire::frame(&LwgMsg::Redirect { lwg, to }));
         }
     }
 
@@ -193,7 +194,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             // member drains it before installing the successor view.
             self.flush_pack(ctx, hwg, FlushReason::Barrier);
             self.substrate
-                .send(ctx, hwg, payload(LwgMsg::FlushOk { lwg, flush }));
+                .send(ctx, hwg, wire::frame(&LwgMsg::FlushOk { lwg, flush }));
         }
         if let Some(to) = switch_to {
             // Join the target HWG (the coordinator pre-created it).
@@ -206,7 +207,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             {
                 // Already a member: report ready immediately.
                 self.substrate
-                    .send(ctx, to, payload(LwgMsg::SwitchReady { lwg, flush }));
+                    .send(ctx, to, wire::frame(&LwgMsg::SwitchReady { lwg, flush }));
             }
         }
     }
@@ -350,7 +351,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             ctx.emit(|| LwgProtocolEvent::Dissolve { lwg });
             self.ns.unset(ctx, lwg, view.id);
             self.substrate
-                .send(ctx, hwg, payload(LwgMsg::Dissolved { lwg, flush }));
+                .send(ctx, hwg, wire::frame(&LwgMsg::Dissolved { lwg, flush }));
             return;
         }
         let new_view = View::with_predecessors(
@@ -365,7 +366,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.send(
             ctx,
             hwg,
-            payload(LwgMsg::NewLwgView {
+            wire::frame(&LwgMsg::NewLwgView {
                 lwg,
                 flush: Some(flush),
                 view: new_view,
@@ -410,7 +411,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.send(
             ctx,
             hwg,
-            payload(LwgMsg::NewLwgView {
+            wire::frame(&LwgMsg::NewLwgView {
                 lwg,
                 flush: None,
                 view: pruned,
@@ -562,7 +563,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.send(
             ctx,
             hwg,
-            payload(LwgMsg::Flush {
+            wire::frame(&LwgMsg::Flush {
                 lwg,
                 flush,
                 members,

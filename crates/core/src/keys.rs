@@ -48,6 +48,9 @@ pub const DATA_FOREIGN: CounterKey = CounterKey::new("lwg.data_foreign");
 /// Multicasts filtered because this node is not in the group — the
 /// interference cost the Figure-1 policies minimise.
 pub const FILTERED: CounterKey = CounterKey::new("lwg.filtered");
+/// Incoming frames of the LWG wire family that failed to decode (dropped;
+/// never panicked on).
+pub const DECODE_ERRORS: CounterKey = CounterKey::new("lwg.decode_errors");
 /// Data-plane multicasts addressed to a strict subset of the HWG view.
 pub const SUBSET_SENDS: CounterKey = CounterKey::new("lwg.subset_sends");
 

@@ -60,6 +60,7 @@ mod scripted;
 mod service;
 mod state;
 mod switch;
+mod wire;
 
 pub use config::LwgConfig;
 pub use error::LwgError;

@@ -9,9 +9,10 @@ use crate::policy::{self, PolicyAction};
 use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::{LwgState, NsPurpose, Phase};
+use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, ViewId};
 use plwg_naming::{LwgId, Mapping, NsEvent};
-use plwg_sim::{payload, Context, NodeId};
+use plwg_sim::{Context, NodeId};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -116,7 +117,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         state.phase = Phase::AwaitingAdmission;
         state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
         self.substrate
-            .send(ctx, hwg, payload(LwgMsg::JoinReq { lwg }));
+            .send(ctx, hwg, wire::frame(&LwgMsg::JoinReq { lwg }));
     }
 
     /// Join fallback, part 1: nobody admitted us — claim the mapping with
@@ -301,7 +302,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             .collect();
         for (lwg, hwg) in leaving {
             self.substrate
-                .send(ctx, hwg, payload(LwgMsg::LeaveReq { lwg }));
+                .send(ctx, hwg, wire::frame(&LwgMsg::LeaveReq { lwg }));
             self.maybe_start_lwg_flush(ctx, lwg);
         }
 

@@ -13,9 +13,10 @@ use crate::keys;
 use crate::msg::LwgMsg;
 use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
+use crate::wire;
 use plwg_hwg::{HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{payload, Context, NodeId};
+use plwg_sim::{Context, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -37,7 +38,8 @@ impl<S: HwgSubstrate> LwgService<S> {
         // Barrier: the merge request forces an HWG flush; buffered data
         // belongs to the views being merged and must go out first.
         self.flush_pack(ctx, hwg, FlushReason::Barrier);
-        self.substrate.send(ctx, hwg, payload(LwgMsg::MergeViews));
+        self.substrate
+            .send(ctx, hwg, wire::frame(&LwgMsg::MergeViews));
     }
 
     /// A `MergeViews` request arrived on `hwg`: note the round and, as the
@@ -148,7 +150,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             self.substrate.send(
                 ctx,
                 hwg,
-                payload(LwgMsg::NewLwgView {
+                wire::frame(&LwgMsg::NewLwgView {
                     lwg,
                     flush: None,
                     view: merged,

@@ -148,6 +148,15 @@ pub enum LwgMsg {
     },
 }
 
+impl LwgMsg {
+    /// Encodes this message as a ready-to-send wire frame (family `LWG`) —
+    /// exactly the bytes the service multicasts. Exposed so tests and
+    /// scripted substrates can inject protocol traffic.
+    pub fn to_frame(&self) -> Payload {
+        crate::wire::frame(self)
+    }
+}
+
 impl fmt::Debug for LwgMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -182,7 +191,11 @@ mod tests {
         };
         assert_eq!(format!("{m:?}"), "LRedirect(lwg3->hwg9)");
         let b = LwgMsg::Batch {
-            entries: vec![(LwgId(1), ViewId::new(NodeId(2), 1), plwg_sim::payload(0u64))],
+            entries: vec![(
+                LwgId(1),
+                ViewId::new(NodeId(2), 1),
+                plwg_sim::Frame::from_u64(0),
+            )],
         };
         assert_eq!(format!("{b:?}"), "LBatch(1 msgs)");
         assert_eq!(

@@ -27,11 +27,13 @@
 //! `svc.hwg_stack_mut().inject_view(hwg, view); svc.pump(ctx);`.
 
 use plwg_hwg::{GroupStatus, HwgConfig, HwgEvent, HwgId, HwgSubstrate, View, ViewId};
-use plwg_sim::{cast, payload, Context, NodeId, Payload, TimerToken};
+use plwg_sim::{
+    decode_frame, encode_frame, family, peek_family, Context, Decode, Encode, NodeId, Payload,
+    Reader, TimerToken, WireError,
+};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
-/// Wire messages of the scripted substrate.
+/// Wire messages of the scripted substrate (frame family `SCRIPTED`).
 #[derive(Clone)]
 enum ScriptedMsg {
     /// Plain multicast data within `view_id`.
@@ -46,6 +48,68 @@ enum ScriptedMsg {
     StopAck { hwg: HwgId, nonce: u64 },
     /// Coordinator announces the successor view.
     NewView { hwg: HwgId, view: View },
+}
+
+// Variant tags; wire-stable, append-only.
+const T_DATA: u8 = 0;
+const T_FLUSH: u8 = 1;
+const T_STOP_ACK: u8 = 2;
+const T_NEW_VIEW: u8 = 3;
+
+impl Encode for ScriptedMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ScriptedMsg::Data { hwg, view_id, data } => {
+                out.push(T_DATA);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                data.encode_into(out);
+            }
+            ScriptedMsg::Flush { hwg, nonce } => {
+                out.push(T_FLUSH);
+                hwg.encode_into(out);
+                nonce.encode_into(out);
+            }
+            ScriptedMsg::StopAck { hwg, nonce } => {
+                out.push(T_STOP_ACK);
+                hwg.encode_into(out);
+                nonce.encode_into(out);
+            }
+            ScriptedMsg::NewView { hwg, view } => {
+                out.push(T_NEW_VIEW);
+                hwg.encode_into(out);
+                view.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for ScriptedMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            T_DATA => Ok(ScriptedMsg::Data {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                data: Decode::decode_from(r)?,
+            }),
+            T_FLUSH => Ok(ScriptedMsg::Flush {
+                hwg: Decode::decode_from(r)?,
+                nonce: Decode::decode_from(r)?,
+            }),
+            T_STOP_ACK => Ok(ScriptedMsg::StopAck {
+                hwg: Decode::decode_from(r)?,
+                nonce: Decode::decode_from(r)?,
+            }),
+            T_NEW_VIEW => Ok(ScriptedMsg::NewView {
+                hwg: Decode::decode_from(r)?,
+                view: Decode::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "ScriptedMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
 }
 
 /// An in-progress two-phase flush at the coordinator.
@@ -186,9 +250,10 @@ impl ScriptedHwg {
         let Some(view) = self.groups.get(&hwg).and_then(|g| g.view.clone()) else {
             return;
         };
-        let wire = payload(msg.clone());
+        // Encode once; every receiver gets a refcount clone of the frame.
+        let wire = encode_frame(family::SCRIPTED, &msg);
         for &m in view.members.iter().filter(|&&m| m != self.me) {
-            ctx.send(m, Rc::clone(&wire));
+            ctx.send(m, wire.clone());
         }
         // Synchronous self-delivery keeps per-sender FIFO intact.
         self.deliver(ctx, self.me, &msg);
@@ -206,7 +271,7 @@ impl ScriptedHwg {
                         hwg: *hwg,
                         view_id: *view_id,
                         src: from,
-                        data: Rc::clone(data),
+                        data: data.clone(),
                     });
                 }
             }
@@ -321,13 +386,13 @@ impl HwgSubstrate for ScriptedHwg {
             view_id: view.id,
             data,
         };
-        let wire = payload(msg.clone());
+        let wire = encode_frame(family::SCRIPTED, &msg);
         for &m in view
             .members
             .iter()
             .filter(|&&m| m != self.me && targets.contains(&m))
         {
-            ctx.send(m, Rc::clone(&wire));
+            ctx.send(m, wire.clone());
         }
         if targets.contains(&self.me) {
             self.deliver(ctx, self.me, &msg);
@@ -376,7 +441,7 @@ impl HwgSubstrate for ScriptedHwg {
         if initiator == self.me {
             self.deliver(ctx, self.me, &msg);
         } else {
-            ctx.send(initiator, payload(msg));
+            ctx.send(initiator, encode_frame(family::SCRIPTED, &msg));
         }
     }
 
@@ -404,13 +469,15 @@ impl HwgSubstrate for ScriptedHwg {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
-        if let Some(sm) = cast::<ScriptedMsg>(msg) {
-            let sm = sm.clone();
-            self.deliver(ctx, from, &sm);
-            true
-        } else {
-            false
+        if peek_family(msg) != Some(family::SCRIPTED) {
+            return false;
         }
+        // A malformed scripted frame is a test-harness bug; this substrate
+        // runs over reliable links, so drop it silently rather than panic.
+        if let Ok(sm) = decode_frame::<ScriptedMsg>(family::SCRIPTED, msg) {
+            self.deliver(ctx, from, &sm);
+        }
+        true
     }
 
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) -> bool {
@@ -419,6 +486,10 @@ impl HwgSubstrate for ScriptedHwg {
 
     fn drain_events(&mut self) -> Vec<HwgEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<HwgEvent>) {
+        out.append(&mut self.events);
     }
 }
 

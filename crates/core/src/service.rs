@@ -23,9 +23,10 @@ use crate::events::LwgEvent;
 use crate::msg::LwgMsg;
 use crate::protocol_events::LwgProtocolEvent;
 use crate::state::{ForeignTag, LwgState, LwgStatus, MergeRound, NsPurpose, Phase, ServiceStats};
+use crate::wire;
 use plwg_hwg::{HwgEvent, HwgId, HwgSubstrate, View};
 use plwg_naming::{LwgId, NsClient, RequestId};
-use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime, TimerToken};
+use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, SimTime, TimerToken};
 use std::collections::BTreeMap;
 
 pub(crate) const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
@@ -66,6 +67,9 @@ pub struct LwgService<S: HwgSubstrate> {
     /// the next buffered send).
     pub(crate) pack_timer_armed: bool,
     pub(crate) events: Vec<LwgEvent>,
+    /// Reusable buffer for [`LwgService::pump`] (capacity persists across
+    /// pumps so draining the substrate is allocation-free).
+    hwg_scratch: Vec<HwgEvent>,
 }
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -111,6 +115,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             packs: BTreeMap::new(),
             pack_timer_armed: false,
             events: Vec::new(),
+            hwg_scratch: Vec::new(),
         }
     }
 
@@ -229,9 +234,12 @@ impl<S: HwgSubstrate> LwgService<S> {
             self.pump_ns(ctx);
             return true;
         }
-        if let Some(lm) = cast::<LwgMsg>(msg) {
+        if peek_family(msg) == Some(family::LWG) {
             // Direct node-to-node LWG message (Redirect).
-            self.handle_lwg_msg(ctx, None, from, lm);
+            match decode_frame::<LwgMsg>(family::LWG, msg) {
+                Ok(lm) => self.handle_lwg_msg(ctx, None, from, &lm),
+                Err(_) => ctx.metrics().incr(crate::keys::DECODE_ERRORS),
+            }
             return true;
         }
         false
@@ -274,15 +282,21 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// message/timer plumbing; public so tests that inject events straight
     /// into a scripted substrate can make the service observe them.
     pub fn pump(&mut self, ctx: &mut Context<'_>) {
+        // The scratch buffer is taken for the duration of the pump (so a
+        // re-entrant pump simply allocates afresh) and put back with its
+        // capacity intact: the steady-state loop allocates nothing.
+        let mut events = std::mem::take(&mut self.hwg_scratch);
         loop {
-            let events = self.substrate.drain_events();
+            events.clear();
+            self.substrate.drain_events_into(&mut events);
             if events.is_empty() {
                 break;
             }
-            for ev in events {
+            for ev in events.drain(..) {
                 self.handle_hwg_event(ctx, ev);
             }
         }
+        self.hwg_scratch = events;
     }
 
     fn pump_ns(&mut self, ctx: &mut Context<'_>) {
@@ -309,7 +323,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                 let views = self.my_views_on(hwg);
                 if !views.is_empty() {
                     self.substrate
-                        .send(ctx, hwg, payload(LwgMsg::AllViews { views }));
+                        .send(ctx, hwg, wire::frame(&LwgMsg::AllViews { views }));
                 }
                 self.substrate.stop_ok(ctx, hwg);
             }
@@ -319,8 +333,14 @@ impl<S: HwgSubstrate> LwgService<S> {
                 src,
                 data,
             } => {
-                if let Some(lm) = cast::<LwgMsg>(&data) {
-                    self.handle_lwg_msg(ctx, Some(hwg), src, lm);
+                // The payload of an HWG multicast is itself a complete LWG
+                // frame; anything else (a raw application payload on a bare
+                // substrate) is not ours to interpret.
+                if peek_family(&data) == Some(family::LWG) {
+                    match decode_frame::<LwgMsg>(family::LWG, &data) {
+                        Ok(lm) => self.handle_lwg_msg(ctx, Some(hwg), src, &lm),
+                        Err(_) => ctx.metrics().incr(crate::keys::DECODE_ERRORS),
+                    }
                 }
             }
             HwgEvent::View { hwg, view } => self.handle_hwg_view(ctx, hwg, view),
@@ -386,7 +406,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         for (lwg, flush) in following {
             if hview.contains(self.me) {
                 self.substrate
-                    .send(ctx, hwg, payload(LwgMsg::SwitchReady { lwg, flush }));
+                    .send(ctx, hwg, wire::frame(&LwgMsg::SwitchReady { lwg, flush }));
             }
         }
 

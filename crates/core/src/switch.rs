@@ -13,9 +13,10 @@ use crate::msg::{LFlushId, LwgMsg};
 use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use crate::state::SwitchState;
+use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{payload, Context, NodeId};
+use plwg_sim::{Context, NodeId};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -77,7 +78,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.send(
             ctx,
             hwg,
-            payload(LwgMsg::SwitchTo {
+            wire::frame(&LwgMsg::SwitchTo {
                 lwg,
                 flush,
                 to,
@@ -134,7 +135,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.send(
             ctx,
             sw.to,
-            payload(LwgMsg::NewLwgView {
+            wire::frame(&LwgMsg::NewLwgView {
                 lwg,
                 flush: Some(sw.flush),
                 view: new_view,

@@ -1,0 +1,321 @@
+//! Wire codec for the LWG-layer protocol messages (frame family `LWG`).
+//!
+//! Every [`LwgMsg`] is one `plwg-wire` frame: the `LWG` family tag, a
+//! one-byte variant tag, then the variant's fields in declaration order.
+//! These frames usually travel *inside* an HWG data multicast (so the
+//! delivered `HwgEvent::Data` payload is itself a complete `LWG` frame);
+//! `Redirect` additionally goes node-to-node. Application payloads inside
+//! `Data` / `Batch` are length-prefixed, so a batch is serialized once by
+//! the sender and every receiver's deliveries *slice* the incoming
+//! allocation instead of copying it.
+
+use crate::msg::{LFlushId, LwgMsg};
+use plwg_sim::{encode_frame, family, Decode, Encode, NodeId, Payload, Reader, WireError};
+
+/// Encodes `msg` as a ready-to-send payload (family `LWG`).
+pub(crate) fn frame(msg: &LwgMsg) -> Payload {
+    encode_frame(family::LWG, msg)
+}
+
+// Variant tags; wire-stable, append-only.
+const T_DATA: u8 = 0;
+const T_BATCH: u8 = 1;
+const T_JOIN_REQ: u8 = 2;
+const T_LEAVE_REQ: u8 = 3;
+const T_FLUSH: u8 = 4;
+const T_FLUSH_OK: u8 = 5;
+const T_NEW_LWG_VIEW: u8 = 6;
+const T_SWITCH_TO: u8 = 7;
+const T_SWITCH_READY: u8 = 8;
+const T_MERGE_VIEWS: u8 = 9;
+const T_ALL_VIEWS: u8 = 10;
+const T_DISSOLVED: u8 = 11;
+const T_REDIRECT: u8 = 12;
+
+impl Encode for LFlushId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.initiator.encode_into(out);
+        self.nonce.encode_into(out);
+    }
+}
+
+impl Decode for LFlushId {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LFlushId {
+            initiator: NodeId::decode_from(r)?,
+            nonce: u64::decode_from(r)?,
+        })
+    }
+}
+
+impl Encode for LwgMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            LwgMsg::Data {
+                lwg,
+                lwg_view,
+                data,
+            } => {
+                out.push(T_DATA);
+                lwg.encode_into(out);
+                lwg_view.encode_into(out);
+                data.encode_into(out);
+            }
+            LwgMsg::Batch { entries } => {
+                out.push(T_BATCH);
+                entries.encode_into(out);
+            }
+            LwgMsg::JoinReq { lwg } => {
+                out.push(T_JOIN_REQ);
+                lwg.encode_into(out);
+            }
+            LwgMsg::LeaveReq { lwg } => {
+                out.push(T_LEAVE_REQ);
+                lwg.encode_into(out);
+            }
+            LwgMsg::Flush {
+                lwg,
+                flush,
+                members,
+            } => {
+                out.push(T_FLUSH);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+                members.encode_into(out);
+            }
+            LwgMsg::FlushOk { lwg, flush } => {
+                out.push(T_FLUSH_OK);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+            }
+            LwgMsg::NewLwgView {
+                lwg,
+                flush,
+                view,
+                hwg,
+            } => {
+                out.push(T_NEW_LWG_VIEW);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+                view.encode_into(out);
+                hwg.encode_into(out);
+            }
+            LwgMsg::SwitchTo {
+                lwg,
+                flush,
+                to,
+                members,
+            } => {
+                out.push(T_SWITCH_TO);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+                to.encode_into(out);
+                members.encode_into(out);
+            }
+            LwgMsg::SwitchReady { lwg, flush } => {
+                out.push(T_SWITCH_READY);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+            }
+            LwgMsg::MergeViews => out.push(T_MERGE_VIEWS),
+            LwgMsg::AllViews { views } => {
+                out.push(T_ALL_VIEWS);
+                views.encode_into(out);
+            }
+            LwgMsg::Dissolved { lwg, flush } => {
+                out.push(T_DISSOLVED);
+                lwg.encode_into(out);
+                flush.encode_into(out);
+            }
+            LwgMsg::Redirect { lwg, to } => {
+                out.push(T_REDIRECT);
+                lwg.encode_into(out);
+                to.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for LwgMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            T_DATA => Ok(LwgMsg::Data {
+                lwg: Decode::decode_from(r)?,
+                lwg_view: Decode::decode_from(r)?,
+                data: Decode::decode_from(r)?,
+            }),
+            T_BATCH => Ok(LwgMsg::Batch {
+                entries: Decode::decode_from(r)?,
+            }),
+            T_JOIN_REQ => Ok(LwgMsg::JoinReq {
+                lwg: Decode::decode_from(r)?,
+            }),
+            T_LEAVE_REQ => Ok(LwgMsg::LeaveReq {
+                lwg: Decode::decode_from(r)?,
+            }),
+            T_FLUSH => Ok(LwgMsg::Flush {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                members: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_OK => Ok(LwgMsg::FlushOk {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+            }),
+            T_NEW_LWG_VIEW => Ok(LwgMsg::NewLwgView {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                view: Decode::decode_from(r)?,
+                hwg: Decode::decode_from(r)?,
+            }),
+            T_SWITCH_TO => Ok(LwgMsg::SwitchTo {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                to: Decode::decode_from(r)?,
+                members: Decode::decode_from(r)?,
+            }),
+            T_SWITCH_READY => Ok(LwgMsg::SwitchReady {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+            }),
+            T_MERGE_VIEWS => Ok(LwgMsg::MergeViews),
+            T_ALL_VIEWS => Ok(LwgMsg::AllViews {
+                views: Decode::decode_from(r)?,
+            }),
+            T_DISSOLVED => Ok(LwgMsg::Dissolved {
+                lwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+            }),
+            T_REDIRECT => Ok(LwgMsg::Redirect {
+                lwg: Decode::decode_from(r)?,
+                to: Decode::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "LwgMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_hwg::{HwgId, View, ViewId};
+    use plwg_naming::LwgId;
+    use plwg_sim::{decode_frame, peek_family, Frame};
+    use std::sync::Arc;
+
+    fn roundtrip(msg: &LwgMsg) -> LwgMsg {
+        let f = frame(msg);
+        assert_eq!(peek_family(&f), Some(family::LWG));
+        decode_frame::<LwgMsg>(family::LWG, &f).expect("decode")
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let vid = ViewId::new(NodeId(0), 1);
+        let fid = LFlushId {
+            initiator: NodeId(1),
+            nonce: 3,
+        };
+        let view = View::with_predecessors(vid, vec![NodeId(0), NodeId(1)], vec![]);
+        let msgs = [
+            LwgMsg::Data {
+                lwg: LwgId(1),
+                lwg_view: vid,
+                data: Frame::from_u64(9),
+            },
+            LwgMsg::Batch {
+                entries: vec![
+                    (LwgId(1), vid, Frame::from_u64(1)),
+                    (LwgId(2), vid, Frame::copy_from_slice(b"two")),
+                ],
+            },
+            LwgMsg::JoinReq { lwg: LwgId(1) },
+            LwgMsg::LeaveReq { lwg: LwgId(1) },
+            LwgMsg::Flush {
+                lwg: LwgId(1),
+                flush: fid,
+                members: vec![NodeId(0), NodeId(1)],
+            },
+            LwgMsg::FlushOk {
+                lwg: LwgId(1),
+                flush: fid,
+            },
+            LwgMsg::NewLwgView {
+                lwg: LwgId(1),
+                flush: Some(fid),
+                view: view.clone(),
+                hwg: HwgId(7),
+            },
+            LwgMsg::SwitchTo {
+                lwg: LwgId(1),
+                flush: fid,
+                to: HwgId(8),
+                members: vec![NodeId(0)],
+            },
+            LwgMsg::SwitchReady {
+                lwg: LwgId(1),
+                flush: fid,
+            },
+            LwgMsg::MergeViews,
+            LwgMsg::AllViews {
+                views: vec![(LwgId(1), view)],
+            },
+            LwgMsg::Dissolved {
+                lwg: LwgId(1),
+                flush: fid,
+            },
+            LwgMsg::Redirect {
+                lwg: LwgId(1),
+                to: HwgId(9),
+            },
+        ];
+        for msg in &msgs {
+            assert_eq!(format!("{:?}", roundtrip(msg)), format!("{msg:?}"));
+        }
+    }
+
+    #[test]
+    fn batch_entries_share_the_batch_allocation() {
+        let msg = LwgMsg::Batch {
+            entries: vec![
+                (
+                    LwgId(1),
+                    ViewId::new(NodeId(0), 1),
+                    Frame::copy_from_slice(b"first payload"),
+                ),
+                (
+                    LwgId(2),
+                    ViewId::new(NodeId(0), 1),
+                    Frame::copy_from_slice(b"second payload"),
+                ),
+            ],
+        };
+        let f = frame(&msg);
+        let LwgMsg::Batch { entries } = decode_frame::<LwgMsg>(family::LWG, &f).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(&entries[0].2[..], b"first payload");
+        assert_eq!(&entries[1].2[..], b"second payload");
+        // Zero-copy: both unpacked payloads view the single batch frame.
+        for (_, _, data) in &entries {
+            assert!(Arc::ptr_eq(data.backing(), f.backing()));
+        }
+    }
+
+    #[test]
+    fn bad_variant_tag_is_rejected() {
+        let f = Frame::from_vec(vec![family::LWG as u8, 77]);
+        assert_eq!(
+            decode_frame::<LwgMsg>(family::LWG, &f).err(),
+            Some(WireError::BadTag {
+                what: "LwgMsg",
+                tag: 77,
+            })
+        );
+    }
+}

@@ -8,7 +8,12 @@ use plwg_vsync::VsyncStack;
 /// The production instantiation exercised by these scenarios.
 type LwgNode = plwg_core::LwgNode<VsyncStack>;
 use plwg_naming::{NameServer, NamingConfig};
-use plwg_sim::{payload, NodeId, SimDuration, SimTime, World, WorldConfig};
+use plwg_sim::{Frame, NodeId, Payload, SimDuration, SimTime, World, WorldConfig};
+
+/// The 8-byte little-endian test payload convention (see `Frame::from_u64`).
+fn payload(v: u64) -> Payload {
+    Frame::from_u64(v)
+}
 
 const A: LwgId = LwgId(1);
 const B: LwgId = LwgId(2);
@@ -156,7 +161,7 @@ fn lwg_multicast_is_fifo_and_filtered_by_group() {
     });
     w.run_for(secs(3));
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(A, sender));
         assert_eq!(got, (0..15).collect::<Vec<u64>>(), "FIFO at {n}");
     }
     let loner_got = w.inspect(loner, |a: &LwgNode| {
@@ -371,7 +376,7 @@ fn sends_during_membership_change_are_not_lost() {
     assert_converged(&mut w, &apps, A, 3);
     // The original members see every message, in order.
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(A, sender));
         assert_eq!(got, (0..20).collect::<Vec<u64>>());
     }
 }
@@ -687,10 +692,8 @@ fn packed_bursts_cut_hwg_multicasts_and_preserve_fifo() {
     });
     w.run_for(secs(3));
     for &n in &apps {
-        let got_a: Vec<u64> =
-            w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
-        let got_b: Vec<u64> =
-            w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(B, sender));
+        let got_a: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(A, sender));
+        let got_b: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(B, sender));
         assert_eq!(got_a, (0..40).collect::<Vec<u64>>(), "A FIFO at {n}");
         assert_eq!(got_b, (1000..1040).collect::<Vec<u64>>(), "B FIFO at {n}");
     }
@@ -739,7 +742,7 @@ fn packed_sends_across_lwg_flush_are_not_lost() {
     w.run_for(secs(10));
     assert_converged(&mut w, &apps, A, 3);
     for &n in &apps[..2] {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, sender));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(A, sender));
         assert_eq!(got, (0..30).collect::<Vec<u64>>(), "FIFO at {n}");
     }
     assert!(
@@ -782,13 +785,9 @@ fn packed_bursts_survive_partition_and_heal() {
         }
     });
     w.run_for(secs(4));
-    let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| {
-        a.events_ref().data_from::<u64>(A, left)
-    });
+    let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.events_ref().data_from(A, left));
     assert_eq!(got, (0..20).collect::<Vec<u64>>(), "left side FIFO");
-    let got: Vec<u64> = w.inspect(apps[3], |a: &LwgNode| {
-        a.events_ref().data_from::<u64>(A, right)
-    });
+    let got: Vec<u64> = w.inspect(apps[3], |a: &LwgNode| a.events_ref().data_from(A, right));
     assert_eq!(got, (100..120).collect::<Vec<u64>>(), "right side FIFO");
 
     w.heal_at(at(30));
@@ -802,7 +801,7 @@ fn packed_bursts_survive_partition_and_heal() {
     });
     w.run_for(secs(3));
     for &n in &apps {
-        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from::<u64>(A, left));
+        let got: Vec<u64> = w.inspect(n, |a: &LwgNode| a.events_ref().data_from(A, left));
         let expect: Vec<u64> = if n == apps[0] || n == apps[1] {
             (0..20).chain(200..210).collect()
         } else {
@@ -843,9 +842,7 @@ fn subset_delivery_cuts_interference_filtering() {
             }
         });
         w.run_for(secs(3));
-        let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| {
-            a.events_ref().data_from::<u64>(B, sender)
-        });
+        let got: Vec<u64> = w.inspect(apps[1], |a: &LwgNode| a.events_ref().data_from(B, sender));
         assert_eq!(got, (0..30).collect::<Vec<u64>>(), "B FIFO unharmed");
         let outsider = w.inspect(apps[2], |a: &LwgNode| {
             a.events_ref()

@@ -13,7 +13,7 @@ use plwg_core::{HwgId, LwgConfig, LwgId, LwgMsg, ScriptedHwg, View, ViewId};
 use plwg_hwg::view_key;
 use plwg_naming::{NameServer, NamingConfig};
 use plwg_obs::Timeline;
-use plwg_sim::{payload, NetConfig, NodeId, SimDuration, World, WorldConfig};
+use plwg_sim::{Frame, NetConfig, NodeId, SimDuration, World, WorldConfig};
 
 /// The production-shaped node, instantiated over the scripted substrate.
 type Node = plwg_core::LwgNode<ScriptedHwg>;
@@ -97,20 +97,21 @@ fn seed_lwg_view(w: &mut World, node: NodeId, hwg: HwgId, view: View) {
         n.service().hwg_stack_mut().inject_data(
             hwg,
             src,
-            payload(LwgMsg::NewLwgView {
+            LwgMsg::NewLwgView {
                 lwg: L,
                 flush: None,
                 view,
                 hwg,
-            }),
+            }
+            .to_frame(),
         );
         n.service().pump(ctx);
     });
 }
 
-fn send_u32(w: &mut World, node: NodeId, v: u32) {
+fn send_u64(w: &mut World, node: NodeId, v: u64) {
     w.invoke(node, move |n: &mut Node, ctx| {
-        n.service().send(ctx, L, payload(v));
+        n.service().send(ctx, L, Frame::from_u64(v));
     });
 }
 
@@ -118,10 +119,8 @@ fn view_at(w: &mut World, node: NodeId) -> Option<View> {
     w.inspect(node, |n: &Node| n.current_view(L).cloned())
 }
 
-fn delivered_from(w: &mut World, node: NodeId, src: NodeId) -> Vec<u32> {
-    w.inspect(node, move |n: &Node| {
-        n.events_ref().data_from::<u32>(L, src)
-    })
+fn delivered_from(w: &mut World, node: NodeId, src: NodeId) -> Vec<u64> {
+    w.inspect(node, move |n: &Node| n.events_ref().data_from(L, src))
 }
 
 fn stop_oks(w: &mut World, node: NodeId, hwg: HwgId) -> u64 {
@@ -188,7 +187,7 @@ fn delivery_respects_the_virtual_synchrony_cut() {
     let ha = w
         .inspect(a, |n: &Node| n.service_ref().mapping_of(L))
         .expect("mapped");
-    send_u32(&mut w, a, 1); // sent in the singleton view
+    send_u64(&mut w, a, 1); // sent in the singleton view
     w.run_for(ms(100));
 
     join(&mut w, b);
@@ -198,7 +197,7 @@ fn delivery_respects_the_virtual_synchrony_cut() {
     w.run_for(ms(300));
     assert_eq!(view_at(&mut w, b).expect("admitted").len(), 2);
 
-    send_u32(&mut w, a, 2); // sent in the two-member view
+    send_u64(&mut w, a, 2); // sent in the two-member view
     w.run_for(ms(100));
 
     assert_eq!(delivered_from(&mut w, a, a), vec![1, 2]);
@@ -236,7 +235,7 @@ fn hwg_stop_is_answered_while_lwg_flush_in_flight() {
         let before = n.service_ref().hwg_stack().stop_oks(H1);
         n.service()
             .hwg_stack_mut()
-            .inject_data(H1, c, payload(LwgMsg::JoinReq { lwg: L }));
+            .inject_data(H1, c, LwgMsg::JoinReq { lwg: L }.to_frame());
         n.service().hwg_stack_mut().inject_stop(H1);
         n.service().pump(ctx);
         let after = n.service_ref().hwg_stack().stop_oks(H1);
@@ -279,7 +278,7 @@ fn three_way_heal_merges_with_a_single_hwg_flush() {
     for &n in &[a, b, c] {
         assert_eq!(view_at(&mut w, n).expect("seeded").members, vec![n]);
     }
-    send_u32(&mut w, a, 1); // partition-era traffic, singleton cut
+    send_u64(&mut w, a, 1); // partition-era traffic, singleton cut
     w.run_for(ms(50));
 
     // The HWG membership heals: one common view everywhere.
@@ -332,9 +331,9 @@ fn three_way_heal_merges_with_a_single_hwg_flush() {
     // Virtual synchrony across the heal: the pre-heal message stayed in
     // its singleton cut; post-merge traffic reaches everyone.
     assert_eq!(delivered_from(&mut w, a, a), vec![1]);
-    assert_eq!(delivered_from(&mut w, b, a), Vec::<u32>::new());
-    assert_eq!(delivered_from(&mut w, c, a), Vec::<u32>::new());
-    send_u32(&mut w, c, 2);
+    assert_eq!(delivered_from(&mut w, b, a), Vec::<u64>::new());
+    assert_eq!(delivered_from(&mut w, c, a), Vec::<u64>::new());
+    send_u64(&mut w, c, 2);
     w.run_for(ms(100));
     for &n in &[a, b, c] {
         assert_eq!(delivered_from(&mut w, n, c), vec![2], "at {n}");
@@ -402,7 +401,7 @@ fn merge_views_heals_concurrent_view_during_switch() {
     // A forward pointer stays behind on the switch initiator.
     assert!(w.inspect(a, |n: &Node| n.service_ref().stats().forward_pointers) >= 1);
 
-    send_u32(&mut w, c, 7);
+    send_u64(&mut w, c, 7);
     w.run_for(ms(100));
     for &n in &[a, b, c] {
         assert_eq!(delivered_from(&mut w, n, c), vec![7], "at {n}");
@@ -431,8 +430,8 @@ fn packed_sends_share_one_hwg_multicast() {
 
     let batches_before = w.metrics().counter("lwg.batch.sent");
     w.invoke(a, |n: &mut Node, ctx| {
-        for v in 1..=3u32 {
-            n.service().send(ctx, L, payload(v));
+        for v in 1..=3u64 {
+            n.service().send(ctx, L, Frame::from_u64(v));
         }
     });
     w.run_for(ms(100));
@@ -489,7 +488,7 @@ fn eviction_prunes_view_then_readmits_via_mapping() {
         let v = view_at(&mut w, n).expect("re-admitted");
         assert_eq!(v.members, vec![a, b], "at {n}");
     }
-    send_u32(&mut w, b, 4);
+    send_u64(&mut w, b, 4);
     w.run_for(ms(100));
     assert_eq!(delivered_from(&mut w, a, b), vec![4]);
 }
@@ -519,18 +518,19 @@ fn stuck_lwg_flush_is_abandoned_by_the_watchdog() {
         n.service().hwg_stack_mut().inject_data(
             H1,
             a,
-            payload(LwgMsg::Flush {
+            LwgMsg::Flush {
                 lwg: L,
                 flush,
                 members: vec![a, b],
-            }),
+            }
+            .to_frame(),
         );
         n.service().pump(ctx);
     });
     // Mid-flush, sends are frozen (buffered).
-    send_u32(&mut w, b, 7);
+    send_u64(&mut w, b, 7);
     w.run_for(ms(100));
-    assert_eq!(delivered_from(&mut w, b, b), Vec::<u32>::new());
+    assert_eq!(delivered_from(&mut w, b, b), Vec::<u64>::new());
 
     // Past lwg_flush_timeout (3 s default) the watchdog abandons the
     // flush; the buffered send is released in the (unchanged) view.

@@ -8,6 +8,9 @@ use plwg_sim::CounterKey;
 
 /// Multicasts handed to the substrate (full-view sends).
 pub const DATA_SENT: CounterKey = CounterKey::new("hwg.data_sent");
+/// Application payload bytes handed to the substrate for multicast — counted
+/// once per multicast, not per receiver copy (contrast `net.bytes_sent`).
+pub const BYTES_MULTICAST: CounterKey = CounterKey::new("hwg.bytes_multicast");
 /// Subset multicasts (interference-aware delivery).
 pub const SUBSET_SENDS: CounterKey = CounterKey::new("hwg.subset_sends");
 /// Per-member copies trimmed off subset multicasts.

@@ -28,6 +28,7 @@ mod id;
 pub mod keys;
 mod substrate;
 mod view;
+mod wire;
 
 pub use config::HwgConfig;
 pub use events::{flush_key, view_key, HwgTraceEvent};

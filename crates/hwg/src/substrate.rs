@@ -171,4 +171,12 @@ pub trait HwgSubstrate {
     /// Takes the buffered up-call events (paper Table 1's `View` / `Data` /
     /// `Stop`, plus `Left`), in occurrence order.
     fn drain_events(&mut self) -> Vec<HwgEvent>;
+
+    /// Moves the buffered up-call events into `out` (same contract as
+    /// [`HwgSubstrate::drain_events`]). Implementations that keep their
+    /// internal buffer's capacity make the owner's pump loop
+    /// allocation-free in steady state; the default just delegates.
+    fn drain_events_into(&mut self, out: &mut Vec<HwgEvent>) {
+        out.append(&mut self.drain_events());
+    }
 }

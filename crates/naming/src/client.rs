@@ -11,8 +11,9 @@ use crate::config::NamingConfig;
 use crate::db::Mapping;
 use crate::id::LwgId;
 use crate::msg::NsMsg;
+use crate::wire;
 use plwg_hwg::ViewId;
-use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime, TimerToken};
+use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, SimTime, TimerToken};
 use std::collections::BTreeMap;
 
 const TOK_NS_RETRY: TimerToken = TimerToken(0x0200_0000_0000_0002);
@@ -138,23 +139,24 @@ impl NsClient {
 
     /// Handles an incoming message if it belongs to the naming protocol.
     /// Returns `true` when consumed.
-    pub fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, msg: &Payload) -> bool {
-        let Some(ns) = cast::<NsMsg>(msg) else {
+    pub fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, msg: &Payload) -> bool {
+        if peek_family(msg) != Some(family::NS) {
             return false;
+        }
+        let ns = match decode_frame::<NsMsg>(family::NS, msg) {
+            Ok(ns) => ns,
+            Err(_) => {
+                ctx.metrics().incr(crate::keys::DECODE_ERRORS);
+                return true;
+            }
         };
         match ns {
-            NsMsg::Reply { req, lwg, mappings } if self.pending.remove(req).is_some() => {
-                self.events.push(NsEvent::Reply {
-                    req: *req,
-                    lwg: *lwg,
-                    mappings: mappings.clone(),
-                });
+            NsMsg::Reply { req, lwg, mappings } if self.pending.remove(&req).is_some() => {
+                self.events.push(NsEvent::Reply { req, lwg, mappings });
             }
             NsMsg::MultipleMappings { lwg, mappings } => {
-                self.events.push(NsEvent::MultipleMappings {
-                    lwg: *lwg,
-                    mappings: mappings.clone(),
-                });
+                self.events
+                    .push(NsEvent::MultipleMappings { lwg, mappings });
             }
             // Server-bound messages reaching a client are strays (e.g. a
             // node that is both client and server is not supported).
@@ -181,7 +183,7 @@ impl NsClient {
             p.server_idx = (p.server_idx + 1) % self.servers.len();
             p.deadline = now + self.cfg.request_timeout;
             ctx.metrics().incr(crate::keys::CLIENT_RETRIES);
-            ctx.send(self.servers[p.server_idx], payload(p.template.clone()));
+            ctx.send(self.servers[p.server_idx], wire::frame(&p.template));
             self.pending.insert(req, p);
         }
         if !self.pending.is_empty() {
@@ -210,7 +212,7 @@ impl NsClient {
         // failure.
         let idx = self.me.index() % self.servers.len();
         ctx.metrics().incr(crate::keys::CLIENT_REQUESTS);
-        ctx.send(self.servers[idx], payload(msg.clone()));
+        ctx.send(self.servers[idx], wire::frame(&msg));
         let had_pending = !self.pending.is_empty();
         self.pending.insert(
             req,

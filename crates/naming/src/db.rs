@@ -288,6 +288,54 @@ impl MappingDb {
     }
 }
 
+// --- wire codec -----------------------------------------------------------
+//
+// Lives here rather than in `wire.rs` because the entry fields are private:
+// the snapshot format is exactly the in-memory structure, so a decoded
+// gossip frame compares equal (`PartialEq`) to the snapshot that was sent.
+
+use plwg_sim::{Decode, Encode, Reader, WireError};
+
+impl Encode for LwgEntry {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.current.encode_into(out);
+        self.preds.encode_into(out);
+        self.tombstones.encode_into(out);
+    }
+}
+
+impl Decode for LwgEntry {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut entry = LwgEntry {
+            current: Decode::decode_from(r)?,
+            preds: Decode::decode_from(r)?,
+            tombstones: Decode::decode_from(r)?,
+        };
+        // Re-establish the invariants `set`/`unset`/`merge` maintain, so a
+        // corrupt (or merely stale) snapshot cannot resurrect a dissolved
+        // view or keep a superseded mapping alive.
+        for v in &entry.tombstones {
+            entry.current.remove(v);
+        }
+        entry.gc();
+        Ok(entry)
+    }
+}
+
+impl Encode for MappingDb {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.entries.encode_into(out);
+    }
+}
+
+impl Decode for MappingDb {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MappingDb {
+            entries: Decode::decode_from(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,3 +22,6 @@ pub const COMPACTED_EDGES: CounterKey = CounterKey::new("ns.compacted_edges");
 pub const CLIENT_REQUESTS: CounterKey = CounterKey::new("ns.client_requests");
 /// Client-stub retries after a server timeout.
 pub const CLIENT_RETRIES: CounterKey = CounterKey::new("ns.client_retries");
+/// Incoming frames of this service's wire family that failed to decode
+/// (dropped; never panicked on).
+pub const DECODE_ERRORS: CounterKey = CounterKey::new("ns.decode_errors");

@@ -33,6 +33,7 @@ mod id;
 pub mod keys;
 mod msg;
 mod server;
+mod wire;
 
 pub use client::{NsClient, NsEvent, RequestId};
 pub use config::NamingConfig;

@@ -12,7 +12,8 @@ use crate::events::NamingEvent;
 use crate::id::LwgId;
 use crate::keys;
 use crate::msg::NsMsg;
-use plwg_sim::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
+use crate::wire;
+use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, Process, TimerToken};
 use std::any::Any;
 use std::collections::BTreeSet;
 
@@ -73,21 +74,18 @@ impl NameServer {
                 mappings: mappings.len(),
                 targets: targets.iter().copied().collect(),
             });
+            // One encode per inconsistency; each target gets a refcount
+            // clone of the same frame.
+            let callback = wire::frame(&NsMsg::MultipleMappings { lwg, mappings });
             for t in targets {
-                ctx.send(
-                    t,
-                    payload(NsMsg::MultipleMappings {
-                        lwg,
-                        mappings: mappings.clone(),
-                    }),
-                );
+                ctx.send(t, callback.clone());
             }
         }
     }
 
     fn reply(&mut self, ctx: &mut Context<'_>, to: NodeId, req: crate::RequestId, lwg: LwgId) {
         let mappings = self.db.read(lwg);
-        ctx.send(to, payload(NsMsg::Reply { req, lwg, mappings }));
+        ctx.send(to, wire::frame(&NsMsg::Reply { req, lwg, mappings }));
     }
 }
 
@@ -97,10 +95,17 @@ impl Process for NameServer {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
-        let Some(ns) = cast::<NsMsg>(&msg) else {
+        if peek_family(&msg) != Some(family::NS) {
             return;
+        }
+        let ns = match decode_frame::<NsMsg>(family::NS, &msg) {
+            Ok(ns) => ns,
+            Err(_) => {
+                ctx.metrics().incr(keys::DECODE_ERRORS);
+                return;
+            }
         };
-        match ns {
+        match &ns {
             NsMsg::Set {
                 req,
                 lwg,
@@ -126,7 +131,7 @@ impl Process for NameServer {
                 let winners = self.db.testset(*lwg, mapping.clone(), preds);
                 ctx.send(
                     from,
-                    payload(NsMsg::Reply {
+                    wire::frame(&NsMsg::Reply {
                         req: *req,
                         lwg: *lwg,
                         mappings: winners,
@@ -159,14 +164,16 @@ impl Process for NameServer {
         if token != TOK_GOSSIP {
             return;
         }
-        for &p in &self.peers {
-            ctx.metrics().incr(keys::GOSSIP_SENT);
-            ctx.send(
-                p,
-                payload(NsMsg::Gossip {
-                    db: self.db.clone(),
-                }),
-            );
+        if !self.peers.is_empty() {
+            // Encode the snapshot once; every peer receives a refcount
+            // clone of the same frame.
+            let gossip = wire::frame(&NsMsg::Gossip {
+                db: self.db.clone(),
+            });
+            for &p in &self.peers {
+                ctx.metrics().incr(keys::GOSSIP_SENT);
+                ctx.send(p, gossip.clone());
+            }
         }
         // Re-notify while inconsistencies persist (robust to lost
         // callbacks around the heal).

@@ -1,0 +1,263 @@
+//! Wire codec for the naming-service messages (frame family `NS`).
+//!
+//! Every [`NsMsg`] travels as one `plwg-wire` frame: the `NS` family tag,
+//! a one-byte variant tag, then the variant's fields in declaration order.
+//! Gossip frames embed a full [`MappingDb`](crate::db::MappingDb) snapshot
+//! (its codec lives in `db.rs`, next to the private fields it serialises).
+
+use crate::client::RequestId;
+use crate::db::Mapping;
+use crate::id::LwgId;
+use crate::msg::NsMsg;
+use plwg_sim::{encode_frame, family, Decode, Encode, Payload, Reader, WireError};
+
+/// Encodes `msg` as a ready-to-send simulator payload (family `NS`).
+pub(crate) fn frame(msg: &NsMsg) -> Payload {
+    encode_frame(family::NS, msg)
+}
+
+// Variant tags; wire-stable, append-only.
+const T_SET: u8 = 0;
+const T_READ: u8 = 1;
+const T_TESTSET: u8 = 2;
+const T_UNSET: u8 = 3;
+const T_REPLY: u8 = 4;
+const T_MULTIPLE_MAPPINGS: u8 = 5;
+const T_GOSSIP: u8 = 6;
+
+impl Encode for LwgId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+}
+
+impl Decode for LwgId {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LwgId(u64::decode_from(r)?))
+    }
+}
+
+impl Encode for RequestId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+}
+
+impl Decode for RequestId {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RequestId(u64::decode_from(r)?))
+    }
+}
+
+impl Encode for Mapping {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.lwg_view.encode_into(out);
+        self.members.encode_into(out);
+        self.hwg.encode_into(out);
+        self.hwg_view.encode_into(out);
+    }
+}
+
+impl Decode for Mapping {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Mapping {
+            lwg_view: Decode::decode_from(r)?,
+            members: Decode::decode_from(r)?,
+            hwg: Decode::decode_from(r)?,
+            hwg_view: Decode::decode_from(r)?,
+        })
+    }
+}
+
+impl Encode for NsMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            NsMsg::Set {
+                req,
+                lwg,
+                mapping,
+                preds,
+            } => {
+                out.push(T_SET);
+                req.encode_into(out);
+                lwg.encode_into(out);
+                mapping.encode_into(out);
+                preds.encode_into(out);
+            }
+            NsMsg::Read { req, lwg } => {
+                out.push(T_READ);
+                req.encode_into(out);
+                lwg.encode_into(out);
+            }
+            NsMsg::TestSet {
+                req,
+                lwg,
+                mapping,
+                preds,
+            } => {
+                out.push(T_TESTSET);
+                req.encode_into(out);
+                lwg.encode_into(out);
+                mapping.encode_into(out);
+                preds.encode_into(out);
+            }
+            NsMsg::Unset { req, lwg, lwg_view } => {
+                out.push(T_UNSET);
+                req.encode_into(out);
+                lwg.encode_into(out);
+                lwg_view.encode_into(out);
+            }
+            NsMsg::Reply { req, lwg, mappings } => {
+                out.push(T_REPLY);
+                req.encode_into(out);
+                lwg.encode_into(out);
+                mappings.encode_into(out);
+            }
+            NsMsg::MultipleMappings { lwg, mappings } => {
+                out.push(T_MULTIPLE_MAPPINGS);
+                lwg.encode_into(out);
+                mappings.encode_into(out);
+            }
+            NsMsg::Gossip { db } => {
+                out.push(T_GOSSIP);
+                db.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for NsMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            T_SET => Ok(NsMsg::Set {
+                req: Decode::decode_from(r)?,
+                lwg: Decode::decode_from(r)?,
+                mapping: Decode::decode_from(r)?,
+                preds: Decode::decode_from(r)?,
+            }),
+            T_READ => Ok(NsMsg::Read {
+                req: Decode::decode_from(r)?,
+                lwg: Decode::decode_from(r)?,
+            }),
+            T_TESTSET => Ok(NsMsg::TestSet {
+                req: Decode::decode_from(r)?,
+                lwg: Decode::decode_from(r)?,
+                mapping: Decode::decode_from(r)?,
+                preds: Decode::decode_from(r)?,
+            }),
+            T_UNSET => Ok(NsMsg::Unset {
+                req: Decode::decode_from(r)?,
+                lwg: Decode::decode_from(r)?,
+                lwg_view: Decode::decode_from(r)?,
+            }),
+            T_REPLY => Ok(NsMsg::Reply {
+                req: Decode::decode_from(r)?,
+                lwg: Decode::decode_from(r)?,
+                mappings: Decode::decode_from(r)?,
+            }),
+            T_MULTIPLE_MAPPINGS => Ok(NsMsg::MultipleMappings {
+                lwg: Decode::decode_from(r)?,
+                mappings: Decode::decode_from(r)?,
+            }),
+            T_GOSSIP => Ok(NsMsg::Gossip {
+                db: Decode::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "NsMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::MappingDb;
+    use plwg_hwg::{HwgId, ViewId};
+    use plwg_sim::{decode_frame, peek_family, Frame, NodeId};
+
+    fn mapping(seq: u64) -> Mapping {
+        Mapping {
+            lwg_view: ViewId::new(NodeId(0), seq),
+            members: vec![NodeId(0), NodeId(1)],
+            hwg: HwgId(9),
+            hwg_view: ViewId::new(NodeId(1), seq),
+        }
+    }
+
+    fn roundtrip(msg: &NsMsg) -> NsMsg {
+        let f = frame(msg);
+        assert_eq!(peek_family(&f), Some(family::NS));
+        decode_frame::<NsMsg>(family::NS, &f).expect("decode")
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let mut db = MappingDb::new();
+        db.set(LwgId(4), mapping(1), &[]);
+        db.set(LwgId(4), mapping(2), &[ViewId::new(NodeId(0), 1)]);
+        db.unset(LwgId(5), ViewId::new(NodeId(2), 3));
+        let msgs = [
+            NsMsg::Set {
+                req: RequestId(7),
+                lwg: LwgId(4),
+                mapping: mapping(1),
+                preds: vec![ViewId::new(NodeId(0), 1)],
+            },
+            NsMsg::Read {
+                req: RequestId(8),
+                lwg: LwgId(4),
+            },
+            NsMsg::TestSet {
+                req: RequestId(9),
+                lwg: LwgId(4),
+                mapping: mapping(2),
+                preds: vec![],
+            },
+            NsMsg::Unset {
+                req: RequestId(10),
+                lwg: LwgId(4),
+                lwg_view: ViewId::new(NodeId(0), 2),
+            },
+            NsMsg::Reply {
+                req: RequestId(7),
+                lwg: LwgId(4),
+                mappings: vec![mapping(1), mapping(2)],
+            },
+            NsMsg::MultipleMappings {
+                lwg: LwgId(4),
+                mappings: vec![mapping(1), mapping(2)],
+            },
+            NsMsg::Gossip { db },
+        ];
+        for msg in &msgs {
+            assert_eq!(format!("{:?}", roundtrip(msg)), format!("{msg:?}"));
+        }
+    }
+
+    #[test]
+    fn gossip_snapshot_roundtrips_exactly() {
+        let mut db = MappingDb::new();
+        db.set(LwgId(1), mapping(1), &[]);
+        db.set(LwgId(1), mapping(2), &[ViewId::new(NodeId(0), 1)]);
+        db.set(LwgId(2), mapping(5), &[]);
+        db.unset(LwgId(2), ViewId::new(NodeId(0), 5));
+        let NsMsg::Gossip { db: got } = roundtrip(&NsMsg::Gossip { db: db.clone() }) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got, db, "snapshot must survive the wire bit-for-bit");
+    }
+
+    #[test]
+    fn bad_variant_tag_is_rejected() {
+        let f = Frame::from_vec(vec![family::NS as u8, 99]);
+        assert_eq!(
+            decode_frame::<NsMsg>(family::NS, &f).err(),
+            Some(WireError::BadTag {
+                what: "NsMsg",
+                tag: 99,
+            })
+        );
+    }
+}

@@ -8,7 +8,7 @@
 
 use plwg_core::{LwgConfig, LwgNode};
 use plwg_naming::{LwgId, NameServer, NamingConfig};
-use plwg_sim::{payload, NodeId, SimDuration, SimTime, World, WorldConfig};
+use plwg_sim::{Frame, NodeId, SimDuration, SimTime, World, WorldConfig};
 use plwg_vsync::VsyncStack;
 
 /// The production node type the scenarios simulate.
@@ -49,7 +49,7 @@ pub fn quickstart() -> World {
     world.invoke_at(at(2), b, move |n: &mut Node, ctx| n.service().join(ctx, g));
     world.run_until(at(8));
     world.invoke(a, move |n: &mut Node, ctx| {
-        n.service().send(ctx, g, payload(42u32));
+        n.service().send(ctx, g, Frame::from_u64(42));
     });
     world.run_until(at(10));
     world
@@ -102,7 +102,7 @@ pub fn heal() -> World {
     // Both sides stay live in their concurrent views.
     for &(n, v) in &[(nodes[0], 100u64), (nodes[2], 200u64)] {
         world.invoke(n, move |app: &mut Node, ctx| {
-            app.service().send(ctx, group, payload(v));
+            app.service().send(ctx, group, Frame::from_u64(v));
         });
     }
     world.heal_at(at(20));

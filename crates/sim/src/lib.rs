@@ -14,8 +14,11 @@
 //!
 //! ## Quick tour
 //!
+//! Payloads are encoded byte [`Frame`]s — the simulator moves bytes, and
+//! protocol crates bring their own codec (see `plwg-wire`).
+//!
 //! ```
-//! use plwg_sim::{World, WorldConfig, Process, Context, TimerToken, Payload};
+//! use plwg_sim::{World, WorldConfig, Process, Context, Frame, TimerToken, Payload};
 //!
 //! /// A process that says hello to its peer once.
 //! struct Hello { peer: Option<plwg_sim::NodeId> }
@@ -23,13 +26,12 @@
 //! impl Process for Hello {
 //!     fn on_start(&mut self, ctx: &mut Context<'_>) {
 //!         if let Some(peer) = self.peer {
-//!             ctx.send(peer, plwg_sim::payload("hi"));
+//!             ctx.send(peer, Frame::copy_from_slice(b"hi"));
 //!         }
 //!     }
 //!     fn on_message(&mut self, _ctx: &mut Context<'_>, from: plwg_sim::NodeId, msg: Payload) {
-//!         let text: &&str = plwg_sim::cast(&msg).expect("string payload");
-//!         assert_eq!(*text, "hi");
-//!         println!("got {text} from {from}");
+//!         assert_eq!(&msg[..], b"hi");
+//!         println!("got {} bytes from {from}", msg.len());
 //!     }
 //!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
@@ -62,7 +64,10 @@ pub use metrics::{
     MetricsRegistry,
 };
 pub use net::{DeliveryDecision, NetConfig};
-pub use node::{cast, payload, Context, NodeId, Payload, Process, TimerToken};
+pub use node::{Context, NodeId, Payload, Process, TimerToken};
+pub use plwg_wire::{
+    decode_frame, encode_frame, family, peek_family, Decode, Encode, Frame, Reader, WireError,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{ComponentId, LinkState, Topology};

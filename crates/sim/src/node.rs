@@ -19,10 +19,10 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{ProtocolEvent, Trace};
+use plwg_wire::{Decode, Encode, Frame, Reader, WireError};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
 
 /// Identifies a simulated node (one process per node).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,6 +41,18 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl Encode for NodeId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(u32::decode_from(r)?))
+    }
+}
+
 /// An opaque, process-chosen timer identifier.
 ///
 /// Each token names a *slot*: re-arming a token that is already pending
@@ -49,29 +61,14 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub u64);
 
-/// A message payload: any `'static` value, reference-counted so a broadcast
-/// can share one allocation across receivers.
+/// A message payload: a shared immutable byte [`Frame`].
 ///
-/// The simulator is single-threaded, so `Rc` (not `Arc`) suffices.
-pub type Payload = Rc<dyn Any>;
-
-/// Wraps a value into a [`Payload`].
-///
-/// ```
-/// let p = plwg_sim::payload(42u32);
-/// assert_eq!(plwg_sim::cast::<u32>(&p), Some(&42));
-/// ```
-pub fn payload<T: Any>(value: T) -> Payload {
-    Rc::new(value)
-}
-
-/// Downcasts a [`Payload`] to a concrete message type.
-///
-/// Returns `None` if the payload holds a different type — receivers use this
-/// to dispatch on the protocol message enums they understand.
-pub fn cast<T: Any>(p: &Payload) -> Option<&T> {
-    p.downcast_ref::<T>()
-}
+/// Every message on the simulated network is encoded bytes — there is no
+/// typed side channel. Cloning a payload (e.g. to fan a multicast out to
+/// its receivers) bumps a reference count; it never copies the bytes.
+/// Receivers route frames by peeking the leading family tag
+/// ([`plwg_wire::peek_family`]) and decode with the owning crate's codec.
+pub type Payload = Frame;
 
 /// A simulated process: the unit of computation placed on a node.
 ///
@@ -142,6 +139,9 @@ impl<'a> Context<'a> {
     /// latency. Sending to self is allowed and goes through the same model.
     pub fn send(&mut self, to: NodeId, msg: Payload) {
         self.metrics.incr(keys::NET_SENT);
+        self.metrics.add(keys::NET_BYTES_SENT, msg.len() as u64);
+        self.metrics
+            .observe(keys::NET_FRAME_BYTES, msg.len() as u64);
         let decision = self.net.decide(self.topology, self.rng, self.self_id, to);
         match decision {
             crate::net::DeliveryDecision::Deliver(latency) => {
@@ -168,7 +168,7 @@ impl<'a> Context<'a> {
         for i in 0..self.alive.len() {
             let to = NodeId(i as u32);
             if to != self.self_id {
-                self.send(to, Rc::clone(&msg));
+                self.send(to, msg.clone());
             }
         }
     }
@@ -220,10 +220,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn payload_cast_roundtrip() {
-        let p = payload::<String>("x".to_owned());
-        assert_eq!(cast::<String>(&p).map(String::as_str), Some("x"));
-        assert!(cast::<u32>(&p).is_none());
+    fn node_id_wire_roundtrip() {
+        let mut out = Vec::new();
+        NodeId(300).encode_into(&mut out);
+        let f = Frame::from_vec(out);
+        let mut r = Reader::new(&f);
+        assert_eq!(NodeId::decode_from(&mut r), Ok(NodeId(300)));
+        assert_eq!(r.finish(), Ok(()));
     }
 
     #[test]

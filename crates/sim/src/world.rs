@@ -252,6 +252,7 @@ impl World {
         self.with_node(node, |p, ctx| {
             let p = p
                 .as_any_mut()
+                // tidy-allow(wire-hygiene): harness inspection of the concrete process type, not a payload
                 .downcast_mut::<P>()
                 .expect("invoke: process has a different concrete type");
             f(p, ctx)
@@ -282,6 +283,7 @@ impl World {
             .as_mut()
             .expect("inspect: node slot empty (re-entrant world access)")
             .as_any_mut()
+            // tidy-allow(wire-hygiene): harness inspection of the concrete process type, not a payload
             .downcast_mut::<P>()
             .expect("inspect: process has a different concrete type");
         f(p)
@@ -386,8 +388,14 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::{cast, payload, Payload};
+    use crate::node::Payload;
+    use plwg_wire::Frame;
     use std::any::Any;
+
+    /// Test payload: a bare 8-byte little-endian integer frame.
+    fn payload(v: u32) -> Payload {
+        Frame::from_u64(v as u64)
+    }
 
     /// Echoes every message back and counts what it saw.
     struct Echo {
@@ -406,7 +414,7 @@ mod tests {
 
     impl Process for Echo {
         fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
-            let v = *cast::<u32>(&msg).expect("u32 payload");
+            let v = msg.try_u64().expect("u64 payload") as u32;
             self.received.push((from, v));
             if v < 100 {
                 ctx.send(from, payload(v + 1));

@@ -3,10 +3,15 @@
 //! in-tree RNG so every run is deterministic.
 
 use plwg_sim::{
-    cast, payload, Context, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime,
-    Topology, World, WorldConfig,
+    Context, Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, Topology,
+    World, WorldConfig,
 };
 use std::any::Any;
+
+/// Test payload: a bare 8-byte little-endian integer frame.
+fn payload(v: u64) -> Payload {
+    Frame::from_u64(v)
+}
 
 #[derive(Default)]
 struct Recorder {
@@ -15,7 +20,7 @@ struct Recorder {
 
 impl Process for Recorder {
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
-        let v = *cast::<u64>(&msg).expect("u64");
+        let v = msg.try_u64().expect("u64");
         self.got.push((from, v, ctx.now()));
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -1,10 +1,11 @@
 //! `deps` — dependencies point down the layering, and only the facade
 //! (and the harness crates above it) pin the concrete substrate.
 //!
-//! PR 4's substrate extraction established the layering
+//! PR 4's substrate extraction established the layering (PR 8 slotted the
+//! codec crate underneath the simulator)
 //!
 //! ```text
-//! sim  →  hwg  →  { vsync, naming }  →  core  →  facade / obs / workload / bench
+//! wire  →  sim  →  hwg  →  { vsync, naming }  →  core  →  facade / obs / workload / bench
 //! ```
 //!
 //! and made `plwg-core` generic over `HwgSubstrate` precisely so the
@@ -26,16 +27,20 @@ pub const NAME: &str = "deps";
 /// `crates/<dir>` → the `plwg-*` crates its `[dependencies]` may name.
 /// Crates absent from this table (obs, workload, bench, tidy) sit above
 /// the facade line and are unconstrained.
-const ALLOWED: [(&str, &[&str]); 5] = [
-    ("sim", &[]),
-    ("hwg", &["plwg-sim"]),
-    ("vsync", &["plwg-sim", "plwg-hwg"]),
-    ("naming", &["plwg-sim", "plwg-hwg"]),
-    ("core", &["plwg-sim", "plwg-hwg", "plwg-naming"]),
+const ALLOWED: [(&str, &[&str]); 6] = [
+    ("wire", &[]),
+    ("sim", &["plwg-wire"]),
+    ("hwg", &["plwg-wire", "plwg-sim"]),
+    ("vsync", &["plwg-wire", "plwg-sim", "plwg-hwg"]),
+    ("naming", &["plwg-wire", "plwg-sim", "plwg-hwg"]),
+    (
+        "core",
+        &["plwg-wire", "plwg-sim", "plwg-hwg", "plwg-naming"],
+    ),
 ];
 
 /// Crates whose sources must stay substrate-generic.
-const NO_VSYNC_PIN: [&str; 4] = ["core", "hwg", "naming", "sim"];
+const NO_VSYNC_PIN: [&str; 5] = ["core", "hwg", "naming", "sim", "wire"];
 
 pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for m in &ws.manifests {

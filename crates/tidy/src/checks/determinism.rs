@@ -8,7 +8,7 @@
 //!
 //! - `HashMap`/`HashSet` (and explicit `RandomState`/`DefaultHasher`):
 //!   iteration order is randomized per process — use `BTreeMap`/`BTreeSet`.
-//! - `Instant`/`SystemTime`: wall-clock reads — use [`plwg_sim`]'s
+//! - `Instant`/`SystemTime`: wall-clock reads — use `plwg_sim`'s
 //!   `SimTime`.
 //! - `thread_rng`/`OsRng`-style ambient randomness — use the in-tree
 //!   seeded `Xoshiro` RNG.

@@ -13,6 +13,7 @@ pub mod events;
 pub mod metric_keys;
 pub mod module_size;
 pub mod panics;
+pub mod wire_hygiene;
 
 use crate::diag::Diagnostic;
 use crate::walk::Workspace;
@@ -60,6 +61,12 @@ pub fn all() -> Vec<Check> {
             name: module_size::NAME,
             desc: "protocol modules stay under the 700-line budget",
             run: module_size::run,
+        },
+        Check {
+            name: wire_hygiene::NAME,
+            desc: "payloads are wire frames, never type-erased values: no \
+                   Rc<dyn Any>, downcast, or payload::<T> in the data plane",
+            run: wire_hygiene::run,
         },
     ]
 }

@@ -1,0 +1,64 @@
+//! `wire-hygiene` — payloads are bytes, never type-erased Rust values.
+//!
+//! PR 8 replaced the seed's `Rc<dyn Any>` payload with `plwg-wire`'s
+//! `Frame` (a shared, immutable byte buffer) so that every message the
+//! protocol moves has a defined wire representation and the benches can
+//! count real bytes. This check keeps the type-erasure door shut in the
+//! protocol crates:
+//!
+//! - `Rc<dyn Any>` payloads: a pointer is not a wire format — encode a
+//!   `Frame` with `plwg_wire::encode_frame`.
+//! - `.downcast` on payloads: decoding is `decode_frame::<T>`, which
+//!   fails typed (`WireError`) instead of silently yielding `None`. The
+//!   one legitimate downcast family — `Process::as_any_mut` for harness
+//!   inspection of concrete process state — carries a line-scope allow.
+//! - the old `payload::<T>` constructor/extractor helpers: build byte
+//!   payloads with `Frame::from_u64` / `Frame::from_vec`.
+
+use crate::diag::Diagnostic;
+use crate::walk::Workspace;
+
+pub const NAME: &str = "wire-hygiene";
+
+/// The crates whose `src/` trees carry the data plane: the protocol
+/// crates plus the codec crate itself.
+const WIRE_CRATES: [&str; 6] = ["core", "hwg", "naming", "sim", "vsync", "wire"];
+
+/// `(needle matched on whitespace-squeezed text, remedy)`.
+const FORBIDDEN: [(&str, &str); 3] = [
+    (
+        "Rc<dynAny",
+        "type-erased payload; payloads are `Frame` byte buffers — encode with \
+         `plwg_wire::encode_frame`",
+    ),
+    (
+        ".downcast",
+        "payloads are never type-erased; decode a typed message with \
+         `decode_frame` (harness-only process inspection may carry an allow)",
+    ),
+    (
+        "payload::<",
+        "the pre-wire downcast helper; build payloads with `Frame::from_u64` \
+         or `Frame::from_vec`",
+    ),
+];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for dir in WIRE_CRATES {
+        for file in ws.crate_files(dir) {
+            for (line_no, line) in file.scrubbed_lines() {
+                let squeezed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+                for (pat, why) in FORBIDDEN {
+                    if squeezed.contains(pat) && !file.allowed(line_no, NAME) {
+                        out.push(Diagnostic {
+                            rel: file.rel.clone(),
+                            line: line_no,
+                            check: NAME,
+                            msg: format!("`{pat}` in the data plane ({why})"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

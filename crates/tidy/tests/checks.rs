@@ -49,6 +49,9 @@ fn every_check_fires_at_the_seeded_site() {
         ("crates/core/src/metrics_use.rs", 7, "metric-keys"),
         ("crates/core/src/protocol_events.rs", 15, "event-coverage"),
         ("crates/core/src/vsync_pin.rs", 5, "deps"),
+        ("crates/core/src/wire_use.rs", 6, "wire-hygiene"),
+        ("crates/core/src/wire_use.rs", 9, "wire-hygiene"),
+        ("crates/core/src/wire_use.rs", 13, "wire-hygiene"),
         ("crates/hwg/Cargo.toml", 5, "deps"),
     ];
     let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
@@ -79,6 +82,9 @@ fn messages_name_the_remedy() {
     assert!(msg_at("crates/core/src/hygiene.rs", 4).contains("needs a justification"));
     assert!(msg_at("crates/core/src/hygiene.rs", 5).contains("stale annotation"));
     assert!(msg_at("crates/hwg/Cargo.toml", 5).contains("must not depend on `plwg-naming`"));
+    assert!(msg_at("crates/core/src/wire_use.rs", 6).contains("encode_frame"));
+    assert!(msg_at("crates/core/src/wire_use.rs", 9).contains("decode_frame"));
+    assert!(msg_at("crates/core/src/wire_use.rs", 13).contains("Frame::from_u64"));
 }
 
 /// Every allow annotation the fixtures use to *silence* a violation must
@@ -86,7 +92,8 @@ fn messages_name_the_remedy() {
 #[test]
 fn allow_annotations_are_honoured() {
     let diags = plwg_tidy::run(&fixture_root()).expect("fixture workspace loads");
-    let silenced: [(&str, usize); 7] = [
+    let silenced: [(&str, usize); 8] = [
+        ("crates/core/src/wire_use.rs", 18),        // allowed downcast
         ("crates/core/src/determinism_mix.rs", 11), // line-scope, next line
         ("crates/core/src/flush.rs", 10),           // indexing under allow
         ("crates/core/src/keys.rs", 6),             // allowed-dead key

@@ -1,0 +1,19 @@
+//! Seeds `wire-hygiene`: the pre-wire type-erased payload surface.
+
+use std::any::Any;
+use std::rc::Rc;
+
+pub type OldPayload = Rc<dyn Any>;
+
+pub fn peek(p: &OldPayload) -> Option<&u64> {
+    p.downcast_ref::<u64>()
+}
+
+pub fn make() -> OldPayload {
+    payload::<u64>(7)
+}
+
+pub fn allowed(p: &dyn Any) -> bool {
+    // tidy-allow(wire-hygiene): fixture: harness-style process inspection is permitted
+    p.downcast_ref::<u64>().is_some()
+}

@@ -35,12 +35,12 @@
 // flush-participant, and initiator/merge roles are candidates for the
 // same per-concern split service.rs got — tracked in ROADMAP.md.
 use crate::fd::FailureDetector;
-use crate::msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
+use crate::msg::{FlushId, FlushPurpose, Slot, VsMsg};
+use crate::wire;
 use crate::{GroupStatus, VsEvent, VsyncConfig};
 use plwg_hwg::{keys, HwgId, HwgTraceEvent, View, ViewId};
-use plwg_sim::{cast, payload, Context, NodeId, Payload, SimTime};
+use plwg_sim::{Context, NodeId, Payload, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 /// Member-side state of an in-progress flush.
 #[derive(Debug)]
@@ -98,9 +98,9 @@ pub(crate) struct GroupEndpoint {
     /// Next expected FIFO seq per sender.
     expected: BTreeMap<NodeId, u64>,
     /// Received but not yet deliverable (gap or freeze).
-    holdback: BTreeMap<(NodeId, u64), Payload>,
+    holdback: BTreeMap<(NodeId, u64), Slot>,
     /// Delivered messages of the current view, kept to serve retransmissions.
-    store: BTreeMap<(NodeId, u64), Payload>,
+    store: BTreeMap<(NodeId, u64), Slot>,
     /// Application sends buffered while a flush is in progress.
     pending_send: Vec<Payload>,
     /// `(sender, seq)` slots this endpoint holds only as subset-delivery
@@ -244,9 +244,11 @@ impl GroupEndpoint {
         }
     }
 
-    fn multicast(&self, ctx: &mut Context<'_>, to: &[NodeId], msg: &Rc<VsMsg>) {
+    /// Sends one already-encoded frame to every node in `to`. The frame is
+    /// encoded exactly once by the caller; each copy is a refcount bump.
+    fn multicast(&self, ctx: &mut Context<'_>, to: &[NodeId], frame: &Payload) {
         for &m in to {
-            ctx.send(m, Rc::clone(msg) as Payload);
+            ctx.send(m, frame.clone());
         }
     }
 
@@ -283,23 +285,26 @@ impl GroupEndpoint {
             .copied()
             .filter(|&m| m != self.me)
             .collect();
-        let msg = Rc::new(VsMsg::Data {
+        // Encoded once; every receiver copy shares this one allocation.
+        let frame = wire::frame(&VsMsg::Data {
             hwg: self.hwg,
             view_id: view.id,
             sender: self.me,
             seq: self.send_seq,
-            payload: Rc::clone(&data),
+            payload: Slot::Full(data.clone()),
         });
         ctx.metrics().incr(keys::DATA_SENT);
-        self.multicast(ctx, &view_members, &msg);
+        ctx.metrics().add(keys::BYTES_MULTICAST, data.len() as u64);
+        self.multicast(ctx, &view_members, &frame);
         // Synchronous self-delivery.
-        self.holdback.insert((self.me, self.send_seq), data);
+        self.holdback
+            .insert((self.me, self.send_seq), Slot::Full(data));
         self.try_drain(ctx, events);
     }
 
     /// Sends a virtually-synchronous multicast delivered only to `targets`
     /// (interference-aware subset delivery). Members outside the target set
-    /// receive a same-sequence [`SubsetSkip`] marker instead of the
+    /// receive a same-sequence [`Slot::Skip`] marker instead of the
     /// payload: the marker occupies the FIFO slot — so gap detection,
     /// stability, and flush digests are untouched — but is consumed by the
     /// receiving endpoint without an upcall.
@@ -326,19 +331,21 @@ impl GroupEndpoint {
         self.send_seq += 1;
         let seq = self.send_seq;
         let view = self.view.as_ref().expect("checked above");
-        let real = Rc::new(VsMsg::Data {
+        // Two frames per subset multicast — the real payload and the thin
+        // marker — each encoded once and refcount-shared by its receivers.
+        let real = wire::frame(&VsMsg::Data {
             hwg: self.hwg,
             view_id: view.id,
             sender: self.me,
             seq,
-            payload: Rc::clone(&data),
+            payload: Slot::Full(data.clone()),
         });
-        let marker = Rc::new(VsMsg::Data {
+        let marker = wire::frame(&VsMsg::Data {
             hwg: self.hwg,
             view_id: view.id,
             sender: self.me,
             seq,
-            payload: payload(SubsetSkip),
+            payload: Slot::Skip,
         });
         let mut trimmed = 0u64;
         for &m in &view.members {
@@ -346,16 +353,17 @@ impl GroupEndpoint {
                 continue;
             }
             if targets.contains(&m) {
-                ctx.send(m, Rc::clone(&real) as Payload);
+                ctx.send(m, real.clone());
             } else {
-                ctx.send(m, Rc::clone(&marker) as Payload);
+                ctx.send(m, marker.clone());
                 trimmed += 1;
             }
         }
         ctx.metrics().incr(keys::DATA_SENT);
+        ctx.metrics().add(keys::BYTES_MULTICAST, data.len() as u64);
         ctx.metrics().incr(keys::SUBSET_SENDS);
         ctx.metrics().add(keys::SUBSET_TRIMMED, trimmed);
-        self.holdback.insert((self.me, seq), data);
+        self.holdback.insert((self.me, seq), Slot::Full(data));
         self.try_drain(ctx, events);
     }
 
@@ -392,7 +400,7 @@ impl GroupEndpoint {
     fn request_leave(&mut self, ctx: &mut Context<'_>, fd: &FailureDetector) {
         if let Some(coord) = self.acting_coordinator(fd) {
             if coord != self.me {
-                ctx.send(coord, payload(VsMsg::LeaveReq { hwg: self.hwg }));
+                ctx.send(coord, wire::frame(&VsMsg::LeaveReq { hwg: self.hwg }));
             }
         }
     }
@@ -518,7 +526,7 @@ impl GroupEndpoint {
         }
         let view = self.view.as_ref().expect("member has a view");
         ctx.metrics().incr(keys::BEACONS);
-        ctx.broadcast(payload(VsMsg::Beacon {
+        ctx.broadcast(wire::frame(&VsMsg::Beacon {
             hwg: self.hwg,
             view_id: view.id,
         }));
@@ -528,7 +536,7 @@ impl GroupEndpoint {
         self.probe_attempts += 1;
         self.join_target = None;
         ctx.metrics().incr(keys::JOIN_PROBES);
-        ctx.broadcast(payload(VsMsg::JoinProbe { hwg: self.hwg }));
+        ctx.broadcast(wire::frame(&VsMsg::JoinProbe { hwg: self.hwg }));
         // The stack's tick has hb_interval granularity; the deadline is
         // checked there.
         self.probe_deadline = Some(ctx.now() + cfg.probe_timeout);
@@ -644,7 +652,7 @@ impl GroupEndpoint {
         }
         ctx.send(
             from,
-            payload(VsMsg::JoinOffer {
+            wire::frame(&VsMsg::JoinOffer {
                 hwg: self.hwg,
                 view_id: view.id,
             }),
@@ -662,7 +670,7 @@ impl GroupEndpoint {
             return;
         }
         self.join_target = Some(from);
-        ctx.send(from, payload(VsMsg::JoinReq { hwg: self.hwg }));
+        ctx.send(from, wire::frame(&VsMsg::JoinReq { hwg: self.hwg }));
         // Extend the deadline so admission has time to complete; if the
         // offering coordinator dies we fall back to probing again.
         self.probe_deadline = Some(ctx.now() + cfg.flush_timeout);
@@ -676,7 +684,7 @@ impl GroupEndpoint {
         view_id: ViewId,
         sender: NodeId,
         seq: u64,
-        data: Payload,
+        data: Slot,
         events: &mut Vec<VsEvent>,
     ) {
         let Some(view) = &self.view else { return };
@@ -716,23 +724,26 @@ impl GroupEndpoint {
                         continue;
                     }
                 }
-                if let Some(data) = self.holdback.remove(&(sender, next)) {
+                if let Some(slot) = self.holdback.remove(&(sender, next)) {
                     self.expected.insert(sender, next + 1);
-                    self.store.insert((sender, next), data.clone());
-                    if cast::<SubsetSkip>(&data).is_some() {
-                        // Subset-delivery marker: the slot is consumed (so
-                        // FIFO, stability and flush digests advance) but
-                        // nothing is delivered to the layer above.
-                        self.thin_held.insert((sender, next));
-                        ctx.metrics().incr(keys::SUBSET_SKIPPED);
-                    } else {
-                        ctx.metrics().incr(keys::DATA_DELIVERED);
-                        events.push(VsEvent::Data {
-                            hwg: self.hwg,
-                            view_id,
-                            src: sender,
-                            data,
-                        });
+                    self.store.insert((sender, next), slot.clone());
+                    match slot {
+                        Slot::Skip => {
+                            // Subset-delivery marker: the slot is consumed
+                            // (so FIFO, stability and flush digests advance)
+                            // but nothing is delivered to the layer above.
+                            self.thin_held.insert((sender, next));
+                            ctx.metrics().incr(keys::SUBSET_SKIPPED);
+                        }
+                        Slot::Full(data) => {
+                            ctx.metrics().incr(keys::DATA_DELIVERED);
+                            events.push(VsEvent::Data {
+                                hwg: self.hwg,
+                                view_id,
+                                src: sender,
+                                data,
+                            });
+                        }
                     }
                     delivered_any = true;
                 }
@@ -812,12 +823,12 @@ impl GroupEndpoint {
         thin.extend(
             self.holdback
                 .iter()
-                .filter(|(_, d)| cast::<SubsetSkip>(d).is_some())
+                .filter(|(_, d)| d.is_skip())
                 .map(|(&k, _)| k),
         );
         ctx.send(
             initiator,
-            payload(VsMsg::FlushDigest {
+            wire::frame(&VsMsg::FlushDigest {
                 hwg: self.hwg,
                 flush,
                 prefix,
@@ -850,22 +861,22 @@ impl GroupEndpoint {
         let Some(view) = &self.view else { return };
         let view_id = view.id;
         for &(sender, seq) in wants {
-            let data = self
+            let slot = self
                 .store
                 .get(&(sender, seq))
                 .or_else(|| self.holdback.get(&(sender, seq)))
                 .cloned();
-            if let Some(data) = data {
+            if let Some(slot) = slot {
                 ctx.metrics().incr(keys::FLUSH_FILLS);
-                let msg = Rc::new(VsMsg::FlushFill {
+                let msg = wire::frame(&VsMsg::FlushFill {
                     hwg: self.hwg,
                     view_id,
                     sender,
                     seq,
-                    payload: data,
+                    payload: slot,
                 });
                 for &m in &view.members {
-                    ctx.send(m, Rc::clone(&msg) as Payload);
+                    ctx.send(m, msg.clone());
                 }
             }
         }
@@ -877,7 +888,7 @@ impl GroupEndpoint {
         view_id: ViewId,
         sender: NodeId,
         seq: u64,
-        data: Payload,
+        data: Slot,
         events: &mut Vec<VsEvent>,
     ) {
         let Some(view) = &self.view else { return };
@@ -888,7 +899,7 @@ impl GroupEndpoint {
         if seq < expected || self.store.contains_key(&(sender, seq)) {
             // A real fill for a slot held only as a skip marker upgrades
             // the store, so this member can serve future pulls for it.
-            if self.thin_held.contains(&(sender, seq)) && cast::<SubsetSkip>(&data).is_none() {
+            if self.thin_held.contains(&(sender, seq)) && !data.is_skip() {
                 self.store.insert((sender, seq), data);
                 self.thin_held.remove(&(sender, seq));
             }
@@ -925,7 +936,7 @@ impl GroupEndpoint {
             }
             ctx.send(
                 initiator,
-                payload(VsMsg::FlushDone {
+                wire::frame(&VsMsg::FlushDone {
                     hwg: self.hwg,
                     flush,
                 }),
@@ -1066,7 +1077,7 @@ impl GroupEndpoint {
             done: BTreeSet::new(),
             started_at: ctx.now(),
         });
-        let msg = Rc::new(VsMsg::FlushReq {
+        let msg = wire::frame(&VsMsg::FlushReq {
             hwg: self.hwg,
             view_id: view.id,
             flush,
@@ -1120,7 +1131,7 @@ impl GroupEndpoint {
             flush,
             note: format!("target {:?}", plan.target),
         });
-        let tmsg = Rc::new(VsMsg::FlushTarget {
+        let tmsg = wire::frame(&VsMsg::FlushTarget {
             hwg: self.hwg,
             flush,
             target: plan.target,
@@ -1129,7 +1140,7 @@ impl GroupEndpoint {
         for (holder, wants) in plan.pulls {
             ctx.send(
                 holder,
-                payload(VsMsg::FlushPull {
+                wire::frame(&VsMsg::FlushPull {
                     hwg: self.hwg,
                     flush,
                     wants,
@@ -1184,7 +1195,7 @@ impl GroupEndpoint {
                     .filter(|r| !view.contains(*r))
                     .collect();
                 self.distribute_view(ctx, &view);
-                let msg = Rc::new(VsMsg::NewView {
+                let msg = wire::frame(&VsMsg::NewView {
                     hwg: self.hwg,
                     view: view.clone(),
                 });
@@ -1204,7 +1215,7 @@ impl GroupEndpoint {
                 } else {
                     ctx.send(
                         leader,
-                        payload(VsMsg::MergeReady {
+                        wire::frame(&VsMsg::MergeReady {
                             hwg: self.hwg,
                             view: frozen,
                         }),
@@ -1224,7 +1235,7 @@ impl GroupEndpoint {
             hwg: self.hwg,
             view: view.clone(),
         });
-        let msg = Rc::new(VsMsg::NewView {
+        let msg = wire::frame(&VsMsg::NewView {
             hwg: self.hwg,
             view: view.clone(),
         });
@@ -1355,7 +1366,7 @@ impl GroupEndpoint {
             });
             ctx.send(
                 sender,
-                payload(VsMsg::Nack {
+                wire::frame(&VsMsg::Nack {
                     hwg: self.hwg,
                     view_id,
                     sender,
@@ -1379,16 +1390,18 @@ impl GroupEndpoint {
             return;
         }
         for &seq in missing {
-            if let Some(data) = self.store.get(&(sender, seq)) {
+            // A sender's own store always holds the real payload (never a
+            // skip marker), so resends serve the full message.
+            if let Some(slot) = self.store.get(&(sender, seq)) {
                 ctx.metrics().incr(keys::NACK_RESENDS);
                 ctx.send(
                     from,
-                    payload(VsMsg::Data {
+                    wire::frame(&VsMsg::Data {
                         hwg: self.hwg,
                         view_id,
                         sender,
                         seq,
-                        payload: data.clone(),
+                        payload: slot.clone(),
                     }),
                 );
             }
@@ -1426,7 +1439,7 @@ impl GroupEndpoint {
             .filter(|&m| m != self.me)
             .collect();
         let view_id = view.id;
-        let msg = Rc::new(VsMsg::Stability {
+        let msg = wire::frame(&VsMsg::Stability {
             hwg: self.hwg,
             view_id,
             prefix,
@@ -1560,7 +1573,7 @@ impl GroupEndpoint {
                     merge.participants.entry(their_view).or_insert(None);
                     ctx.send(
                         from,
-                        payload(VsMsg::MergeReq {
+                        wire::frame(&VsMsg::MergeReq {
                             hwg: self.hwg,
                             invitee_view: their_view,
                             leader_view: my_view,
@@ -1584,7 +1597,7 @@ impl GroupEndpoint {
                 });
                 ctx.send(
                     from,
-                    payload(VsMsg::MergeReq {
+                    wire::frame(&VsMsg::MergeReq {
                         hwg: self.hwg,
                         invitee_view: their_view,
                         leader_view: my_view,
@@ -1616,7 +1629,7 @@ impl GroupEndpoint {
         if stale {
             ctx.send(
                 from,
-                payload(VsMsg::MergeNack {
+                wire::frame(&VsMsg::MergeNack {
                     hwg: self.hwg,
                     invitee_view,
                 }),

@@ -9,3 +9,6 @@ use plwg_sim::CounterKey;
 
 /// Fresh suspicions raised by the failure detector.
 pub const FD_SUSPICIONS: CounterKey = CounterKey::new("fd.suspicions");
+/// Incoming frames of this stack's wire family that failed to decode
+/// (dropped; never panicked on).
+pub const DECODE_ERRORS: CounterKey = CounterKey::new("vs.decode_errors");

@@ -42,9 +42,10 @@ pub mod keys;
 mod msg;
 mod stack;
 mod substrate;
+mod wire;
 
 pub use fd::{FailureDetector, FdEvent};
-pub use msg::{FlushId, FlushPurpose, SubsetSkip, VsMsg};
+pub use msg::{FlushId, FlushPurpose, Slot, VsMsg};
 pub use plwg_hwg::{
     GroupStatus, HwgConfig as VsyncConfig, HwgEvent as VsEvent, HwgId, HwgSubstrate, HwgTraceEvent,
     View, ViewId,

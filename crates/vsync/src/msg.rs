@@ -20,12 +20,35 @@ pub enum FlushPurpose {
     },
 }
 
-/// Marker payload standing in for a subset multicast at members outside the
-/// target set. It occupies the sender's FIFO sequence slot — so gap
-/// detection, stability tracking, and flush digests work unchanged — but is
-/// never delivered to the layer above.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SubsetSkip;
+/// The payload carried by a data-plane sequence slot: either the real
+/// application frame, or the subset-delivery *skip marker* sent to members
+/// outside a subset multicast's target set. The marker occupies the
+/// sender's FIFO sequence slot — so gap detection, stability tracking, and
+/// flush digests work unchanged — but is never delivered to the layer
+/// above. Cloning a `Full` slot bumps the frame's reference count; the
+/// bytes are never copied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// The real application payload.
+    Full(Payload),
+    /// Subset-delivery skip marker (paper §3 interference optimisation).
+    Skip,
+}
+
+impl Slot {
+    /// Whether this slot is a skip marker.
+    pub fn is_skip(&self) -> bool {
+        matches!(self, Slot::Skip)
+    }
+
+    /// The real payload, if this slot holds one.
+    pub fn full(&self) -> Option<&Payload> {
+        match self {
+            Slot::Full(p) => Some(p),
+            Slot::Skip => None,
+        }
+    }
+}
 
 /// The messages exchanged by the HWG layer.
 ///
@@ -70,8 +93,8 @@ pub enum VsMsg {
         sender: NodeId,
         /// Per-sender FIFO sequence number within the view (1-based).
         seq: u64,
-        /// Opaque payload for the layer above.
-        payload: Payload,
+        /// Opaque payload for the layer above (or a skip marker).
+        payload: Slot,
     },
     /// Coordinator starts a flush of `view_id` towards `proposed` members.
     FlushReq {
@@ -133,8 +156,9 @@ pub enum VsMsg {
         sender: NodeId,
         /// Original sequence number.
         seq: u64,
-        /// Original payload.
-        payload: Payload,
+        /// Original payload (or a skip marker, when only a marker holder
+        /// could serve the pull).
+        payload: Slot,
     },
     /// Member reports it has reached the flush target.
     FlushDone {
@@ -287,9 +311,19 @@ mod tests {
             view_id: ViewId::new(NodeId(0), 1),
             sender: NodeId(2),
             seq: 7,
-            payload: plwg_sim::payload(()),
+            payload: Slot::Full(plwg_sim::Frame::empty()),
         };
         assert_eq!(format!("{m:?}"), "Data(hwg1,n0#1,n2,#7)");
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let f = plwg_sim::Frame::from_u64(9);
+        let full = Slot::Full(f.clone());
+        assert!(!full.is_skip());
+        assert_eq!(full.full(), Some(&f));
+        assert!(Slot::Skip.is_skip());
+        assert_eq!(Slot::Skip.full(), None);
     }
 
     #[test]

@@ -6,9 +6,10 @@ use crate::fd::{FailureDetector, FdEvent};
 use crate::group::GroupEndpoint;
 use crate::keys;
 use crate::msg::VsMsg;
+use crate::wire;
 use crate::{GroupStatus, VsEvent, VsyncConfig};
 use plwg_hwg::{HwgId, HwgTraceEvent, View};
-use plwg_sim::{cast, payload, Context, NodeId, Payload, TimerToken};
+use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, TimerToken};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer token used for the failure-detector / protocol tick.
@@ -121,7 +122,7 @@ impl VsyncStack {
     /// Sends a virtually-synchronous multicast on `hwg` whose payload is
     /// delivered only to `targets` (interference-aware subset delivery).
     /// Members outside the target set receive a same-sequence
-    /// [`crate::SubsetSkip`] marker that holds their FIFO slot without an
+    /// [`crate::Slot::Skip`] marker that holds their FIFO slot without an
     /// upcall, so the view's ordering, stability, and flush guarantees are
     /// identical to a full [`VsyncStack::send`]. The sender always
     /// self-delivers the real payload. Buffered sends (no view, or
@@ -212,9 +213,20 @@ impl VsyncStack {
     /// Handles an incoming message if it belongs to this stack.
     /// Returns `true` when consumed (the owner should then drain upcalls).
     pub fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
-        let Some(vs) = cast::<VsMsg>(msg) else {
+        if peek_family(msg) != Some(family::VS) {
             return false;
+        }
+        let vs = match decode_frame::<VsMsg>(family::VS, msg) {
+            Ok(vs) => vs,
+            Err(_) => {
+                // A frame claiming our family but failing to decode is
+                // dropped, not panicked on; the sender will recover through
+                // the normal timeout/NACK machinery.
+                ctx.metrics().incr(keys::DECODE_ERRORS);
+                return true;
+            }
         };
+        let vs = &vs;
         // Any traffic is evidence of life.
         if let Some(FdEvent::Alive(_)) = self.fd.heard_from(from, ctx.now()) {
             ctx.emit(|| HwgTraceEvent::FdAlive { peer: from });
@@ -277,11 +289,21 @@ impl VsyncStack {
         std::mem::take(&mut self.events)
     }
 
+    /// Moves the upcalls produced since the last drain into `out`,
+    /// keeping the internal buffer's capacity (the allocation-free drain
+    /// the LWG service's pump loop uses).
+    pub fn drain_events_into(&mut self, out: &mut Vec<VsEvent>) {
+        out.append(&mut self.events);
+    }
+
     fn fd_tick(&mut self, ctx: &mut Context<'_>) {
-        // Heartbeats to everything we monitor.
+        // Heartbeats to everything we monitor — one encoding, n refcounts.
         let peers: Vec<NodeId> = self.fd.watched().collect();
-        for p in peers {
-            ctx.send(p, payload(VsMsg::Heartbeat));
+        if !peers.is_empty() {
+            let hb = wire::frame(&VsMsg::Heartbeat);
+            for p in peers {
+                ctx.send(p, hb.clone());
+            }
         }
         // Fresh suspicions drive view changes in all affected groups.
         let fd_events = self.fd.check(ctx.now(), self.cfg.suspect_timeout);

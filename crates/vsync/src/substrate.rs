@@ -87,6 +87,10 @@ impl HwgSubstrate for VsyncStack {
     fn drain_events(&mut self) -> Vec<VsEvent> {
         VsyncStack::drain_events(self)
     }
+
+    fn drain_events_into(&mut self, out: &mut Vec<VsEvent>) {
+        VsyncStack::drain_events_into(self, out);
+    }
 }
 
 /// The stack is also a [`plwg_sim::Endpoint`]: `plwg_sim::Driver<VsyncStack>`

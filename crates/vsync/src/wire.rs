@@ -1,0 +1,492 @@
+//! Wire codec for the HWG-layer protocol messages (frame family `VS`).
+//!
+//! Every [`VsMsg`] travels as one `plwg-wire` frame: the `VS` family tag,
+//! a one-byte variant tag, then the variant's fields in declaration order
+//! (varints for integers, length-prefixed frames for payloads — see the
+//! `plwg-wire` crate docs for the grammar). Application payloads inside
+//! `Data` / `FlushFill` are embedded by length prefix, so decoding returns
+//! a [`Slot`] whose frame *shares* the incoming allocation: a multicast is
+//! encoded once by the sender and never re-copied on the receive path.
+
+use crate::msg::{FlushPurpose, Slot, VsMsg};
+use plwg_sim::{encode_frame, family, Decode, Encode, Frame, NodeId, Payload, Reader, WireError};
+
+/// Encodes `msg` as a ready-to-send simulator payload (family `VS`).
+pub(crate) fn frame(msg: &VsMsg) -> Payload {
+    encode_frame(family::VS, msg)
+}
+
+// Variant tags; wire-stable, append-only.
+const T_HEARTBEAT: u8 = 0;
+const T_JOIN_PROBE: u8 = 1;
+const T_JOIN_OFFER: u8 = 2;
+const T_JOIN_REQ: u8 = 3;
+const T_LEAVE_REQ: u8 = 4;
+const T_DATA: u8 = 5;
+const T_FLUSH_REQ: u8 = 6;
+const T_FLUSH_DIGEST: u8 = 7;
+const T_FLUSH_TARGET: u8 = 8;
+const T_FLUSH_PULL: u8 = 9;
+const T_FLUSH_FILL: u8 = 10;
+const T_FLUSH_DONE: u8 = 11;
+const T_NEW_VIEW: u8 = 12;
+const T_NACK: u8 = 13;
+const T_STABILITY: u8 = 14;
+const T_BEACON: u8 = 15;
+const T_MERGE_REQ: u8 = 16;
+const T_MERGE_READY: u8 = 17;
+const T_MERGE_NACK: u8 = 18;
+
+impl Encode for FlushPurpose {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            FlushPurpose::ViewChange => out.push(0),
+            FlushPurpose::Merge { leader } => {
+                out.push(1);
+                leader.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for FlushPurpose {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(FlushPurpose::ViewChange),
+            1 => Ok(FlushPurpose::Merge {
+                leader: NodeId::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "FlushPurpose",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for Slot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Slot::Skip => out.push(0),
+            Slot::Full(p) => {
+                out.push(1);
+                p.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for Slot {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(Slot::Skip),
+            1 => Ok(Slot::Full(Frame::decode_from(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "Slot",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for VsMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            VsMsg::Heartbeat => out.push(T_HEARTBEAT),
+            VsMsg::JoinProbe { hwg } => {
+                out.push(T_JOIN_PROBE);
+                hwg.encode_into(out);
+            }
+            VsMsg::JoinOffer { hwg, view_id } => {
+                out.push(T_JOIN_OFFER);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+            }
+            VsMsg::JoinReq { hwg } => {
+                out.push(T_JOIN_REQ);
+                hwg.encode_into(out);
+            }
+            VsMsg::LeaveReq { hwg } => {
+                out.push(T_LEAVE_REQ);
+                hwg.encode_into(out);
+            }
+            VsMsg::Data {
+                hwg,
+                view_id,
+                sender,
+                seq,
+                payload,
+            } => {
+                out.push(T_DATA);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                sender.encode_into(out);
+                seq.encode_into(out);
+                payload.encode_into(out);
+            }
+            VsMsg::FlushReq {
+                hwg,
+                view_id,
+                flush,
+                proposed,
+                purpose,
+            } => {
+                out.push(T_FLUSH_REQ);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                flush.encode_into(out);
+                proposed.encode_into(out);
+                purpose.encode_into(out);
+            }
+            VsMsg::FlushDigest {
+                hwg,
+                flush,
+                prefix,
+                extras,
+                thin,
+            } => {
+                out.push(T_FLUSH_DIGEST);
+                hwg.encode_into(out);
+                flush.encode_into(out);
+                prefix.encode_into(out);
+                extras.encode_into(out);
+                thin.encode_into(out);
+            }
+            VsMsg::FlushTarget { hwg, flush, target } => {
+                out.push(T_FLUSH_TARGET);
+                hwg.encode_into(out);
+                flush.encode_into(out);
+                target.encode_into(out);
+            }
+            VsMsg::FlushPull { hwg, flush, wants } => {
+                out.push(T_FLUSH_PULL);
+                hwg.encode_into(out);
+                flush.encode_into(out);
+                wants.encode_into(out);
+            }
+            VsMsg::FlushFill {
+                hwg,
+                view_id,
+                sender,
+                seq,
+                payload,
+            } => {
+                out.push(T_FLUSH_FILL);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                sender.encode_into(out);
+                seq.encode_into(out);
+                payload.encode_into(out);
+            }
+            VsMsg::FlushDone { hwg, flush } => {
+                out.push(T_FLUSH_DONE);
+                hwg.encode_into(out);
+                flush.encode_into(out);
+            }
+            VsMsg::NewView { hwg, view } => {
+                out.push(T_NEW_VIEW);
+                hwg.encode_into(out);
+                view.encode_into(out);
+            }
+            VsMsg::Nack {
+                hwg,
+                view_id,
+                sender,
+                missing,
+            } => {
+                out.push(T_NACK);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                sender.encode_into(out);
+                missing.encode_into(out);
+            }
+            VsMsg::Stability {
+                hwg,
+                view_id,
+                prefix,
+            } => {
+                out.push(T_STABILITY);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+                prefix.encode_into(out);
+            }
+            VsMsg::Beacon { hwg, view_id } => {
+                out.push(T_BEACON);
+                hwg.encode_into(out);
+                view_id.encode_into(out);
+            }
+            VsMsg::MergeReq {
+                hwg,
+                invitee_view,
+                leader_view,
+            } => {
+                out.push(T_MERGE_REQ);
+                hwg.encode_into(out);
+                invitee_view.encode_into(out);
+                leader_view.encode_into(out);
+            }
+            VsMsg::MergeReady { hwg, view } => {
+                out.push(T_MERGE_READY);
+                hwg.encode_into(out);
+                view.encode_into(out);
+            }
+            VsMsg::MergeNack { hwg, invitee_view } => {
+                out.push(T_MERGE_NACK);
+                hwg.encode_into(out);
+                invitee_view.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for VsMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            T_HEARTBEAT => Ok(VsMsg::Heartbeat),
+            T_JOIN_PROBE => Ok(VsMsg::JoinProbe {
+                hwg: Decode::decode_from(r)?,
+            }),
+            T_JOIN_OFFER => Ok(VsMsg::JoinOffer {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+            }),
+            T_JOIN_REQ => Ok(VsMsg::JoinReq {
+                hwg: Decode::decode_from(r)?,
+            }),
+            T_LEAVE_REQ => Ok(VsMsg::LeaveReq {
+                hwg: Decode::decode_from(r)?,
+            }),
+            T_DATA => Ok(VsMsg::Data {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                sender: Decode::decode_from(r)?,
+                seq: Decode::decode_from(r)?,
+                payload: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_REQ => Ok(VsMsg::FlushReq {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                proposed: Decode::decode_from(r)?,
+                purpose: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_DIGEST => Ok(VsMsg::FlushDigest {
+                hwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                prefix: Decode::decode_from(r)?,
+                extras: Decode::decode_from(r)?,
+                thin: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_TARGET => Ok(VsMsg::FlushTarget {
+                hwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                target: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_PULL => Ok(VsMsg::FlushPull {
+                hwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+                wants: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_FILL => Ok(VsMsg::FlushFill {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                sender: Decode::decode_from(r)?,
+                seq: Decode::decode_from(r)?,
+                payload: Decode::decode_from(r)?,
+            }),
+            T_FLUSH_DONE => Ok(VsMsg::FlushDone {
+                hwg: Decode::decode_from(r)?,
+                flush: Decode::decode_from(r)?,
+            }),
+            T_NEW_VIEW => Ok(VsMsg::NewView {
+                hwg: Decode::decode_from(r)?,
+                view: Decode::decode_from(r)?,
+            }),
+            T_NACK => Ok(VsMsg::Nack {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                sender: Decode::decode_from(r)?,
+                missing: Decode::decode_from(r)?,
+            }),
+            T_STABILITY => Ok(VsMsg::Stability {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+                prefix: Decode::decode_from(r)?,
+            }),
+            T_BEACON => Ok(VsMsg::Beacon {
+                hwg: Decode::decode_from(r)?,
+                view_id: Decode::decode_from(r)?,
+            }),
+            T_MERGE_REQ => Ok(VsMsg::MergeReq {
+                hwg: Decode::decode_from(r)?,
+                invitee_view: Decode::decode_from(r)?,
+                leader_view: Decode::decode_from(r)?,
+            }),
+            T_MERGE_READY => Ok(VsMsg::MergeReady {
+                hwg: Decode::decode_from(r)?,
+                view: Decode::decode_from(r)?,
+            }),
+            T_MERGE_NACK => Ok(VsMsg::MergeNack {
+                hwg: Decode::decode_from(r)?,
+                invitee_view: Decode::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "VsMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_hwg::{FlushId, HwgId, View, ViewId};
+    use plwg_sim::{decode_frame, peek_family};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn roundtrip(msg: &VsMsg) -> VsMsg {
+        let f = frame(msg);
+        assert_eq!(peek_family(&f), Some(family::VS));
+        decode_frame::<VsMsg>(family::VS, &f).expect("decode")
+    }
+
+    #[test]
+    fn data_roundtrips_and_shares_the_allocation() {
+        let app = Frame::copy_from_slice(b"application bytes");
+        let msg = VsMsg::Data {
+            hwg: HwgId(3),
+            view_id: ViewId::new(NodeId(1), 2),
+            sender: NodeId(1),
+            seq: 9,
+            payload: Slot::Full(app),
+        };
+        let f = frame(&msg);
+        let got = decode_frame::<VsMsg>(family::VS, &f).expect("decode");
+        let VsMsg::Data {
+            payload: Slot::Full(p),
+            seq,
+            ..
+        } = &got
+        else {
+            panic!("wrong variant: {got:?}");
+        };
+        assert_eq!(*seq, 9);
+        assert_eq!(&p[..], b"application bytes");
+        // Zero-copy: the decoded payload borrows the incoming frame's
+        // allocation rather than owning a copy.
+        assert!(Arc::ptr_eq(p.backing(), f.backing()));
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let vid = ViewId::new(NodeId(0), 1);
+        let fid = FlushId {
+            initiator: NodeId(0),
+            nonce: 4,
+        };
+        let view = View::with_predecessors(vid, vec![NodeId(0), NodeId(2)], vec![]);
+        let mut map = BTreeMap::new();
+        map.insert(NodeId(0), 7u64);
+        let msgs = [
+            VsMsg::Heartbeat,
+            VsMsg::JoinProbe { hwg: HwgId(1) },
+            VsMsg::JoinOffer {
+                hwg: HwgId(1),
+                view_id: vid,
+            },
+            VsMsg::JoinReq { hwg: HwgId(1) },
+            VsMsg::LeaveReq { hwg: HwgId(1) },
+            VsMsg::Data {
+                hwg: HwgId(1),
+                view_id: vid,
+                sender: NodeId(2),
+                seq: 1,
+                payload: Slot::Skip,
+            },
+            VsMsg::FlushReq {
+                hwg: HwgId(1),
+                view_id: vid,
+                flush: fid,
+                proposed: vec![NodeId(0), NodeId(2)],
+                purpose: FlushPurpose::Merge { leader: NodeId(2) },
+            },
+            VsMsg::FlushDigest {
+                hwg: HwgId(1),
+                flush: fid,
+                prefix: map.clone(),
+                extras: vec![(NodeId(2), 9)],
+                thin: vec![(NodeId(2), 9)],
+            },
+            VsMsg::FlushTarget {
+                hwg: HwgId(1),
+                flush: fid,
+                target: map.clone(),
+            },
+            VsMsg::FlushPull {
+                hwg: HwgId(1),
+                flush: fid,
+                wants: vec![(NodeId(0), 3)],
+            },
+            VsMsg::FlushFill {
+                hwg: HwgId(1),
+                view_id: vid,
+                sender: NodeId(0),
+                seq: 3,
+                payload: Slot::Full(Frame::from_u64(77)),
+            },
+            VsMsg::FlushDone {
+                hwg: HwgId(1),
+                flush: fid,
+            },
+            VsMsg::NewView {
+                hwg: HwgId(1),
+                view: view.clone(),
+            },
+            VsMsg::Nack {
+                hwg: HwgId(1),
+                view_id: vid,
+                sender: NodeId(0),
+                missing: vec![2, 3],
+            },
+            VsMsg::Stability {
+                hwg: HwgId(1),
+                view_id: vid,
+                prefix: map,
+            },
+            VsMsg::Beacon {
+                hwg: HwgId(1),
+                view_id: vid,
+            },
+            VsMsg::MergeReq {
+                hwg: HwgId(1),
+                invitee_view: vid,
+                leader_view: ViewId::new(NodeId(2), 8),
+            },
+            VsMsg::MergeReady {
+                hwg: HwgId(1),
+                view,
+            },
+            VsMsg::MergeNack {
+                hwg: HwgId(1),
+                invitee_view: vid,
+            },
+        ];
+        for msg in &msgs {
+            assert_eq!(format!("{:?}", roundtrip(msg)), format!("{msg:?}"));
+        }
+    }
+
+    #[test]
+    fn bad_variant_tag_is_rejected() {
+        let f = Frame::from_vec(vec![family::VS as u8, 200]);
+        assert_eq!(
+            decode_frame::<VsMsg>(family::VS, &f).err(),
+            Some(WireError::BadTag {
+                what: "VsMsg",
+                tag: 200,
+            })
+        );
+    }
+}

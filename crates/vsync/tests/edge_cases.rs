@@ -2,11 +2,15 @@
 //! crashes, and membership operations racing view changes.
 
 use plwg_sim::{
-    cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World,
-    WorldConfig,
+    Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
 };
 use plwg_vsync::{GroupStatus, HwgId, View, VsEvent, VsyncConfig, VsyncStack};
 use std::any::Any;
+
+/// Test payload: a bare 8-byte little-endian integer frame.
+fn payload(v: u64) -> Payload {
+    Frame::from_u64(v)
+}
 
 struct App {
     stack: VsyncStack,
@@ -29,8 +33,7 @@ impl App {
             match ev {
                 VsEvent::View { view, .. } => self.views.push(view),
                 VsEvent::Data { src, data, .. } => {
-                    self.delivered
-                        .push((src, *cast::<u64>(&data).expect("u64")));
+                    self.delivered.push((src, data.try_u64().expect("u64")));
                 }
                 VsEvent::Left { .. } => self.lefts += 1,
                 VsEvent::Stop { .. } => {}

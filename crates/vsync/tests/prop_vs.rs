@@ -5,11 +5,16 @@
 //! is deterministic.
 
 use plwg_sim::{
-    cast, payload, Context, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime,
-    TimerToken, World, WorldConfig,
+    Context, Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, TimerToken,
+    World, WorldConfig,
 };
 use plwg_vsync::{HwgId, ViewId, VsEvent, VsyncConfig, VsyncStack};
 use std::any::Any;
+
+/// Test payload: a bare 8-byte little-endian integer frame.
+fn payload(v: u64) -> Payload {
+    Frame::from_u64(v)
+}
 
 const G: HwgId = HwgId(1);
 const CASES: u64 = 24;
@@ -34,7 +39,7 @@ impl Harness {
             match ev {
                 VsEvent::View { view, .. } => self.epochs.push((view.id, Vec::new())),
                 VsEvent::Data { src, data, .. } => {
-                    let v = *cast::<u64>(&data).expect("u64");
+                    let v = data.try_u64().expect("u64");
                     if let Some((_, msgs)) = self.epochs.last_mut() {
                         msgs.push((src, v));
                     }

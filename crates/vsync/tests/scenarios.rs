@@ -2,13 +2,17 @@
 //! partitions and merges, driven through the deterministic simulator.
 
 use plwg_sim::{
-    cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World,
-    WorldConfig,
+    Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
 };
 use plwg_vsync::{
     FlushId, FlushPurpose, GroupStatus, HwgId, View, VsEvent, VsMsg, VsyncConfig, VsyncStack,
 };
 use std::any::Any;
+
+/// Test payload: a bare 8-byte little-endian integer frame.
+fn payload(v: u64) -> Payload {
+    Frame::from_u64(v)
+}
 
 /// A test application owning a vsync stack; records every upcall.
 struct App {
@@ -35,7 +39,7 @@ impl App {
             match ev {
                 VsEvent::View { hwg, view } => self.views.push((hwg, view)),
                 VsEvent::Data { hwg, src, data, .. } => {
-                    let v = *cast::<u64>(&data).expect("u64 payloads in tests");
+                    let v = data.try_u64().expect("u64 payloads in tests");
                     self.delivered.push((hwg, src, v));
                 }
                 VsEvent::Stop { .. } => self.stops += 1,
@@ -588,8 +592,9 @@ fn member_abandons_flush_whose_initiator_went_silent() {
         proposed: view.members.clone(),
         purpose: FlushPurpose::ViewChange,
     };
+    let req = plwg_sim::encode_frame(plwg_sim::family::VS, &req);
     w.invoke(junior, move |a: &mut App, ctx| {
-        if a.stack.on_message(ctx, senior, &payload(req.clone())) {
+        if a.stack.on_message(ctx, senior, &req.clone()) {
             a.drain();
         }
     });

@@ -1,0 +1,184 @@
+//! [`Frame`]: a shared, immutable, cheaply cloneable byte buffer.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A shared immutable byte buffer — the unit of data the simulated
+/// network moves.
+///
+/// Cloning a frame is a reference-count bump; [`Frame::subrange`] yields a
+/// frame that *shares* the parent's allocation, which is what makes the
+/// data plane zero-copy: a pack buffer serialized once per HWG multicast
+/// is sliced, never re-buffered, by every member that delivers it.
+///
+/// ```
+/// use plwg_wire::Frame;
+/// let f = Frame::from_vec(vec![1, 2, 3, 4]);
+/// let sub = f.subrange(1, 3).unwrap();
+/// assert_eq!(&sub[..], &[2, 3]);
+/// assert_eq!(f.len(), 4);
+/// ```
+#[derive(Clone)]
+pub struct Frame {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Frame {
+    /// Wraps an owned buffer without copying it.
+    pub fn from_vec(v: Vec<u8>) -> Frame {
+        let end = v.len();
+        Frame {
+            buf: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Copies `bytes` into a fresh frame.
+    pub fn copy_from_slice(bytes: &[u8]) -> Frame {
+        Frame {
+            buf: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// The empty frame.
+    pub fn empty() -> Frame {
+        Frame {
+            buf: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Encodes `v` as an 8-byte little-endian frame — the conventional
+    /// spelling for numeric application payloads in tests and benches.
+    pub fn from_u64(v: u64) -> Frame {
+        Frame::copy_from_slice(&v.to_le_bytes())
+    }
+
+    /// Reads an 8-byte little-endian number back out of a frame built
+    /// with [`Frame::from_u64`].
+    pub fn try_u64(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.bytes().try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    /// The viewed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Number of viewed bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the frame views no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The shared backing allocation. Protocol code has no use for this;
+    /// tests use it to assert two frames share one allocation
+    /// (`Arc::ptr_eq(a.backing(), b.backing())`).
+    pub fn backing(&self) -> &Arc<[u8]> {
+        &self.buf
+    }
+
+    /// A sub-frame viewing `[start, end)` of this frame's bytes,
+    /// **sharing** the underlying allocation. `None` when the range is
+    /// out of bounds or inverted.
+    pub fn subrange(&self, start: usize, end: usize) -> Option<Frame> {
+        if start > end || end > self.len() {
+            return None;
+        }
+        Some(Frame {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            end: self.start + end,
+        })
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::empty()
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Frame {}
+
+impl From<Vec<u8>> for Frame {
+    fn from(v: Vec<u8>) -> Frame {
+        Frame::from_vec(v)
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame[{}B", self.len())?;
+        for b in self.bytes().iter().take(8) {
+            write!(f, " {b:02x}")?;
+        }
+        if self.len() > 8 {
+            write!(f, " ..")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subrange_shares_the_allocation() {
+        let f = Frame::from_vec((0..32).collect());
+        let a = f.subrange(4, 12).expect("in range");
+        let b = a.subrange(2, 4).expect("in range");
+        assert_eq!(a.len(), 8);
+        assert_eq!(&b[..], &[6, 7]);
+        assert!(Arc::ptr_eq(&f.buf, &b.buf));
+    }
+
+    #[test]
+    fn subrange_rejects_bad_ranges() {
+        let f = Frame::from_vec(vec![0; 4]);
+        assert!(f.subrange(0, 5).is_none());
+        assert!(f.subrange(3, 2).is_none());
+        assert!(f.subrange(4, 4).is_some_and(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn u64_roundtrip_and_eq_by_bytes() {
+        let f = Frame::from_u64(0xdead_beef);
+        assert_eq!(f.try_u64(), Some(0xdead_beef));
+        assert_eq!(f, Frame::copy_from_slice(&0xdead_beefu64.to_le_bytes()));
+        assert_eq!(Frame::empty().try_u64(), None);
+        assert_eq!(Frame::default().len(), 0);
+    }
+}

@@ -11,9 +11,7 @@
 
 use plwg_core::{LwgConfig, LwgId, LwgService};
 use plwg_naming::NamingConfig;
-use plwg_sim::{
-    cast, payload, Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken,
-};
+use plwg_sim::{Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken};
 use plwg_vsync::{GroupStatus, HwgId, VsEvent, VsyncStack};
 use std::any::Any;
 
@@ -39,13 +37,34 @@ impl ServiceMode {
     }
 }
 
-/// A timestamped experiment payload.
+/// A timestamped experiment payload: a fixed 16-byte frame (`seq` then
+/// `sent_at` in micros, both little endian).
 #[derive(Debug, Clone, Copy)]
 pub struct Stamped {
     /// Sequence number within the sender's stream.
     pub seq: u64,
     /// Virtual send time.
     pub sent_at: SimTime,
+}
+
+impl Stamped {
+    /// Serializes into a fresh 16-byte frame.
+    pub fn to_frame(self) -> Payload {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.sent_at.as_micros().to_le_bytes());
+        Frame::from_vec(buf)
+    }
+
+    /// Parses a 16-byte frame; `None` when the payload is not one.
+    pub fn from_frame(frame: &Payload) -> Option<Stamped> {
+        let bytes: &[u8; 16] = frame.bytes().try_into().ok()?;
+        let (seq, at) = bytes.split_at(8);
+        Some(Stamped {
+            seq: u64::from_le_bytes(seq.try_into().expect("8 bytes")),
+            sent_at: SimTime::from_micros(u64::from_le_bytes(at.try_into().expect("8 bytes"))),
+        })
+    }
 }
 
 /// One recorded delivery.
@@ -150,8 +169,8 @@ impl BenchNode {
             sent_at: ctx.now(),
         };
         match &mut self.inner {
-            Inner::Raw(stack) => stack.send(ctx, HwgId(group), payload(msg)),
-            Inner::Lwg(svc) => svc.send(ctx, LwgId(group), payload(msg)),
+            Inner::Raw(stack) => stack.send(ctx, HwgId(group), msg.to_frame()),
+            Inner::Lwg(svc) => svc.send(ctx, LwgId(group), msg.to_frame()),
         }
         self.drain(ctx.now());
     }
@@ -217,7 +236,7 @@ impl BenchNode {
                 for ev in stack.drain_events() {
                     match ev {
                         VsEvent::Data { hwg, src, data, .. } => {
-                            if let Some(st) = cast::<Stamped>(&data) {
+                            if let Some(st) = Stamped::from_frame(&data) {
                                 self.deliveries.push(Delivery {
                                     group: hwg.0,
                                     src,
@@ -240,7 +259,7 @@ impl BenchNode {
                 for ev in svc.drain_events() {
                     match ev {
                         plwg_core::LwgEvent::Data { lwg, src, data } => {
-                            if let Some(st) = cast::<Stamped>(&data) {
+                            if let Some(st) = Stamped::from_frame(&data) {
                                 self.deliveries.push(Delivery {
                                     group: lwg.0,
                                     src,

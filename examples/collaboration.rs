@@ -8,7 +8,6 @@
 //! Run with: `cargo run --example collaboration`
 
 use plwg::prelude::*;
-use plwg::sim::payload;
 
 const ROSTER: LwgId = LwgId(1);
 const BREAKOUT: LwgId = LwgId(2);
@@ -89,7 +88,7 @@ fn main() {
     // Breakout chatter is now invisible to the other six users' stacks.
     world.invoke(users[0], |app: &mut LwgNode, ctx| {
         for i in 0..3u64 {
-            app.service().send(ctx, BREAKOUT, payload(i));
+            app.service().send(ctx, BREAKOUT, Frame::from_u64(i));
         }
     });
     world.run_until(at(41));

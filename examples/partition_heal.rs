@@ -74,7 +74,7 @@ fn main() {
     // Both sides stay live: each can still multicast within its view.
     for &(n, v) in &[(nodes[0], 100u64), (nodes[2], 200u64)] {
         world.invoke(n, move |app: &mut LwgNode, ctx| {
-            app.service().send(ctx, group, plwg::sim::payload(v))
+            app.service().send(ctx, group, Frame::from_u64(v))
         });
     }
     world.run_until(at(27));

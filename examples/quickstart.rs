@@ -5,7 +5,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use plwg::prelude::*;
-use plwg::sim::payload;
 
 fn main() {
     // A world with one name server (n0) and three application nodes.
@@ -48,7 +47,7 @@ fn main() {
     let sender = nodes[0];
     world.invoke(sender, move |app: &mut LwgNode, ctx| {
         for i in 0..5u64 {
-            app.service().send(ctx, group, payload(i));
+            app.service().send(ctx, group, Frame::from_u64(i));
         }
     });
     world.run_for(SimDuration::from_secs(1));

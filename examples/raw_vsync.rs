@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example raw_vsync`
 
 use plwg::prelude::*;
-use plwg::sim::{cast, payload, Driver};
+use plwg::sim::Driver;
 use plwg::vsync::HwgId;
 
 const GROUP: HwgId = HwgId(42);
@@ -27,12 +27,17 @@ fn render(events: &[VsEvent]) -> Vec<String> {
         .filter_map(|ev| match ev {
             VsEvent::View { view, .. } => Some(format!("view {view}")),
             VsEvent::Data { src, data, .. } => {
-                let text: &String = cast(data).expect("string payload");
+                let text = std::str::from_utf8(data.bytes()).expect("utf-8 payload");
                 Some(format!("{src}: {text}"))
             }
             VsEvent::Stop { .. } | VsEvent::Left { .. } => None,
         })
         .collect()
+}
+
+/// A chat line as a UTF-8 payload frame.
+fn text(s: &str) -> Frame {
+    Frame::from_vec(s.as_bytes().to_vec())
 }
 
 fn at(s: u64) -> SimTime {
@@ -56,11 +61,8 @@ fn main() {
     }
     world.run_until(at(8));
     world.invoke(nodes[1], |c: &mut ChatNode, ctx| {
-        c.endpoint_mut().send(
-            ctx,
-            GROUP,
-            payload("hello, virtually synchronous world".to_owned()),
-        );
+        c.endpoint_mut()
+            .send(ctx, GROUP, text("hello, virtually synchronous world"));
     });
     world.run_until(at(9));
 
@@ -71,12 +73,10 @@ fn main() {
     );
     world.run_until(at(16));
     world.invoke(nodes[0], |c: &mut ChatNode, ctx| {
-        c.endpoint_mut()
-            .send(ctx, GROUP, payload("anyone there?".to_owned()));
+        c.endpoint_mut().send(ctx, GROUP, text("anyone there?"));
     });
     world.invoke(nodes[3], |c: &mut ChatNode, ctx| {
-        c.endpoint_mut()
-            .send(ctx, GROUP, payload("our side is fine".to_owned()));
+        c.endpoint_mut().send(ctx, GROUP, text("our side is fine"));
     });
     world.heal_at(at(18));
     world.run_until(at(30));

@@ -12,13 +12,31 @@
 //! Run with: `cargo run --example trading`
 
 use plwg::prelude::*;
-use plwg::sim::payload;
 
-/// A price tick for a subject.
+/// A price tick for a subject, carried as a fixed 16-byte frame
+/// (`subject` then `price_cents`, both little endian).
 #[derive(Debug, Clone, Copy)]
 struct Tick {
     subject: u64,
     price_cents: u64,
+}
+
+impl Tick {
+    fn to_frame(self) -> Frame {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&self.subject.to_le_bytes());
+        buf.extend_from_slice(&self.price_cents.to_le_bytes());
+        Frame::from_vec(buf)
+    }
+
+    fn from_frame(frame: &Frame) -> Option<Tick> {
+        let bytes: &[u8; 16] = frame.bytes().try_into().ok()?;
+        let (subject, price) = bytes.split_at(8);
+        Some(Tick {
+            subject: u64::from_le_bytes(subject.try_into().expect("8 bytes")),
+            price_cents: u64::from_le_bytes(price.try_into().expect("8 bytes")),
+        })
+    }
 }
 
 fn at(s: u64) -> SimTime {
@@ -95,10 +113,11 @@ fn main() {
                     app.service().send(
                         ctx,
                         LwgId(subject),
-                        payload(Tick {
+                        Tick {
                             subject,
                             price_cents: 10_000 + subject * 100 + k,
-                        }),
+                        }
+                        .to_frame(),
                     )
                 },
             );
@@ -116,7 +135,7 @@ fn main() {
                 let LwgEvent::Data { lwg, data, .. } = ev else {
                     continue;
                 };
-                let tick = plwg::sim::cast::<Tick>(data).expect("tick payload");
+                let tick = Tick::from_frame(data).expect("tick payload");
                 assert_eq!(tick.subject, lwg.0, "tick delivered to its subject");
                 assert!(tick.price_cents >= 10_000, "prices are sane");
                 let mine = if gi < 4 { lwg.0 <= 12 } else { lwg.0 > 12 };

@@ -56,10 +56,10 @@
 //! );
 //! world.run_for(SimDuration::from_secs(10));
 //! world.invoke(a, move |n: &mut LwgNode, ctx| {
-//!     n.service().send(ctx, g, plwg::sim::payload(42u32))
+//!     n.service().send(ctx, g, plwg::sim::Frame::from_u64(42))
 //! });
 //! world.run_for(SimDuration::from_secs(1));
-//! let got: Vec<u32> = world.inspect(b, |n: &LwgNode| n.events_ref().data_from(g, a));
+//! let got: Vec<u64> = world.inspect(b, |n: &LwgNode| n.events_ref().data_from(g, a));
 //! assert_eq!(got, vec![42]);
 //! ```
 
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use plwg_core::{HwgId, HwgSubstrate, LwgConfig, LwgEvent, LwgEvents, LwgId, View, ViewId};
     pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
     pub use plwg_sim::{
-        Context, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,
+        Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,
     };
     pub use plwg_vsync::{VsEvent, VsyncConfig, VsyncStack};
 

@@ -68,7 +68,7 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
         world.invoke_at(
             t0 + SimDuration::from_millis(50 * k),
             sender,
-            move |n: &mut LwgNode, ctx| n.service().send(ctx, g, plwg::sim::payload(k)),
+            move |n: &mut LwgNode, ctx| n.service().send(ctx, g, plwg::sim::Frame::from_u64(k)),
         );
     }
     world.crash_at(t0 + SimDuration::from_millis(2_500), apps[3]);
@@ -118,7 +118,10 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
         world.invoke_at(
             t1 + SimDuration::from_millis(50 * k),
             sender,
-            move |n: &mut LwgNode, ctx| n.service().send(ctx, g, plwg::sim::payload(1_000 + k)),
+            move |n: &mut LwgNode, ctx| {
+                n.service()
+                    .send(ctx, g, plwg::sim::Frame::from_u64(1_000 + k))
+            },
         );
     }
     world.run_until(t1 + SimDuration::from_secs(5));

@@ -147,10 +147,10 @@ fn concurrent_view_data_stays_in_its_view_across_heal() {
     f.world.run_until(at(20));
     // Each side multicasts within its concurrent view.
     f.world.invoke(a0, move |a: &mut LwgNode, ctx| {
-        a.service().send(ctx, g, plwg::sim::payload(111u64))
+        a.service().send(ctx, g, plwg::sim::Frame::from_u64(111))
     });
     f.world.invoke(b0, move |a: &mut LwgNode, ctx| {
-        a.service().send(ctx, g, plwg::sim::payload(222u64))
+        a.service().send(ctx, g, plwg::sim::Frame::from_u64(222))
     });
     f.world.run_until(at(22));
     f.world.heal_at(at(22));
@@ -203,7 +203,7 @@ fn sends_straddling_the_heal_are_view_consistent() {
         f.world.invoke_at(
             at(19) + SimDuration::from_millis(100 * k),
             a0,
-            move |a: &mut LwgNode, ctx| a.service().send(ctx, g, plwg::sim::payload(k)),
+            move |a: &mut LwgNode, ctx| a.service().send(ctx, g, plwg::sim::Frame::from_u64(k)),
         );
     }
     f.world.run_until(at(45));

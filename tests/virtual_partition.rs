@@ -89,7 +89,7 @@ fn congestion_episode_splits_and_heals_lwgs() {
     let sender = apps[0];
     world.invoke(sender, move |n: &mut LwgNode, ctx| {
         for k in 0..5u64 {
-            n.service().send(ctx, g, plwg::sim::payload(k));
+            n.service().send(ctx, g, plwg::sim::Frame::from_u64(k));
         }
     });
     world.run_until(at(72));

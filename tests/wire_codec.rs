@@ -1,0 +1,621 @@
+//! Wire-codec properties over the real protocol messages.
+//!
+//! Seeded (reproducible) round-trips across every variant of the three
+//! wire families, rejection of truncated/trailing/misrouted frames, a
+//! no-panic sweep over corrupted bytes, and the golden frame snapshot
+//! (`tests/golden/wire_frames.hex`) that pins the byte layout: any
+//! encoding change — even a compatible-looking one — must show up as a
+//! reviewed diff of that file. Regenerate with
+//! `WIRE_GOLDEN_BLESS=1 cargo test --test wire_codec`.
+
+use plwg::core::{LFlushId, LwgMsg};
+use plwg::hwg::{HwgId, View, ViewId};
+use plwg::naming::{LwgId, Mapping, MappingDb, NsMsg, RequestId};
+use plwg::sim::{decode_frame, encode_frame, family, peek_family, Frame, NodeId, SimRng};
+use plwg::vsync::{FlushId, FlushPurpose, Slot, VsMsg};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Seeded generators
+// ---------------------------------------------------------------------
+
+fn node(rng: &mut SimRng) -> NodeId {
+    NodeId(rng.range(0, 16) as u32)
+}
+
+fn view_id(rng: &mut SimRng) -> ViewId {
+    ViewId::new(node(rng), rng.range(0, 64))
+}
+
+fn flush_id(rng: &mut SimRng) -> FlushId {
+    FlushId {
+        initiator: node(rng),
+        nonce: rng.range(0, 64),
+    }
+}
+
+fn lflush_id(rng: &mut SimRng) -> LFlushId {
+    LFlushId {
+        initiator: node(rng),
+        nonce: rng.range(0, 64),
+    }
+}
+
+fn payload(rng: &mut SimRng) -> Frame {
+    let mut bytes = vec![0u8; rng.range(0, 64) as usize];
+    rng.fill_bytes(&mut bytes);
+    Frame::from_vec(bytes)
+}
+
+fn members(rng: &mut SimRng) -> Vec<NodeId> {
+    let base = rng.range(0, 8) as u32;
+    (0..rng.range(1, 5))
+        .map(|i| NodeId(base + i as u32))
+        .collect()
+}
+
+fn view(rng: &mut SimRng) -> View {
+    View {
+        id: view_id(rng),
+        members: members(rng),
+        predecessors: (0..rng.range(0, 3)).map(|_| view_id(rng)).collect(),
+    }
+}
+
+fn seq_map(rng: &mut SimRng) -> BTreeMap<NodeId, u64> {
+    (0..rng.range(0, 4))
+        .map(|_| (node(rng), rng.range(0, 1000)))
+        .collect()
+}
+
+fn seq_pairs(rng: &mut SimRng) -> Vec<(NodeId, u64)> {
+    (0..rng.range(0, 4))
+        .map(|_| (node(rng), rng.range(0, 1000)))
+        .collect()
+}
+
+fn slot(rng: &mut SimRng) -> Slot {
+    if rng.chance(0.2) {
+        Slot::Skip
+    } else {
+        Slot::Full(payload(rng))
+    }
+}
+
+fn mapping(rng: &mut SimRng) -> Mapping {
+    Mapping {
+        lwg_view: view_id(rng),
+        members: members(rng),
+        hwg: HwgId(rng.range(0, 32)),
+        hwg_view: view_id(rng),
+    }
+}
+
+fn vs_msg(rng: &mut SimRng) -> VsMsg {
+    let hwg = HwgId(rng.range(0, 32));
+    match rng.range(0, 18) {
+        0 => VsMsg::Heartbeat,
+        1 => VsMsg::JoinProbe { hwg },
+        2 => VsMsg::JoinOffer {
+            hwg,
+            view_id: view_id(rng),
+        },
+        3 => VsMsg::JoinReq { hwg },
+        4 => VsMsg::LeaveReq { hwg },
+        5 => VsMsg::Data {
+            hwg,
+            view_id: view_id(rng),
+            sender: node(rng),
+            seq: rng.range(1, 1000),
+            payload: slot(rng),
+        },
+        6 => VsMsg::FlushReq {
+            hwg,
+            view_id: view_id(rng),
+            flush: flush_id(rng),
+            proposed: members(rng),
+            purpose: if rng.chance(0.5) {
+                FlushPurpose::ViewChange
+            } else {
+                FlushPurpose::Merge { leader: node(rng) }
+            },
+        },
+        7 => VsMsg::FlushDigest {
+            hwg,
+            flush: flush_id(rng),
+            prefix: seq_map(rng),
+            extras: seq_pairs(rng),
+            thin: seq_pairs(rng),
+        },
+        8 => VsMsg::FlushTarget {
+            hwg,
+            flush: flush_id(rng),
+            target: seq_map(rng),
+        },
+        9 => VsMsg::FlushPull {
+            hwg,
+            flush: flush_id(rng),
+            wants: seq_pairs(rng),
+        },
+        10 => VsMsg::FlushFill {
+            hwg,
+            view_id: view_id(rng),
+            sender: node(rng),
+            seq: rng.range(1, 1000),
+            payload: slot(rng),
+        },
+        11 => VsMsg::FlushDone {
+            hwg,
+            flush: flush_id(rng),
+        },
+        12 => VsMsg::NewView {
+            hwg,
+            view: view(rng),
+        },
+        13 => VsMsg::Nack {
+            hwg,
+            view_id: view_id(rng),
+            sender: node(rng),
+            missing: (0..rng.range(0, 5)).map(|_| rng.range(1, 1000)).collect(),
+        },
+        14 => VsMsg::Stability {
+            hwg,
+            view_id: view_id(rng),
+            prefix: seq_map(rng),
+        },
+        15 => VsMsg::Beacon {
+            hwg,
+            view_id: view_id(rng),
+        },
+        16 => VsMsg::MergeReq {
+            hwg,
+            invitee_view: view_id(rng),
+            leader_view: view_id(rng),
+        },
+        17 => VsMsg::MergeReady {
+            hwg,
+            view: view(rng),
+        },
+        _ => VsMsg::MergeNack {
+            hwg,
+            invitee_view: view_id(rng),
+        },
+    }
+}
+
+fn lwg_msg(rng: &mut SimRng) -> LwgMsg {
+    let lwg = LwgId(rng.range(0, 32));
+    match rng.range(0, 13) {
+        0 => LwgMsg::Data {
+            lwg,
+            lwg_view: view_id(rng),
+            data: payload(rng),
+        },
+        1 => LwgMsg::Batch {
+            entries: (0..rng.range(1, 5))
+                .map(|_| (LwgId(rng.range(0, 32)), view_id(rng), payload(rng)))
+                .collect(),
+        },
+        2 => LwgMsg::JoinReq { lwg },
+        3 => LwgMsg::LeaveReq { lwg },
+        4 => LwgMsg::Flush {
+            lwg,
+            flush: lflush_id(rng),
+            members: members(rng),
+        },
+        5 => LwgMsg::FlushOk {
+            lwg,
+            flush: lflush_id(rng),
+        },
+        6 => LwgMsg::NewLwgView {
+            lwg,
+            flush: if rng.chance(0.5) {
+                Some(lflush_id(rng))
+            } else {
+                None
+            },
+            view: view(rng),
+            hwg: HwgId(rng.range(0, 32)),
+        },
+        7 => LwgMsg::SwitchTo {
+            lwg,
+            flush: lflush_id(rng),
+            to: HwgId(rng.range(0, 32)),
+            members: members(rng),
+        },
+        8 => LwgMsg::SwitchReady {
+            lwg,
+            flush: lflush_id(rng),
+        },
+        9 => LwgMsg::MergeViews,
+        10 => LwgMsg::AllViews {
+            views: (0..rng.range(0, 3))
+                .map(|_| (LwgId(rng.range(0, 32)), view(rng)))
+                .collect(),
+        },
+        11 => LwgMsg::Dissolved {
+            lwg,
+            flush: lflush_id(rng),
+        },
+        _ => LwgMsg::Redirect {
+            lwg,
+            to: HwgId(rng.range(0, 32)),
+        },
+    }
+}
+
+fn ns_msg(rng: &mut SimRng) -> NsMsg {
+    let lwg = LwgId(rng.range(0, 32));
+    let req = RequestId(rng.range(0, 1000));
+    match rng.range(0, 7) {
+        0 => NsMsg::Set {
+            req,
+            lwg,
+            mapping: mapping(rng),
+            preds: (0..rng.range(0, 3)).map(|_| view_id(rng)).collect(),
+        },
+        1 => NsMsg::Read { req, lwg },
+        2 => NsMsg::TestSet {
+            req,
+            lwg,
+            mapping: mapping(rng),
+            preds: (0..rng.range(0, 3)).map(|_| view_id(rng)).collect(),
+        },
+        3 => NsMsg::Unset {
+            req,
+            lwg,
+            lwg_view: view_id(rng),
+        },
+        4 => NsMsg::Reply {
+            req,
+            lwg,
+            mappings: (0..rng.range(0, 3)).map(|_| mapping(rng)).collect(),
+        },
+        5 => NsMsg::MultipleMappings {
+            lwg,
+            mappings: (0..rng.range(1, 3)).map(|_| mapping(rng)).collect(),
+        },
+        _ => {
+            let mut db = MappingDb::new();
+            for _ in 0..rng.range(0, 3) {
+                let m = mapping(rng);
+                db.set(LwgId(rng.range(0, 32)), m, &[]);
+            }
+            NsMsg::Gossip { db }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties (the enums have no PartialEq; their Debug forms
+// are total, so string equality is the identity check)
+// ---------------------------------------------------------------------
+
+const SEEDS: [u64; 3] = [1, 42, 0xF00D];
+const ITERS: usize = 300;
+
+#[test]
+fn vs_frames_round_trip() {
+    for seed in SEEDS {
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..ITERS {
+            let msg = vs_msg(&mut rng);
+            let f = encode_frame(family::VS, &msg);
+            assert_eq!(peek_family(&f), Some(family::VS));
+            let back: VsMsg = decode_frame(family::VS, &f).expect("round trip");
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+}
+
+#[test]
+fn lwg_frames_round_trip() {
+    for seed in SEEDS {
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..ITERS {
+            let msg = lwg_msg(&mut rng);
+            let f = encode_frame(family::LWG, &msg);
+            assert_eq!(peek_family(&f), Some(family::LWG));
+            let back: LwgMsg = decode_frame(family::LWG, &f).expect("round trip");
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+}
+
+#[test]
+fn ns_frames_round_trip() {
+    for seed in SEEDS {
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..ITERS {
+            let msg = ns_msg(&mut rng);
+            let f = encode_frame(family::NS, &msg);
+            assert_eq!(peek_family(&f), Some(family::NS));
+            let back: NsMsg = decode_frame(family::NS, &f).expect("round trip");
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rejection: every malformation fails typed, never panics
+// ---------------------------------------------------------------------
+
+/// Every field of every message is required and every variable-length
+/// structure carries an explicit length prefix, so *no strict prefix* of
+/// a valid frame is itself a valid frame.
+#[test]
+fn every_truncation_is_rejected() {
+    let mut rng = SimRng::from_seed(7);
+    for _ in 0..40 {
+        let f = encode_frame(family::VS, &vs_msg(&mut rng));
+        for cut in 0..f.len() {
+            let t = Frame::copy_from_slice(&f.bytes()[..cut]);
+            assert!(
+                decode_frame::<VsMsg>(family::VS, &t).is_err(),
+                "prefix of len {cut}/{} decoded",
+                f.len()
+            );
+        }
+        let f = encode_frame(family::LWG, &lwg_msg(&mut rng));
+        for cut in 0..f.len() {
+            let t = Frame::copy_from_slice(&f.bytes()[..cut]);
+            assert!(decode_frame::<LwgMsg>(family::LWG, &t).is_err());
+        }
+        let f = encode_frame(family::NS, &ns_msg(&mut rng));
+        for cut in 0..f.len() {
+            let t = Frame::copy_from_slice(&f.bytes()[..cut]);
+            assert!(decode_frame::<NsMsg>(family::NS, &t).is_err());
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut rng = SimRng::from_seed(8);
+    for _ in 0..40 {
+        let f = encode_frame(family::VS, &vs_msg(&mut rng));
+        let mut long = f.bytes().to_vec();
+        long.push(0);
+        let t = Frame::from_vec(long);
+        assert!(decode_frame::<VsMsg>(family::VS, &t).is_err());
+    }
+}
+
+#[test]
+fn misrouted_family_is_rejected() {
+    let f = encode_frame(family::VS, &VsMsg::Heartbeat);
+    assert!(decode_frame::<NsMsg>(family::NS, &f).is_err());
+    assert!(decode_frame::<LwgMsg>(family::LWG, &f).is_err());
+}
+
+/// Arbitrary corruption may decode (flipping a payload byte yields a
+/// different but well-formed message) or fail typed; it must never panic,
+/// and whatever does decode must itself round-trip. (Byte-for-byte
+/// re-encoding is *not* asserted: a flipped map key decodes fine but
+/// re-encodes in canonical sorted order.)
+#[test]
+fn corruption_never_panics() {
+    let mut rng = SimRng::from_seed(9);
+    for _ in 0..200 {
+        let f = encode_frame(family::VS, &vs_msg(&mut rng));
+        let mut bytes = f.bytes().to_vec();
+        let i = rng.range(0, bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << rng.range(0, 8);
+        let corrupt = Frame::from_vec(bytes);
+        if let Ok(back) = decode_frame::<VsMsg>(family::VS, &corrupt) {
+            let re = encode_frame(family::VS, &back);
+            let again: VsMsg = decode_frame(family::VS, &re).expect("re-encode round trips");
+            assert_eq!(format!("{back:?}"), format!("{again:?}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden snapshot
+// ---------------------------------------------------------------------
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// One fixed frame per interesting shape: every encoding primitive
+/// (varint, map, vec, tuple, option, nested payload) appears at least
+/// once, so a codec change cannot miss the snapshot.
+fn golden_entries() -> Vec<(&'static str, Frame)> {
+    let v1 = ViewId::new(NodeId(1), 3);
+    let v2 = ViewId::new(NodeId(2), 5);
+    let view = View {
+        id: v2,
+        members: vec![NodeId(1), NodeId(2), NodeId(4)],
+        predecessors: vec![v1],
+    };
+    let mapping = Mapping {
+        lwg_view: v1,
+        members: vec![NodeId(1), NodeId(2)],
+        hwg: HwgId(7),
+        hwg_view: v2,
+    };
+    let mut db = MappingDb::new();
+    db.set(LwgId(9), mapping.clone(), &[]);
+    vec![
+        ("vs.heartbeat", encode_frame(family::VS, &VsMsg::Heartbeat)),
+        (
+            "vs.data",
+            encode_frame(
+                family::VS,
+                &VsMsg::Data {
+                    hwg: HwgId(7),
+                    view_id: v1,
+                    sender: NodeId(2),
+                    seq: 9,
+                    payload: Slot::Full(Frame::from_vec(vec![0xde, 0xad, 0xbe, 0xef])),
+                },
+            ),
+        ),
+        (
+            "vs.data.skip",
+            encode_frame(
+                family::VS,
+                &VsMsg::Data {
+                    hwg: HwgId(7),
+                    view_id: v1,
+                    sender: NodeId(2),
+                    seq: 10,
+                    payload: Slot::Skip,
+                },
+            ),
+        ),
+        (
+            "vs.flush_digest",
+            encode_frame(
+                family::VS,
+                &VsMsg::FlushDigest {
+                    hwg: HwgId(7),
+                    flush: FlushId {
+                        initiator: NodeId(1),
+                        nonce: 2,
+                    },
+                    prefix: BTreeMap::from([(NodeId(1), 4), (NodeId(2), 7)]),
+                    extras: vec![(NodeId(3), 5)],
+                    thin: vec![],
+                },
+            ),
+        ),
+        (
+            "vs.new_view",
+            encode_frame(
+                family::VS,
+                &VsMsg::NewView {
+                    hwg: HwgId(7),
+                    view: view.clone(),
+                },
+            ),
+        ),
+        (
+            "vs.merge_req",
+            encode_frame(
+                family::VS,
+                &VsMsg::MergeReq {
+                    hwg: HwgId(7),
+                    invitee_view: v1,
+                    leader_view: v2,
+                },
+            ),
+        ),
+        (
+            "lwg.data",
+            encode_frame(
+                family::LWG,
+                &LwgMsg::Data {
+                    lwg: LwgId(3),
+                    lwg_view: v1,
+                    data: Frame::from_vec(vec![0x2a]),
+                },
+            ),
+        ),
+        (
+            "lwg.batch",
+            encode_frame(
+                family::LWG,
+                &LwgMsg::Batch {
+                    entries: vec![
+                        (LwgId(3), v1, Frame::from_vec(vec![0x01])),
+                        (LwgId(4), v2, Frame::from_vec(vec![0x02, 0x03])),
+                    ],
+                },
+            ),
+        ),
+        (
+            "lwg.new_lwg_view",
+            encode_frame(
+                family::LWG,
+                &LwgMsg::NewLwgView {
+                    lwg: LwgId(3),
+                    flush: Some(LFlushId {
+                        initiator: NodeId(1),
+                        nonce: 2,
+                    }),
+                    view: view.clone(),
+                    hwg: HwgId(7),
+                },
+            ),
+        ),
+        (
+            "lwg.redirect",
+            encode_frame(
+                family::LWG,
+                &LwgMsg::Redirect {
+                    lwg: LwgId(3),
+                    to: HwgId(8),
+                },
+            ),
+        ),
+        (
+            "ns.set",
+            encode_frame(
+                family::NS,
+                &NsMsg::Set {
+                    req: RequestId(11),
+                    lwg: LwgId(9),
+                    mapping: mapping.clone(),
+                    preds: vec![v1],
+                },
+            ),
+        ),
+        (
+            "ns.reply",
+            encode_frame(
+                family::NS,
+                &NsMsg::Reply {
+                    req: RequestId(11),
+                    lwg: LwgId(9),
+                    mappings: vec![mapping],
+                },
+            ),
+        ),
+        ("ns.gossip", encode_frame(family::NS, &NsMsg::Gossip { db })),
+    ]
+}
+
+#[test]
+fn golden_frames_match_snapshot() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wire_frames.hex");
+    let mut lines = vec![
+        "# Golden wire frames: <label> <hex of the full frame, family tag included>.".to_string(),
+        "# Any diff here is a wire-format change; regenerate only deliberately with".to_string(),
+        "# WIRE_GOLDEN_BLESS=1 cargo test --test wire_codec".to_string(),
+    ];
+    for (label, frame) in golden_entries() {
+        lines.push(format!("{label} {}", hex(frame.bytes())));
+    }
+    let want = lines.join("\n") + "\n";
+    if std::env::var_os("WIRE_GOLDEN_BLESS").is_some() {
+        std::fs::write(&path, &want).expect("write golden");
+        return;
+    }
+    let got = std::fs::read_to_string(&path).expect(
+        "tests/golden/wire_frames.hex missing — run WIRE_GOLDEN_BLESS=1 cargo test --test wire_codec",
+    );
+    assert_eq!(
+        got, want,
+        "wire frames drifted from the golden snapshot; if the format change is \
+         intentional, re-bless with WIRE_GOLDEN_BLESS=1 cargo test --test wire_codec"
+    );
+}
+
+/// The golden snapshot still decodes: the file guards compatibility of the
+/// *decoder* too, not just encoder stability.
+#[test]
+fn golden_frames_still_decode() {
+    for (label, frame) in golden_entries() {
+        let fam = peek_family(&frame).expect("family tag");
+        let ok = match fam {
+            family::VS => decode_frame::<VsMsg>(fam, &frame).is_ok(),
+            family::NS => decode_frame::<NsMsg>(fam, &frame).is_ok(),
+            family::LWG => decode_frame::<LwgMsg>(fam, &frame).is_ok(),
+            _ => false,
+        };
+        assert!(ok, "golden frame {label} no longer decodes");
+    }
+}
