@@ -1,0 +1,402 @@
+//! Scale sweep: **how the sharded `GroupDirectory` behaves from 1k to
+//! 1M LWGs** on a fixed node count.
+//!
+//! The paper's whole pitch is that light-weight groups are cheap enough
+//! to create by the thousand; this sweep puts a number on "cheap" for the
+//! directory that now backs them. One app process (plus one name server)
+//! over the scripted substrate carries `L` singleton LWGs spread
+//! round-robin across 16 HWGs, and per cell the sweep records only
+//! **deterministic counters** — wall-clock is printed for the curious but
+//! never written to `BENCH_scale.json`, so CI can regenerate the file and
+//! gate on it byte-for-byte:
+//!
+//! * **bytes/LWG** — live heap delta across seeding, divided by `L`
+//!   (allocation counts are deterministic in the simulated world);
+//! * **directory lookup cost** — [`plwg_core::DirCounters`] deltas over a
+//!   fixed probe window (2 s of ticks + 256 status lookups + 256 sends):
+//!   `visited` is the index work a full-table scan used to spend O(L) on,
+//!   so a flat value across cells *is* the tentpole's claim;
+//! * **multicasts per delivered message** — the data plane must not
+//!   amplify with the group count;
+//! * **rebalance convergence** — a second world seeds the same `L` plus
+//!   [`SKEW`] extra groups on one HWG, turns the rebalancer on, and counts
+//!   moves and 300 ms rounds until two quiet rounds in a row.
+//!
+//! Cells: 1k/10k/100k by default, `--full` adds the 1M cell, `--smoke`
+//! runs 1k+10k and asserts the flatness gates (CI's job).
+
+use plwg_core::{DirCounters, HwgId, LwgConfig, LwgId, LwgMsg, ScriptedHwg, View, ViewId};
+use plwg_naming::{NameServer, NamingConfig};
+use plwg_sim::{Frame, NetConfig, NodeId, SimDuration, World, WorldConfig};
+use plwg_workload::Table;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Tracks live heap bytes (allocated minus freed) so a cell can report
+/// steady-state memory per LWG. Single-threaded process; relaxed ordering
+/// is exact, and the counts are deterministic because the simulation is.
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed) - FREED_BYTES.load(Ordering::Relaxed)
+}
+
+type Node = plwg_core::LwgNode<ScriptedHwg>;
+
+const HWGS: u64 = 16;
+/// Status lookups and data sends per probe window.
+const PROBE: usize = 256;
+/// Extra groups piled onto HWG 1 for the convergence measurement.
+const SKEW: u64 = 24;
+const REBALANCE_EVERY: SimDuration = SimDuration::from_millis(300);
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+fn hwg(slot: u64) -> HwgId {
+    HwgId(1 + slot)
+}
+
+fn cfg(rebalance: bool) -> LwgConfig {
+    LwgConfig {
+        naming: NamingConfig {
+            gossip_interval: ms(500),
+            ..NamingConfig::default()
+        },
+        lwg_join_timeout: ms(200),
+        tick_interval: ms(100),
+        pack_max_msgs: 1,
+        rebalance_interval: rebalance.then_some(REBALANCE_EVERY),
+        rebalance_max_moves: 8,
+        ..LwgConfig::default()
+    }
+}
+
+/// Measured outcome of one cell — deterministic counters only, plus the
+/// wall-clock figures that are printed but kept out of the JSON.
+struct Row {
+    lwgs: u64,
+    bytes_per_lwg: u64,
+    probe_lookups: u64,
+    probe_index_queries: u64,
+    probe_visited: u64,
+    sends: u64,
+    delivered: u64,
+    rebalance_moves: u64,
+    converge_rounds: u64,
+    seed_wall_ms: f64,
+    rebalance_wall_ms: f64,
+}
+
+impl Row {
+    fn multicasts_per_delivered(&self) -> f64 {
+        self.sends as f64 / self.delivered.max(1) as f64
+    }
+    fn converge_ms(&self) -> u64 {
+        self.converge_rounds * 300
+    }
+}
+
+fn setup(rebalance: bool) -> (World, NodeId) {
+    let mut w = World::new(WorldConfig {
+        seed: 7,
+        net: NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let server = w.add_node(Box::new(NameServer::new(
+        NodeId(0),
+        vec![],
+        NamingConfig::default(),
+    )));
+    let app = w.add_node(Box::new(Node::new(NodeId(1), vec![server], cfg(rebalance))));
+    for slot in 0..HWGS {
+        let view = View::initial(ViewId::new(app, 1), vec![app]);
+        let h = hwg(slot);
+        w.invoke(app, move |n: &mut Node, ctx| {
+            n.service().hwg_stack_mut().inject_view(h, view);
+            n.service().pump(ctx);
+        });
+    }
+    w.run_for(ms(500));
+    (w, app)
+}
+
+/// Seeds `count` singleton LWGs starting at id `first`, mapped onto
+/// `target` (or round-robin over all 16 HWGs when `None`). `settle`
+/// runs the world on afterwards; the convergence cell skips it so the
+/// rebalancer's reaction is observed, not slept through.
+fn seed(w: &mut World, a: NodeId, first: u64, count: u64, target: Option<HwgId>, settle: bool) {
+    for i in 0..count {
+        let lwg = LwgId(first + i);
+        let h = target.unwrap_or_else(|| hwg(i % HWGS));
+        let view = View::initial(ViewId::new(a, 1), vec![a]);
+        w.invoke(a, move |n: &mut Node, ctx| {
+            n.service().join(ctx, lwg);
+            n.service().hwg_stack_mut().inject_data(
+                h,
+                a,
+                LwgMsg::NewLwgView {
+                    lwg,
+                    flush: None,
+                    view,
+                    hwg: h,
+                }
+                .to_frame(),
+            );
+            n.service().pump(ctx);
+        });
+        // Drain the queued naming traffic in slices so the transient
+        // event backlog stays bounded at the 1M cell.
+        if i % 8192 == 8191 {
+            w.run_for(ms(1));
+        }
+    }
+    if settle {
+        w.run_for(ms(2000));
+    }
+}
+
+fn dir_counters(w: &mut World, a: NodeId) -> DirCounters {
+    w.inspect(a, |n: &Node| n.service_ref().directory_counters())
+}
+
+/// Every `PROBE`-th id across `1..=l` — the status-lookup and send
+/// samples, spread over the whole id range (and so over every shard).
+fn sample_ids(l: u64) -> Vec<u64> {
+    let step = (l / PROBE as u64).max(1);
+    (0..PROBE as u64)
+        .map(|i| 1 + i * step)
+        .filter(|&id| id <= l)
+        .collect()
+}
+
+fn run_cell(l: u64) -> Row {
+    // --- world A: memory, lookup cost, data plane (rebalancer off) ----
+    let (mut w, a) = setup(false);
+    let live0 = live_bytes();
+    let t0 = Instant::now();
+    seed(&mut w, a, 1, l, None, true);
+    let seed_wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let bytes_per_lwg = (live_bytes().saturating_sub(live0)) / l;
+
+    // Fixed probe window: 2 s of ticks, then PROBE status lookups. The
+    // directory-counter deltas must not scale with `l`.
+    let before = dir_counters(&mut w, a);
+    w.run_for(ms(2000));
+    let ids = sample_ids(l);
+    w.inspect(a, {
+        let ids = ids.clone();
+        move |n: &Node| {
+            for &id in &ids {
+                assert!(n.service_ref().lwg_status(LwgId(id)).is_some());
+            }
+        }
+    });
+    let after = dir_counters(&mut w, a);
+
+    // Data-plane probe: one 64 B multicast on each sampled group.
+    w.metrics_mut().reset();
+    w.invoke(a, {
+        let ids = ids.clone();
+        move |n: &mut Node, ctx| {
+            for &id in &ids {
+                n.service()
+                    .send(ctx, LwgId(id), Frame::from_vec(vec![0u8; 64]));
+            }
+            n.service().pump(ctx);
+        }
+    });
+    w.run_for(ms(200));
+    let sends = w.metrics().counter(plwg_core::keys::DATA_SENT);
+    let delivered = w.metrics().counter(plwg_core::keys::DATA_DELIVERED);
+    drop(w);
+
+    // --- world B: rebalance convergence (rebalancer on) ---------------
+    let (mut w, a) = setup(true);
+    seed(&mut w, a, 1, l, None, true);
+    seed(&mut w, a, l + 1, SKEW, Some(hwg(0)), false);
+    let t0 = Instant::now();
+    let (mut rounds, mut last_change, mut quiet) = (0u64, 0u64, 0u32);
+    while quiet < 2 {
+        let before = w.metrics().counter(plwg_core::keys::REBALANCE_MOVES);
+        w.run_for(REBALANCE_EVERY);
+        rounds += 1;
+        if w.metrics().counter(plwg_core::keys::REBALANCE_MOVES) == before {
+            quiet += 1;
+        } else {
+            quiet = 0;
+            last_change = rounds;
+        }
+        assert!(rounds < 64, "rebalancer did not converge in 64 rounds");
+    }
+    let rebalance_wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let rebalance_moves = w.metrics().counter(plwg_core::keys::REBALANCE_MOVES);
+
+    Row {
+        lwgs: l,
+        bytes_per_lwg,
+        probe_lookups: after.lookups - before.lookups,
+        probe_index_queries: after.index_queries - before.index_queries,
+        probe_visited: after.visited - before.visited,
+        sends,
+        delivered,
+        rebalance_moves,
+        converge_rounds: last_change,
+        seed_wall_ms,
+        rebalance_wall_ms,
+    }
+}
+
+fn json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"lwg_scale_sweep\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"lwgs\": {}, \"hwgs\": {HWGS}, \"bytes_per_lwg\": {}, \
+             \"probe_lookups\": {}, \"probe_index_queries\": {}, \"probe_visited\": {}, \
+             \"multicasts\": {}, \"delivered\": {}, \"multicasts_per_delivered\": {:.2}, \
+             \"rebalance_moves\": {}, \"rebalance_converge_ms\": {}}}{}",
+            r.lwgs,
+            r.bytes_per_lwg,
+            r.probe_lookups,
+            r.probe_index_queries,
+            r.probe_visited,
+            r.sends,
+            r.delivered,
+            r.multicasts_per_delivered(),
+            r.rebalance_moves,
+            r.converge_ms(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The CI gates: every figure here is a deterministic counter, so a
+/// failure is a real regression, never flake. Wall clock is printed above
+/// but deliberately not gated.
+fn gate(rows: &[Row]) {
+    let (small, big) = (&rows[0], &rows[rows.len() - 1]);
+    assert!(
+        big.bytes_per_lwg <= small.bytes_per_lwg * 3 / 2,
+        "memory per LWG grew with L: {} B at {} vs {} B at {}",
+        big.bytes_per_lwg,
+        big.lwgs,
+        small.bytes_per_lwg,
+        small.lwgs
+    );
+    for r in rows {
+        assert!(
+            r.probe_visited <= small.probe_visited + 64,
+            "index work scales with L: visited {} at {} vs {} at {}",
+            r.probe_visited,
+            r.lwgs,
+            small.probe_visited,
+            small.lwgs
+        );
+        assert!(
+            r.probe_lookups <= small.probe_lookups + 64,
+            "lookup count scales with L: {} at {} vs {} at {}",
+            r.probe_lookups,
+            r.lwgs,
+            small.probe_lookups,
+            small.lwgs
+        );
+        assert!(
+            r.multicasts_per_delivered() <= 1.01,
+            "data plane amplifies with L: {:.2} multicasts/delivered at {}",
+            r.multicasts_per_delivered(),
+            r.lwgs
+        );
+        assert!(
+            (1..=SKEW).contains(&r.rebalance_moves),
+            "rebalancer moved {} groups for a {SKEW}-group skew at {}",
+            r.rebalance_moves,
+            r.lwgs
+        );
+    }
+    println!("gates: ok (memory/LWG flat, lookup cost O(1), no amplification)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "--full");
+    let cells: &[u64] = if smoke {
+        &[1_000, 10_000]
+    } else if full {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    println!("Directory scale sweep: L singleton LWGs round-robin on {HWGS} HWGs");
+    println!("(1 app node + 1 name server, scripted substrate; probe = {PROBE} lookups + {PROBE} sends)\n");
+    let mut table = Table::new(&[
+        "lwgs",
+        "B/lwg",
+        "probe lookups",
+        "probe visited",
+        "mcast/delivered",
+        "moves",
+        "converge ms",
+        "seed wall ms",
+        "rebalance wall ms",
+    ]);
+    let mut rows = Vec::new();
+    for &l in cells {
+        let r = run_cell(l);
+        table.row(&[
+            r.lwgs.to_string(),
+            r.bytes_per_lwg.to_string(),
+            r.probe_lookups.to_string(),
+            r.probe_visited.to_string(),
+            format!("{:.2}", r.multicasts_per_delivered()),
+            r.rebalance_moves.to_string(),
+            r.converge_ms().to_string(),
+            format!("{:.0}", r.seed_wall_ms),
+            format!("{:.0}", r.rebalance_wall_ms),
+        ]);
+        rows.push(r);
+    }
+    println!("{}", table.render());
+
+    if smoke {
+        gate(&rows);
+        return;
+    }
+    let path = "BENCH_scale.json";
+    match std::fs::write(path, json(&rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -59,6 +59,16 @@ pub struct LwgConfig {
     /// sequence-slot marker, so virtual synchrony is unaffected, but
     /// they no longer pay the interference cost of filtering the payload.
     pub subset_delivery: bool,
+    /// When set, the service periodically rebalances LWGs between HWGs:
+    /// coordinators of groups on crowded HWGs switch them to the least
+    /// loaded admissible HWG (membership load first, the traffic window as
+    /// tie-breaker). `None` disables the rebalancer entirely — the default,
+    /// so the protocol is byte-identical to the pre-rebalancer service.
+    pub rebalance_interval: Option<SimDuration>,
+    /// Migrations a single rebalance round may start. Each move is a full
+    /// switch protocol run; bounding the batch keeps rounds cheap and lets
+    /// load accounts refresh between batches.
+    pub rebalance_max_moves: usize,
 }
 
 impl Default for LwgConfig {
@@ -79,6 +89,8 @@ impl Default for LwgConfig {
             pack_max_msgs: 1,
             pack_delay: SimDuration::from_millis(2),
             subset_delivery: false,
+            rebalance_interval: None,
+            rebalance_max_moves: 4,
         }
     }
 }
@@ -106,6 +118,15 @@ impl LwgConfig {
         assert!(
             self.pack_max_msgs == 1 || self.pack_delay > SimDuration::ZERO,
             "pack_delay must be positive when packing is enabled"
+        );
+        assert!(
+            self.rebalance_interval
+                .is_none_or(|i| i > SimDuration::ZERO),
+            "rebalance_interval must be positive when set"
+        );
+        assert!(
+            self.rebalance_interval.is_none() || self.rebalance_max_moves >= 1,
+            "rebalance_max_moves must be >= 1 when the rebalancer is enabled"
         );
     }
 }
@@ -144,6 +165,33 @@ mod tests {
     fn zero_pack_budget_rejected() {
         LwgConfig {
             pack_max_msgs: 0,
+            ..LwgConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn rebalancer_is_disabled_by_default() {
+        let cfg = LwgConfig::default();
+        assert!(cfg.rebalance_interval.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance_interval")]
+    fn zero_rebalance_interval_rejected() {
+        LwgConfig {
+            rebalance_interval: Some(SimDuration::ZERO),
+            ..LwgConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance_max_moves")]
+    fn zero_rebalance_moves_rejected_when_enabled() {
+        LwgConfig {
+            rebalance_interval: Some(SimDuration::from_secs(1)),
+            rebalance_max_moves: 0,
             ..LwgConfig::default()
         }
         .validate();

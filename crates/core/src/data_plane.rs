@@ -24,7 +24,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Sends a multicast on `lwg` (buffered until a view is installed and
     /// no flush is in progress).
     pub fn send(&mut self, ctx: &mut Context<'_>, lwg: LwgId, data: Payload) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         let blocked = state.phase != Phase::Member
@@ -46,6 +46,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                 return;
             }
         };
+        drop(state);
         ctx.metrics().incr(keys::DATA_SENT);
         if self.cfg.pack_max_msgs > 1 {
             let occupancy = self.packs.entry(hwg).or_default().push(lwg, lwg_view, data);
@@ -82,7 +83,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         let mut targets: BTreeSet<NodeId> = BTreeSet::new();
         targets.insert(hview.coordinator());
         for lwg in lwgs {
-            let view = self.lwgs.get(&lwg)?.view.as_ref()?;
+            let view = self.dir.get(lwg)?.view.as_ref()?;
             targets.extend(view.members.iter().copied());
         }
         if targets.len() < hview.len() && targets.iter().all(|t| hview.contains(*t)) {
@@ -95,6 +96,15 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
     /// only the interested members when the subset path applies.
     fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
+        // One data-plane multicast on this HWG: feed its traffic window
+        // (the rebalancer's hotness signal). Skipped while the rebalancer
+        // is off — the window's first entry per HWG allocates, and the
+        // load-blind default must stay allocation-identical on the data
+        // path (throughput guard). With the window empty, placement ties
+        // break purely by id, exactly the legacy pick.
+        if self.cfg.rebalance_interval.is_some() {
+            self.dir.note_traffic(hwg);
+        }
         // Serialize exactly once per multicast (a whole batch is one
         // encode); the substrate hands out refcount clones per receiver.
         let frame = wire::frame(&msg);
@@ -151,7 +161,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         src: NodeId,
         data: Payload,
     ) {
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             // Filtering cost of co-mapped groups we are not a member of —
             // this is the "interference" the paper's policies minimise.
             ctx.metrics().incr(keys::FILTERED);

@@ -31,11 +31,10 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Joins light-weight group `lwg`. The `View` upcall confirms
     /// membership. No-op if already joining or a member.
     pub fn join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        if self.lwgs.contains_key(&lwg) {
+        if self.dir.contains(lwg) {
             return;
         }
-        let state = LwgState::new();
-        self.lwgs.insert(lwg, state);
+        self.dir.insert(lwg, LwgState::new());
         ctx.emit(|| LwgProtocolEvent::JoinStart { lwg });
         let req = self.ns.read(ctx, lwg);
         self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
@@ -43,17 +42,17 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Leaves `lwg`; the `Left` upcall confirms.
     pub fn leave(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(phase) = self.dir.get(lwg).map(|s| s.phase) else {
             return;
         };
-        match state.phase {
+        match phase {
             Phase::ReadingNs | Phase::JoiningHwg | Phase::AwaitingAdmission => {
                 // Not admitted anywhere yet: just abandon the join.
-                self.lwgs.remove(&lwg);
+                self.dir.remove(lwg);
                 self.events.push(LwgEvent::Left { lwg });
             }
             Phase::Member => {
-                let Some(view) = state.view.clone() else {
+                let Some(view) = self.dir.get(lwg).and_then(|s| s.view.clone()) else {
                     // `Phase::Member` always carries a view; tolerate a
                     // broken invariant by ignoring the leave (the next
                     // view install re-runs it) rather than aborting.
@@ -61,8 +60,8 @@ impl<S: HwgSubstrate> LwgService<S> {
                 };
                 if view.len() == 1 {
                     // Sole member: dissolve the group.
-                    let hwg = state.hwg;
-                    self.lwgs.remove(&lwg);
+                    let hwg = self.dir.get(lwg).and_then(|s| s.hwg);
+                    self.dir.remove(lwg);
                     self.ns.unset(ctx, lwg, view.id);
                     self.events.push(LwgEvent::Left { lwg });
                     if let Some(h) = hwg {
@@ -70,9 +69,14 @@ impl<S: HwgSubstrate> LwgService<S> {
                     }
                     return;
                 }
+                let me = self.me;
+                let Some(mut state) = self.dir.get_mut(lwg) else {
+                    return;
+                };
                 state.phase = Phase::Leaving;
-                state.pending_leaves.insert(self.me);
+                state.pending_leaves.insert(me);
                 let hwg = state.hwg;
+                drop(state);
                 if let Some(hwg) = hwg {
                     // Barrier: our buffered data must precede the leave
                     // request in the per-sender FIFO stream.
@@ -97,9 +101,9 @@ impl<S: HwgSubstrate> LwgService<S> {
         lwg: LwgId,
         from: NodeId,
     ) {
-        let is_member = self.lwgs.get(&lwg).is_some_and(|s| s.view.is_some());
+        let is_member = self.dir.get(lwg).is_some_and(|s| s.view.is_some());
         if is_member {
-            let mapping = self.lwgs.get(&lwg).and_then(|s| s.hwg);
+            let mapping = self.dir.get(lwg).and_then(|s| s.hwg);
             if let Some(to) = mapping {
                 if arrived_on.is_some() && arrived_on != Some(to) {
                     // The joiner used an outdated mapping: the request
@@ -112,11 +116,12 @@ impl<S: HwgSubstrate> LwgService<S> {
                 }
             }
             if self.lwg_coordinator(lwg) == Some(self.me) {
-                let Ok(state) = self.state_mut(lwg) else {
+                let Ok(mut state) = self.dir.record(lwg) else {
                     return;
                 };
                 if !state.view.as_ref().is_some_and(|v| v.contains(from)) {
                     state.pending_joins.insert(from);
+                    drop(state);
                     self.maybe_start_lwg_flush(ctx, lwg);
                 }
             }
@@ -128,11 +133,13 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     pub(crate) fn handle_leave_req(&mut self, ctx: &mut Context<'_>, lwg: LwgId, from: NodeId) {
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            if state.view.as_ref().is_some_and(|v| v.contains(from)) {
-                state.pending_leaves.insert(from);
-                self.maybe_start_lwg_flush(ctx, lwg);
-            }
+        let Some(mut state) = self.dir.get_mut(lwg) else {
+            return;
+        };
+        if state.view.as_ref().is_some_and(|v| v.contains(from)) {
+            state.pending_leaves.insert(from);
+            drop(state);
+            self.maybe_start_lwg_flush(ctx, lwg);
         }
     }
 
@@ -151,11 +158,13 @@ impl<S: HwgSubstrate> LwgService<S> {
         members: Vec<NodeId>,
         switch_to: Option<HwgId>,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let me = self.me;
+        let now = ctx.now();
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         let Some(view) = &state.view else { return };
-        if !view.contains(self.me) || !members.contains(&self.me) {
+        if !view.contains(me) || !members.contains(&me) {
             return;
         }
         // Supersede rule mirrors the HWG layer: more senior initiator (in
@@ -182,12 +191,13 @@ impl<S: HwgSubstrate> LwgService<S> {
             members: members.clone(),
             oks,
             new_view: None,
-            started_at: ctx.now(),
+            started_at: now,
         });
         let hwg = state.hwg;
         if let Some(to) = switch_to {
             state.follow_switch = Some((flush, to));
         }
+        drop(state);
         if let Some(hwg) = hwg {
             // Barrier: data we buffered in the closing LWG view must
             // precede our FlushOk in the per-sender FIFO stream, so every
@@ -219,18 +229,18 @@ impl<S: HwgSubstrate> LwgService<S> {
         flush: LFlushId,
         from: NodeId,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
-        let Some(lf) = &mut state.lflush else {
-            state.early_oks.push((flush, from));
-            return;
-        };
-        if lf.flush != flush {
+        let matches = state.lflush.as_ref().is_some_and(|lf| lf.flush == flush);
+        if !matches {
             state.early_oks.push((flush, from));
             return;
         }
-        lf.oks.insert(from);
+        if let Some(lf) = state.lflush.as_mut() {
+            lf.oks.insert(from);
+        }
+        drop(state);
         self.try_conclude_lwg_flush(ctx, lwg);
     }
 
@@ -242,18 +252,18 @@ impl<S: HwgSubstrate> LwgService<S> {
         view: View,
         on_hwg: HwgId,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
-            return;
-        };
         if !view.contains(self.me) {
             // Excludes us: our leave completed (or we were pruned).
+            let Some(state) = self.dir.get(lwg) else {
+                return;
+            };
             let ours = state
                 .view
                 .as_ref()
                 .is_some_and(|v| view.predecessors.contains(&v.id));
             if ours {
                 let hwg = state.hwg;
-                self.lwgs.remove(&lwg);
+                self.dir.remove(lwg);
                 self.events.push(LwgEvent::Left { lwg });
                 if let Some(h) = hwg {
                     self.note_idle_if_unused(ctx, h);
@@ -261,20 +271,28 @@ impl<S: HwgSubstrate> LwgService<S> {
             }
             return;
         }
+        let Some(mut state) = self.dir.get_mut(lwg) else {
+            return;
+        };
         match flush {
             Some(f) => {
                 // Ordinary join/leave/switch view: wait for the flush to
                 // complete (all FlushOks) before installing.
-                let Some(lf) = &mut state.lflush else {
-                    // We were admitted as a *joiner*: no old view to drain.
-                    if state.view.is_none() {
-                        self.install_lwg_view(ctx, lwg, view, on_hwg);
+                match state.lflush.as_mut() {
+                    None => {
+                        // We were admitted as a *joiner*: no old view to drain.
+                        let fresh = state.view.is_none();
+                        drop(state);
+                        if fresh {
+                            self.install_lwg_view(ctx, lwg, view, on_hwg);
+                        }
                     }
-                    return;
-                };
-                if lf.flush == f {
-                    lf.new_view = Some((view, on_hwg));
-                    self.try_conclude_lwg_flush(ctx, lwg);
+                    Some(lf) if lf.flush == f => {
+                        lf.new_view = Some((view, on_hwg));
+                        drop(state);
+                        self.try_conclude_lwg_flush(ctx, lwg);
+                    }
+                    Some(_) => {}
                 }
             }
             None => {
@@ -283,7 +301,9 @@ impl<S: HwgSubstrate> LwgService<S> {
                     Some(cur) => view.predecessors.contains(&cur.id) || view.id == cur.id,
                     None => true,
                 };
-                if acceptable && state.view.as_ref().map(|v| v.id) != Some(view.id) {
+                let differs = state.view.as_ref().map(|v| v.id) != Some(view.id);
+                drop(state);
+                if acceptable && differs {
                     self.install_lwg_view(ctx, lwg, view, on_hwg);
                 }
             }
@@ -292,29 +312,31 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Installs `view` if its flush (when any) has fully acknowledged.
     pub(crate) fn try_conclude_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         let Some(lf) = &state.lflush else { return };
-        let Some((view, on_hwg)) = lf.new_view.clone() else {
-            // Coordinator side: once every member acknowledged, announce
-            // the successor view.
-            let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
-            if all_ok && lf.flush.initiator == self.me && state.switching.is_none() {
-                self.announce_successor_view(ctx, lwg);
-            }
-            return;
-        };
         let all_ok = lf.members.iter().all(|m| lf.oks.contains(m));
-        if all_ok {
-            self.install_lwg_view(ctx, lwg, view, on_hwg);
+        match lf.new_view.clone() {
+            None => {
+                // Coordinator side: once every member acknowledged, announce
+                // the successor view.
+                if all_ok && lf.flush.initiator == self.me && state.switching.is_none() {
+                    self.announce_successor_view(ctx, lwg);
+                }
+            }
+            Some((view, on_hwg)) => {
+                if all_ok {
+                    self.install_lwg_view(ctx, lwg, view, on_hwg);
+                }
+            }
         }
     }
 
     /// Coordinator: all FlushOks are in — compute and multicast the
     /// successor view (join/leave/prune path).
     fn announce_successor_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         let Some(view) = state.view.clone() else {
@@ -329,9 +351,6 @@ impl<S: HwgSubstrate> LwgService<S> {
             .map(|v| v.members.clone())
             .unwrap_or_default();
         let me = self.me;
-        let Ok(state) = self.state_mut(lwg) else {
-            return;
-        };
         let mut members: Vec<NodeId> = view
             .members
             .iter()
@@ -354,11 +373,10 @@ impl<S: HwgSubstrate> LwgService<S> {
                 .send(ctx, hwg, wire::frame(&LwgMsg::Dissolved { lwg, flush }));
             return;
         }
-        let new_view = View::with_predecessors(
-            ViewId::new(me, state.take_view_seq()),
-            members,
-            vec![view.id],
-        );
+        let Some(seq) = self.dir.get_mut(lwg).map(|mut s| s.take_view_seq()) else {
+            return;
+        };
+        let new_view = View::with_predecessors(ViewId::new(me, seq), members, vec![view.id]);
         ctx.emit(|| LwgProtocolEvent::ViewAnnounce {
             lwg,
             view: new_view.clone(),
@@ -379,7 +397,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// the HWG removed (no LWG flush needed — see
     /// `LwgService::handle_hwg_view`).
     pub(crate) fn announce_pruned_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hview: &View) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         if state.lflush.is_some() || state.switching.is_some() {
@@ -398,11 +416,10 @@ impl<S: HwgSubstrate> LwgService<S> {
         if members.is_empty() {
             return;
         }
-        let pruned = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
-            members,
-            vec![view.id],
-        );
+        let Some(seq) = self.dir.get_mut(lwg).map(|mut s| s.take_view_seq()) else {
+            return;
+        };
+        let pruned = View::with_predecessors(ViewId::new(self.me, seq), members, vec![view.id]);
         ctx.emit(|| LwgProtocolEvent::Prune {
             lwg,
             view: pruned.clone(),
@@ -427,17 +444,19 @@ impl<S: HwgSubstrate> LwgService<S> {
         view: View,
         on_hwg: HwgId,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let me = self.me;
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         let old_hwg = state.hwg;
         if let Some(old) = &state.view {
-            state.history.insert(old.id);
+            let old_id = old.id;
+            state.history.insert(old_id);
         }
         for p in &view.predecessors {
             state.history.insert(*p);
         }
-        state.bump_view_seq(if view.id.coordinator == self.me {
+        state.bump_view_seq(if view.id.coordinator == me {
             view.id.seq
         } else {
             0
@@ -463,6 +482,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         }
         state.pending_leaves.retain(|l| view.contains(*l));
         let pending = std::mem::take(&mut state.pending_send);
+        drop(state);
         self.idle_hwgs.remove(&on_hwg);
         self.events.push(LwgEvent::View {
             lwg,
@@ -490,7 +510,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Writes the current view-to-view mapping to the naming service.
     pub(crate) fn refresh_mapping(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         let Some(view) = &state.view else { return };
@@ -514,7 +534,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         if state.lflush.is_some() || state.switching.is_some() {
@@ -544,12 +564,12 @@ impl<S: HwgSubstrate> LwgService<S> {
             return;
         }
         let me = self.me;
-        let Ok(state) = self.state_mut(lwg) else {
+        let Some(nonce) = self.dir.get_mut(lwg).map(|mut s| s.take_flush_nonce()) else {
             return;
         };
         let flush = LFlushId {
             initiator: me,
-            nonce: state.take_flush_nonce(),
+            nonce,
         };
         ctx.emit(|| LwgProtocolEvent::FlushStart {
             lwg,
@@ -572,12 +592,12 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     pub(crate) fn handle_dissolved(&mut self, ctx: &mut Context<'_>, lwg: LwgId, flush: LFlushId) {
-        let leaving = self.lwgs.get(&lwg).is_some_and(|s| {
+        let leaving = self.dir.get(lwg).is_some_and(|s| {
             s.phase == Phase::Leaving || s.lflush.as_ref().is_some_and(|f| f.flush == flush)
         });
         if leaving {
-            let hwg = self.lwgs.get(&lwg).and_then(|s| s.hwg);
-            self.lwgs.remove(&lwg);
+            let hwg = self.dir.get(lwg).and_then(|s| s.hwg);
+            self.dir.remove(lwg);
             self.events.push(LwgEvent::Left { lwg });
             if let Some(h) = hwg {
                 self.note_idle_if_unused(ctx, h);

@@ -4,7 +4,7 @@
 //! key, so readers (benches, workloads, tests) reference the same constant
 //! the protocol increments instead of re-typing the string name.
 
-use plwg_sim::{CounterKey, HistogramKey};
+use plwg_sim::{CounterKey, GaugeKey, HistogramKey};
 
 // --- membership / view lifecycle -----------------------------------------
 
@@ -66,3 +66,16 @@ pub const BATCH_FLUSH_TIMER: CounterKey = CounterKey::new("lwg.batch.flush_timer
 pub const BATCH_FLUSH_BARRIER: CounterKey = CounterKey::new("lwg.batch.flush_barrier");
 /// Batch occupancy (sends per batch) distribution.
 pub const BATCH_OCCUPANCY: HistogramKey = HistogramKey::new("lwg.batch.occupancy");
+
+// --- group directory / rebalancing ---------------------------------------
+
+/// Light-weight groups currently in the directory (any phase).
+pub const DIR_GROUPS: GaugeKey = GaugeKey::new("lwg.dir.groups");
+/// HWGs carrying at least one mapped LWG.
+pub const DIR_HWGS_LOADED: GaugeKey = GaugeKey::new("lwg.dir.hwgs_loaded");
+/// Membership load of the most crowded HWG (LWGs mapped onto it).
+pub const DIR_MAX_HWG_LWGS: GaugeKey = GaugeKey::new("lwg.dir.max_hwg_lwgs");
+/// LWG migrations started by the rebalancer (each is one switch).
+pub const REBALANCE_MOVES: CounterKey = CounterKey::new("lwg.rebalance.moves");
+/// Rebalance rounds run (timer fired and the load accounts were scanned).
+pub const REBALANCE_ROUNDS: CounterKey = CounterKey::new("lwg.rebalance.rounds");

@@ -46,6 +46,7 @@
 mod batch;
 mod config;
 mod data_plane;
+mod directory;
 mod error;
 mod events;
 mod flush;
@@ -56,6 +57,7 @@ mod msg;
 mod node;
 mod policy;
 mod protocol_events;
+mod rebalance;
 mod scripted;
 mod service;
 mod state;
@@ -63,12 +65,14 @@ mod switch;
 mod wire;
 
 pub use config::LwgConfig;
+pub use directory::{DirCounters, HwgLoad};
 pub use error::LwgError;
 pub use events::{LwgEvent, LwgEvents};
 pub use msg::{LFlushId, LwgMsg};
 pub use node::LwgNode;
 pub use policy::{
-    closeness, interference_rule, is_minority, share_rule, share_rule_collapses, PolicyAction,
+    closeness, interference_rule, is_minority, placement_rule, rebalance_improves, share_rule,
+    share_rule_collapses, PolicyAction,
 };
 pub use protocol_events::LwgProtocolEvent;
 pub use scripted::ScriptedHwg;

@@ -2,7 +2,12 @@
 //! flow (paper §3.1 and Table 2), MULTIPLE-MAPPINGS reconciliation (§6.2
 //! step 2), the housekeeping tick, the Figure-1 interference/share rules,
 //! and the shrink rule that releases idle HWGs.
+//!
+//! Every question this module used to answer by scanning the whole LWG
+//! table ("which joins are due?", "who is leaving?", "is this HWG still
+//! in use?") is now an indexed [`crate::directory`] query.
 
+use crate::directory::HwgLoad;
 use crate::keys;
 use crate::msg::LwgMsg;
 use crate::policy::{self, PolicyAction};
@@ -38,7 +43,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Join step 2: the naming lookup answered; pick the target HWG.
     fn continue_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         if state.phase != Phase::ReadingNs {
@@ -52,16 +57,20 @@ impl<S: HwgSubstrate> LwgService<S> {
         } else if let Some(&fwd) = self.forward.get(&lwg) {
             self.begin_hwg_join(ctx, lwg, fwd, false);
         } else {
-            // No mapping anywhere: optimistic rule — reuse an HWG we are
-            // already in (preferring one that carries our LWGs over idle
-            // leftovers; highest id breaks ties), else allocate a fresh one.
+            // No mapping anywhere: optimistic placement — reuse an HWG we
+            // are already in (preferring the least-loaded one that carries
+            // our LWGs over idle leftovers; highest id breaks ties, which
+            // is the pre-directory behaviour when loads are equal), else
+            // allocate a fresh one.
             let member_hwgs = self.hwgs();
-            let existing = member_hwgs
+            let candidates: Vec<HwgLoad> = member_hwgs
                 .iter()
                 .copied()
                 .filter(|&h| self.hwg_in_use(h))
-                .max()
-                .or_else(|| member_hwgs.into_iter().max());
+                .map(|h| self.dir.load_of(h))
+                .collect();
+            let existing =
+                policy::placement_rule(&candidates).or_else(|| member_hwgs.into_iter().max());
             match existing {
                 Some(hwg) => self.begin_hwg_join(ctx, lwg, hwg, false),
                 None => {
@@ -79,14 +88,16 @@ impl<S: HwgSubstrate> LwgService<S> {
         hwg: HwgId,
         create: bool,
     ) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let deadline = ctx.now() + self.cfg.lwg_join_timeout;
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         state.phase = Phase::JoiningHwg;
         state.hwg = Some(hwg);
         state.create_hwg = create;
         state.join_attempts = 0;
-        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        state.join_deadline = Some(deadline);
+        drop(state);
         match self.substrate.status_of(hwg) {
             GroupStatus::Left => {
                 if create {
@@ -111,11 +122,13 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Join step 3: we are an HWG member; ask the LWG coordinator (if any)
     /// to admit us.
     pub(crate) fn request_admission(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let deadline = ctx.now() + self.cfg.lwg_join_timeout;
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         state.phase = Phase::AwaitingAdmission;
-        state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        state.join_deadline = Some(deadline);
+        drop(state);
         self.substrate
             .send(ctx, hwg, wire::frame(&LwgMsg::JoinReq { lwg }));
     }
@@ -125,14 +138,14 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// founder won the race we follow its mapping instead of creating a
     /// competing view.
     fn claim_founding(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         let Some(hwg) = state.hwg else { return };
+        let planned = ViewId::new(self.me, state.next_view_seq + 1);
         let Some(hview) = self.substrate.view_of(hwg) else {
             return;
         };
-        let planned = ViewId::new(self.me, state.next_view_seq + 1);
         let mapping = Mapping {
             lwg_view: planned,
             members: vec![self.me],
@@ -143,14 +156,15 @@ impl<S: HwgSubstrate> LwgService<S> {
         let req = self.ns.testset(ctx, lwg, mapping, vec![]);
         self.ns_lookups.insert(req, (lwg, NsPurpose::FoundClaim));
         // Push the deadline out while the claim is in flight.
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            state.join_deadline = Some(ctx.now() + self.cfg.lwg_join_timeout);
+        let deadline = ctx.now() + self.cfg.lwg_join_timeout;
+        if let Some(mut state) = self.dir.get_mut(lwg) {
+            state.join_deadline = Some(deadline);
         }
     }
 
     /// Join fallback, part 2: the test-and-set answered.
     fn resolve_found_claim(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         if state.phase != Phase::AwaitingAdmission {
@@ -164,21 +178,23 @@ impl<S: HwgSubstrate> LwgService<S> {
         } else if let Some(best) = mappings.iter().max_by_key(|m| m.hwg) {
             // Someone else holds the mapping: follow it.
             let hwg = best.hwg;
-            let Ok(state) = self.state_mut(lwg) else {
+            let Ok(mut state) = self.dir.record(lwg) else {
                 return;
             };
             state.join_attempts = 0;
+            drop(state);
             self.begin_hwg_join(ctx, lwg, hwg, false);
         }
     }
 
     /// Installs the group's founding (singleton) view on the target HWG.
     fn found_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         let Some(hwg) = state.hwg else { return };
         let seq = state.take_view_seq();
+        drop(state);
         let view = plwg_hwg::View::initial(ViewId::new(self.me, seq), vec![self.me]);
         ctx.emit(|| LwgProtocolEvent::Found {
             lwg,
@@ -201,7 +217,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         let current = state.hwg;
@@ -234,13 +250,13 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// A `Redirect` forward pointer arrived: our mapping information was
     /// outdated — retarget the join.
     pub(crate) fn handle_redirect(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId) {
-        let retarget = self.lwgs.get(&lwg).is_some_and(|s| {
+        let retarget = self.dir.get(lwg).is_some_and(|s| {
             matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission) && s.hwg != Some(to)
         });
         if retarget {
             ctx.metrics().incr(keys::REDIRECTS_FOLLOWED);
             ctx.emit(|| LwgProtocolEvent::Redirect { lwg, to });
-            let old = self.lwgs.get(&lwg).and_then(|s| s.hwg);
+            let old = self.dir.get(lwg).and_then(|s| s.hwg);
             self.begin_hwg_join(ctx, lwg, to, false);
             if let Some(old) = old {
                 self.note_idle_if_unused(ctx, old);
@@ -255,20 +271,19 @@ impl<S: HwgSubstrate> LwgService<S> {
     pub(crate) fn tick(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
 
-        // Join deadlines: retry admission, then found our own view.
-        let due: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
-                matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission)
-                    && s.join_deadline.is_some_and(|d| now >= d)
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in due {
-            let Ok(state) = self.state_mut(lwg) else {
+        // Join deadlines: retry admission, then found our own view. The
+        // phase index narrows the candidates; the deadline filter runs on
+        // the (few) joiners only.
+        for lwg in self
+            .dir
+            .in_phases(&[Phase::JoiningHwg, Phase::AwaitingAdmission])
+        {
+            let Ok(mut state) = self.dir.record(lwg) else {
                 continue;
             };
+            if state.join_deadline.is_none_or(|d| now < d) {
+                continue;
+            }
             state.join_attempts += 1;
             let attempts = state.join_attempts;
             let phase = state.phase;
@@ -280,12 +295,10 @@ impl<S: HwgSubstrate> LwgService<S> {
             });
             let Some(hwg) = in_hwg else {
                 // Still waiting for HWG membership; extend.
-                let deadline = now + self.cfg.lwg_join_timeout;
-                if let Ok(state) = self.state_mut(lwg) {
-                    state.join_deadline = Some(deadline);
-                }
+                state.join_deadline = Some(now + self.cfg.lwg_join_timeout);
                 continue;
             };
+            drop(state);
             if phase == Phase::JoiningHwg || attempts <= self.cfg.lwg_join_retries {
                 self.request_admission(ctx, lwg, hwg);
             } else {
@@ -294,35 +307,30 @@ impl<S: HwgSubstrate> LwgService<S> {
         }
 
         // Leaving members keep nudging the coordinator.
-        let leaving: Vec<(LwgId, HwgId)> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::Leaving)
-            .filter_map(|(&l, s)| s.hwg.map(|h| (l, h)))
-            .collect();
-        for (lwg, hwg) in leaving {
+        for lwg in self.dir.in_phases(&[Phase::Leaving]) {
+            let Some(hwg) = self.dir.get(lwg).and_then(|s| s.hwg) else {
+                continue;
+            };
             self.substrate
                 .send(ctx, hwg, wire::frame(&LwgMsg::LeaveReq { lwg }));
             self.maybe_start_lwg_flush(ctx, lwg);
         }
 
-        // LWG flush / switch watchdogs.
-        let stuck: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
-                s.lflush.as_ref().is_some_and(|f| {
-                    now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout
-                }) || s.switching.as_ref().is_some_and(|sw| {
-                    now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
-                })
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in stuck {
-            let Ok(state) = self.state_mut(lwg) else {
+        // LWG flush / switch watchdogs (busy index = flush or switch in
+        // progress).
+        for lwg in self.dir.busy_ids() {
+            let Ok(mut state) = self.dir.record(lwg) else {
                 continue;
             };
+            let timed_out =
+                state.lflush.as_ref().is_some_and(|f| {
+                    now.saturating_since(f.started_at) >= self.cfg.lwg_flush_timeout
+                }) || state.switching.as_ref().is_some_and(|sw| {
+                    now.saturating_since(sw.started_at) >= self.cfg.lwg_flush_timeout
+                });
+            if !timed_out {
+                continue;
+            }
             ctx.emit(|| LwgProtocolEvent::FlushAbandon { lwg });
             state.lflush = None;
             state.switching = None;
@@ -332,6 +340,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             // queued until the next view install (which the vanished
             // initiator may never produce).
             let pending = std::mem::take(&mut state.pending_send);
+            drop(state);
             for data in pending {
                 self.send(ctx, lwg, data);
             }
@@ -343,23 +352,21 @@ impl<S: HwgSubstrate> LwgService<S> {
         // A pruned-view announcement that never arrived (lost, coordinator
         // died): release the send buffer; the acting-coordinator rule will
         // re-announce on the next HWG view change.
-        let prune_stuck: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| {
+        for lwg in self.dir.pruning_ids() {
+            let expired = self.dir.get(lwg).is_some_and(|s| {
                 s.awaiting_prune
                     .is_some_and(|t| now.saturating_since(t) >= self.cfg.lwg_flush_timeout)
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in prune_stuck {
+            });
+            if !expired {
+                continue;
+            }
             let hview = self
-                .lwgs
-                .get(&lwg)
+                .dir
+                .get(lwg)
                 .and_then(|s| s.hwg)
                 .and_then(|h| self.substrate.view_of(h))
                 .cloned();
-            if let Some(state) = self.lwgs.get_mut(&lwg) {
+            if let Some(mut state) = self.dir.get_mut(lwg) {
                 state.awaiting_prune = None;
             }
             if let Some(hview) = hview {
@@ -376,7 +383,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.foreign.retain(|f| {
             let expired = now.saturating_since(f.seen_at) >= deadline;
             if expired {
-                let still_unknown = self.lwgs.get(&f.lwg).is_some_and(|s| {
+                let still_unknown = self.dir.get(f.lwg).is_some_and(|s| {
                     s.view.as_ref().is_some_and(|v| v.id != f.view_id)
                         && !s.history.contains(&f.view_id)
                 });
@@ -397,13 +404,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         if let Some(interval) = self.cfg.ns_poll_interval {
             if now.saturating_since(self.last_ns_poll) >= interval {
                 self.last_ns_poll = now;
-                let mine: Vec<LwgId> = self
-                    .lwgs
-                    .iter()
-                    .filter(|(_, s)| s.phase == Phase::Member)
-                    .map(|(&l, _)| l)
-                    .collect();
-                for lwg in mine {
+                for lwg in self.dir.in_phases(&[Phase::Member]) {
                     if self.lwg_coordinator(lwg) == Some(self.me) {
                         let req = self.ns.read(ctx, lwg);
                         self.ns_lookups.insert(req, (lwg, NsPurpose::Poll));
@@ -426,6 +427,20 @@ impl<S: HwgSubstrate> LwgService<S> {
             self.idle_hwgs.remove(&hwg);
             self.substrate.leave(ctx, hwg);
         }
+
+        // Publish the directory's load accounts as gauges (the operator /
+        // bench view of the mapping economy). Only while the rebalancer —
+        // their consumer — is enabled: the first publication allocates the
+        // gauge entries, and the load-blind default configuration must
+        // stay allocation-identical on the data path (throughput guard).
+        if self.cfg.rebalance_interval.is_some() {
+            let (groups, loaded, max_load) = self.dir.load_summary();
+            let metrics = ctx.metrics();
+            metrics.set_gauge(keys::DIR_GROUPS, groups as i64);
+            metrics.set_gauge(keys::DIR_HWGS_LOADED, loaded as i64);
+            metrics.set_gauge(keys::DIR_MAX_HWG_LWGS, max_load as i64);
+        }
+
         self.pump(ctx);
     }
 
@@ -443,17 +458,11 @@ impl<S: HwgSubstrate> LwgService<S> {
                     .map(|v| (h, v.members.iter().copied().collect()))
             })
             .collect();
-        let mine: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::Member)
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in mine {
+        for lwg in self.dir.in_phases(&[Phase::Member]) {
             if self.lwg_coordinator(lwg) != Some(self.me) {
                 continue;
             }
-            let Some(state) = self.lwgs.get(&lwg) else {
+            let Some(state) = self.dir.get(lwg) else {
                 continue;
             };
             if state.lflush.is_some() || state.switching.is_some() {
@@ -498,11 +507,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // ------------------------------------------------------------------
 
     pub(crate) fn hwg_in_use(&self, hwg: HwgId) -> bool {
-        self.lwgs.values().any(|s| {
-            s.hwg == Some(hwg)
-                || s.follow_switch.as_ref().is_some_and(|(_, to)| *to == hwg)
-                || s.switching.as_ref().is_some_and(|sw| sw.to == hwg)
-        })
+        self.dir.hwg_in_use(hwg)
     }
 
     pub(crate) fn note_idle_if_unused(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
@@ -530,27 +535,32 @@ impl<S: HwgSubstrate> LwgService<S> {
     // Misc
     // ------------------------------------------------------------------
 
+    /// A fresh node-prefixed HWG id from the directory's allocation index
+    /// — strictly above every prefixed id this node has allocated *or
+    /// observed*, so a restarted node never re-allocates an id it will
+    /// re-learn from the naming service.
     pub(crate) fn fresh_hwg_id(&mut self) -> HwgId {
-        self.next_hwg_counter += 1;
-        HwgId(0x8000_0000_0000_0000 | (u64::from(self.me.0) << 32) | self.next_hwg_counter)
+        self.dir.alloc_hwg_id()
     }
 
     /// Restarts the join flow for a group whose transport vanished.
     pub(crate) fn restart_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            let had_view = state.view.clone();
-            *state = LwgState::new();
-            if let Some(v) = had_view {
-                state.history.insert(v.id);
-                state.bump_view_seq(if v.id.coordinator == self.me {
-                    v.id.seq
-                } else {
-                    0
-                });
-            }
-            ctx.emit(|| LwgProtocolEvent::Rejoin { lwg });
-            let req = self.ns.read(ctx, lwg);
-            self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
+        let Some(mut state) = self.dir.get_mut(lwg) else {
+            return;
+        };
+        let had_view = state.view.clone();
+        *state = LwgState::new();
+        if let Some(v) = had_view {
+            state.history.insert(v.id);
+            state.bump_view_seq(if v.id.coordinator == self.me {
+                v.id.seq
+            } else {
+                0
+            });
         }
+        drop(state);
+        ctx.emit(|| LwgProtocolEvent::Rejoin { lwg });
+        let req = self.ns.read(ctx, lwg);
+        self.ns_lookups.insert(req, (lwg, NsPurpose::JoinLookup));
     }
 }

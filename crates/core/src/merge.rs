@@ -80,7 +80,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         };
         for (lwg, mut views) in round.collected {
             // Add our own current view.
-            if let Some(state) = self.lwgs.get(&lwg) {
+            if let Some(state) = self.dir.get(lwg) {
                 if state.hwg == Some(hwg) {
                     if let Some(v) = &state.view {
                         views.insert(v.id, v.clone());
@@ -133,14 +133,11 @@ impl<S: HwgSubstrate> LwgService<S> {
             if members.first() != Some(&self.me) {
                 continue;
             }
-            let Some(state) = self.lwgs.get_mut(&lwg) else {
+            let Some(seq) = self.dir.get_mut(lwg).map(|mut s| s.take_view_seq()) else {
                 continue;
             };
-            let merged = View::with_predecessors(
-                ViewId::new(self.me, state.take_view_seq()),
-                members,
-                concurrent.clone(),
-            );
+            let merged =
+                View::with_predecessors(ViewId::new(self.me, seq), members, concurrent.clone());
             ctx.emit(|| LwgProtocolEvent::Merge {
                 lwg,
                 concurrent: concurrent.clone(),
@@ -161,12 +158,13 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// The LWG views of groups this node maps onto `hwg` (the AllViews
-    /// advertisement piggybacked on every HWG flush).
+    /// advertisement piggybacked on every HWG flush) — an indexed query,
+    /// in ascending group-id order like the full scan it replaced.
     pub(crate) fn my_views_on(&self, hwg: HwgId) -> Vec<(LwgId, View)> {
-        self.lwgs
-            .iter()
-            .filter(|(_, s)| s.hwg == Some(hwg))
-            .filter_map(|(&l, s)| s.view.clone().map(|v| (l, v)))
+        self.dir
+            .mapped_on(hwg)
+            .into_iter()
+            .filter_map(|l| self.dir.get(l).and_then(|s| s.view.clone().map(|v| (l, v))))
             .collect()
     }
 }

@@ -6,8 +6,10 @@
 //! interference** (don't make a small LWG ride a much larger HWG — the
 //! interference rule); the shrink rule cleans up HWGs nobody maps onto.
 
+use crate::directory::HwgLoad;
 use plwg_hwg::HwgId;
 use plwg_sim::NodeId;
+use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
 /// `g1` is a *minority* of `g2` iff `|g1| <= |g2| / k_m` (paper Fig. 1).
@@ -131,12 +133,77 @@ pub fn share_rule(
     best.map_or(PolicyAction::Stay, PolicyAction::SwitchTo)
 }
 
+/// The load-aware placement rule: among admissible candidate HWGs, pick
+/// the one carrying the fewest LWGs; break load ties by the lighter
+/// data-plane traffic window, then by the **highest** group id — the same
+/// deterministic total order the reconciliation and share rules use (and
+/// exactly the pre-directory behaviour when all loads are equal).
+///
+/// Admissibility (membership fit under the interference/share rules) is
+/// the caller's filter; this function only ranks.
+pub fn placement_rule(candidates: &[HwgLoad]) -> Option<HwgId> {
+    candidates
+        .iter()
+        .min_by_key(|c| (c.lwgs, c.traffic, Reverse(c.hwg)))
+        .map(|c| c.hwg)
+}
+
+/// Whether migrating one LWG from a donor HWG carrying `from_load` LWGs
+/// to a receiver carrying `to_load` *strictly* reduces the load spread.
+/// Requiring strict improvement (`from > to + 1`) is what makes the
+/// rebalancer convergent: once loads are within one of each other no move
+/// helps, so a quiescent system plans no moves and nothing oscillates.
+pub fn rebalance_improves(from_load: usize, to_load: usize) -> bool {
+    from_load > to_load + 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn set(ids: &[u32]) -> BTreeSet<NodeId> {
         ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn load(hwg: u64, lwgs: usize, traffic: u64) -> HwgLoad {
+        HwgLoad {
+            hwg: HwgId(hwg),
+            lwgs,
+            traffic,
+        }
+    }
+
+    #[test]
+    fn placement_picks_least_loaded() {
+        let c = [load(1, 5, 0), load(2, 2, 9), load(3, 7, 0)];
+        assert_eq!(placement_rule(&c), Some(HwgId(2)));
+    }
+
+    #[test]
+    fn placement_breaks_load_ties_by_traffic_then_highest_id() {
+        let c = [load(1, 3, 7), load(2, 3, 2), load(3, 3, 7)];
+        assert_eq!(placement_rule(&c), Some(HwgId(2)));
+        // All equal: highest id — the legacy optimistic rule.
+        let eq = [load(1, 3, 0), load(5, 3, 0), load(4, 3, 0)];
+        assert_eq!(placement_rule(&eq), Some(HwgId(5)));
+    }
+
+    #[test]
+    fn placement_of_nothing_is_none() {
+        assert_eq!(placement_rule(&[]), None);
+    }
+
+    #[test]
+    fn placement_degenerates_to_highest_id_for_single_candidate() {
+        assert_eq!(placement_rule(&[load(9, 100, 50)]), Some(HwgId(9)));
+    }
+
+    #[test]
+    fn rebalance_requires_strict_improvement() {
+        assert!(rebalance_improves(3, 1));
+        assert!(!rebalance_improves(2, 1), "a 2/1 split cannot improve");
+        assert!(!rebalance_improves(1, 1));
+        assert!(!rebalance_improves(0, 5));
     }
 
     #[test]

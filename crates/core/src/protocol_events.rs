@@ -164,6 +164,24 @@ pub enum LwgProtocolEvent {
         /// Its new view.
         view: View,
     },
+    /// A rebalance round scanned the per-HWG load accounts and planned a
+    /// batch of migrations.
+    RebalancePlan {
+        /// The most crowded HWG's membership load (LWGs mapped onto it).
+        max_load: usize,
+        /// Migrations the round decided to start.
+        moves: usize,
+    },
+    /// The rebalancer migrates one LWG to a less loaded HWG (the migration
+    /// primitive is the ordinary switch protocol).
+    RebalanceMove {
+        /// The group being migrated.
+        lwg: LwgId,
+        /// The crowded HWG it is leaving.
+        from: HwgId,
+        /// The less loaded target HWG.
+        to: HwgId,
+    },
 }
 
 /// The (coordinator, nonce) causal key of an LWG flush round.
@@ -197,6 +215,8 @@ impl ProtocolEvent for LwgProtocolEvent {
             LwgProtocolEvent::SwitchComplete { .. } => "lwg.switch.complete",
             LwgProtocolEvent::Merge { .. } => "lwg.merge",
             LwgProtocolEvent::HwgView { .. } => "lwg.hwg_view",
+            LwgProtocolEvent::RebalancePlan { .. } => "lwg.rebalance.plan",
+            LwgProtocolEvent::RebalanceMove { .. } => "lwg.rebalance.move",
         }
     }
 
@@ -270,6 +290,11 @@ impl ProtocolEvent for LwgProtocolEvent {
                 refs.view = Some(view_key(view.id));
                 refs.parents = view.predecessors.iter().copied().map(view_key).collect();
             }
+            LwgProtocolEvent::RebalancePlan { .. } => {}
+            LwgProtocolEvent::RebalanceMove { lwg, to, .. } => {
+                refs.lwg = Some(lwg.0);
+                refs.hwg = Some(to.0);
+            }
         }
         refs
     }
@@ -311,6 +336,12 @@ impl ProtocolEvent for LwgProtocolEvent {
                 merged,
             } => format!("{lwg}: {concurrent:?} -> {merged}"),
             LwgProtocolEvent::HwgView { hwg, view } => format!("{hwg} {view}"),
+            LwgProtocolEvent::RebalancePlan { max_load, moves } => {
+                format!("max load {max_load}, {moves} moves")
+            }
+            LwgProtocolEvent::RebalanceMove { lwg, from, to } => {
+                format!("{lwg}: {from} -> {to}")
+            }
         }
     }
 }
@@ -353,6 +384,30 @@ mod tests {
         assert_eq!(e.kind(), "lwg.flush.start");
         assert_eq!(e.refs().flush, Some((5, 9)));
         assert_eq!(e.detail(), "lwg2 n5~9 members [NodeId(5), NodeId(6)]");
+    }
+
+    #[test]
+    fn rebalance_move_links_group_and_target() {
+        let e = LwgProtocolEvent::RebalanceMove {
+            lwg: LwgId(4),
+            from: HwgId(2),
+            to: HwgId(7),
+        };
+        assert_eq!(e.kind(), "lwg.rebalance.move");
+        assert_eq!(e.detail(), "lwg4: hwg2 -> hwg7");
+        let refs = e.refs();
+        assert_eq!(refs.lwg, Some(4));
+        assert_eq!(refs.hwg, Some(7));
+    }
+
+    #[test]
+    fn rebalance_plan_summarises_the_round() {
+        let e = LwgProtocolEvent::RebalancePlan {
+            max_load: 9,
+            moves: 2,
+        };
+        assert_eq!(e.kind(), "lwg.rebalance.plan");
+        assert_eq!(e.detail(), "max load 9, 2 moves");
     }
 
     #[test]

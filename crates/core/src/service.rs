@@ -18,11 +18,11 @@
 
 use crate::batch::{FlushReason, PackBuffer};
 use crate::config::LwgConfig;
-use crate::error::LwgError;
+use crate::directory::{DirCounters, GroupDirectory};
 use crate::events::LwgEvent;
 use crate::msg::LwgMsg;
 use crate::protocol_events::LwgProtocolEvent;
-use crate::state::{ForeignTag, LwgState, LwgStatus, MergeRound, NsPurpose, Phase, ServiceStats};
+use crate::state::{ForeignTag, LwgStatus, MergeRound, NsPurpose, Phase, ServiceStats};
 use crate::wire;
 use plwg_hwg::{HwgEvent, HwgId, HwgSubstrate, View};
 use plwg_naming::{LwgId, NsClient, RequestId};
@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 pub(crate) const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
 pub(crate) const TOK_TICK: TimerToken = TimerToken(0x0300_0000_0000_0002);
 pub(crate) const TOK_PACK: TimerToken = TimerToken(0x0300_0000_0000_0003);
+pub(crate) const TOK_REBALANCE: TimerToken = TimerToken(0x0300_0000_0000_0004);
 
 /// The light-weight group service at one node, generic over the Table-1
 /// substrate `S` that carries its traffic.
@@ -45,7 +46,8 @@ pub struct LwgService<S: HwgSubstrate> {
     pub(crate) cfg: LwgConfig,
     pub(crate) substrate: S,
     pub(crate) ns: NsClient,
-    pub(crate) lwgs: BTreeMap<LwgId, LwgState>,
+    /// The sharded, indexed LWG record store (see [`crate::directory`]).
+    pub(crate) dir: GroupDirectory,
     pub(crate) rounds: BTreeMap<HwgId, MergeRound>,
     /// Forward pointers left behind by switches (paper §3.1).
     pub(crate) forward: BTreeMap<LwgId, HwgId>,
@@ -54,8 +56,9 @@ pub struct LwgService<S: HwgSubstrate> {
     pub(crate) foreign: Vec<ForeignTag>,
     /// HWGs with no local LWG mapped, and since when (shrink rule).
     pub(crate) idle_hwgs: BTreeMap<HwgId, SimTime>,
-    pub(crate) next_hwg_counter: u64,
     pub(crate) last_ns_poll: SimTime,
+    /// Last time the rebalancer ran (rate limit; see [`crate::rebalance`]).
+    pub(crate) last_rebalance: SimTime,
     /// Rate limit for MERGE-VIEWS per HWG: a forced flush is pointless (and
     /// starves the HWG-level beacon merge) more than ~once a second.
     pub(crate) last_merge_views: BTreeMap<HwgId, SimTime>,
@@ -103,14 +106,14 @@ impl<S: HwgSubstrate> LwgService<S> {
             substrate,
             ns: NsClient::new(me, servers, cfg.naming.clone()),
             cfg,
-            lwgs: BTreeMap::new(),
+            dir: GroupDirectory::new(me),
             rounds: BTreeMap::new(),
             forward: BTreeMap::new(),
             ns_lookups: BTreeMap::new(),
             foreign: Vec::new(),
             idle_hwgs: BTreeMap::new(),
-            next_hwg_counter: 0,
             last_ns_poll: SimTime::ZERO,
+            last_rebalance: SimTime::ZERO,
             last_merge_views: BTreeMap::new(),
             packs: BTreeMap::new(),
             pack_timer_armed: false,
@@ -129,6 +132,9 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.substrate.start(ctx);
         ctx.set_timer(self.cfg.tick_interval, TOK_TICK);
         ctx.set_timer(self.cfg.policy_interval, TOK_POLICY);
+        if let Some(interval) = self.cfg.rebalance_interval {
+            ctx.set_timer(interval, TOK_REBALANCE);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -137,12 +143,12 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// The current view of `lwg` at this member.
     pub fn view_of(&self, lwg: LwgId) -> Option<&View> {
-        self.lwgs.get(&lwg).and_then(|s| s.view.as_ref())
+        self.dir.get(lwg).and_then(|s| s.view.as_ref())
     }
 
     /// The HWG `lwg` is currently mapped onto here.
     pub fn mapping_of(&self, lwg: LwgId) -> Option<HwgId> {
-        self.lwgs.get(&lwg).and_then(|s| s.hwg)
+        self.dir.get(lwg).and_then(|s| s.hwg)
     }
 
     /// HWGs this node is currently a member of.
@@ -170,50 +176,63 @@ impl<S: HwgSubstrate> LwgService<S> {
         std::mem::take(&mut self.events)
     }
 
-    /// A point-in-time summary of this node's groups and resources —
-    /// the operator's view of the mapping table.
+    /// A point-in-time summary of this node's resources — counts only;
+    /// per-group status is served by the indexed
+    /// [`LwgService::lwg_status`] / [`LwgService::iter_status`] queries
+    /// instead of a clone-everything snapshot.
     pub fn stats(&self) -> ServiceStats {
-        let lwgs = self
-            .lwgs
-            .iter()
-            .map(|(&lwg, s)| LwgStatus {
-                lwg,
-                phase: match s.phase {
-                    Phase::ReadingNs => "reading-ns",
-                    Phase::JoiningHwg => "joining-hwg",
-                    Phase::AwaitingAdmission => "awaiting-admission",
-                    Phase::Member => "member",
-                    Phase::Leaving => "leaving",
-                },
-                view: s.view.as_ref().map(|v| v.id),
-                members: s.view.as_ref().map_or(0, View::len),
-                hwg: s.hwg,
-                coordinator: self.lwg_coordinator(lwg) == Some(self.me),
-                busy: s.lflush.is_some()
-                    || s.switching.is_some()
-                    || s.follow_switch.is_some()
-                    || s.awaiting_prune.is_some(),
-            })
-            .collect();
         ServiceStats {
-            lwgs,
+            groups: self.dir.len(),
             hwgs: self.hwgs(),
             forward_pointers: self.forward.len(),
             pending_ns_requests: self.ns_lookups.len(),
         }
     }
 
-    /// The group's state, or a typed error when the group is not (or no
-    /// longer) in the local table. The hot-path modules use this instead
-    /// of unwrapping re-borrows — see [`crate::LwgError`].
-    pub(crate) fn state_mut(&mut self, lwg: LwgId) -> Result<&mut LwgState, LwgError> {
-        self.lwgs.get_mut(&lwg).ok_or(LwgError::UnknownGroup(lwg))
+    /// Status of one group — an indexed O(log L) lookup.
+    pub fn lwg_status(&self, lwg: LwgId) -> Option<LwgStatus> {
+        self.dir.get(lwg).map(|s| self.status_of(lwg, s))
+    }
+
+    /// Status of every local group, ascending by id. Lazily materialised:
+    /// callers that stop early never pay for the rest of the table.
+    pub fn iter_status(&self) -> impl Iterator<Item = LwgStatus> + '_ {
+        // tidy-allow(directory-hygiene): iter_status is the one sanctioned full walk
+        self.dir.iter_all().map(|(lwg, s)| self.status_of(lwg, s))
+    }
+
+    /// Directory operation counters (monotone) — recorded by the
+    /// `lwg_scale_sweep` bench to show lookup cost independent of the
+    /// total group count.
+    pub fn directory_counters(&self) -> DirCounters {
+        self.dir.counters()
+    }
+
+    fn status_of(&self, lwg: LwgId, s: &crate::state::LwgState) -> LwgStatus {
+        LwgStatus {
+            lwg,
+            phase: match s.phase {
+                Phase::ReadingNs => "reading-ns",
+                Phase::JoiningHwg => "joining-hwg",
+                Phase::AwaitingAdmission => "awaiting-admission",
+                Phase::Member => "member",
+                Phase::Leaving => "leaving",
+            },
+            view: s.view.as_ref().map(|v| v.id),
+            members: s.view.as_ref().map_or(0, View::len),
+            hwg: s.hwg,
+            coordinator: self.lwg_coordinator(lwg) == Some(self.me),
+            busy: s.lflush.is_some()
+                || s.switching.is_some()
+                || s.follow_switch.is_some()
+                || s.awaiting_prune.is_some(),
+        }
     }
 
     /// The acting coordinator of `lwg`: its most senior member that is
     /// still in the backing HWG view.
     pub(crate) fn lwg_coordinator(&self, lwg: LwgId) -> Option<NodeId> {
-        let state = self.lwgs.get(&lwg)?;
+        let state = self.dir.get(lwg)?;
         let view = state.view.as_ref()?;
         let hwg = state.hwg?;
         let hview = self.substrate.view_of(hwg)?;
@@ -270,6 +289,13 @@ impl<S: HwgSubstrate> LwgService<S> {
                 self.pack_timer_armed = false;
                 self.flush_all_packs(ctx, FlushReason::Timer);
                 self.pump(ctx);
+                true
+            }
+            TOK_REBALANCE => {
+                if let Some(interval) = self.cfg.rebalance_interval {
+                    self.run_rebalance(ctx);
+                    ctx.set_timer(interval, TOK_REBALANCE);
+                }
                 true
             }
             _ => false,
@@ -352,13 +378,7 @@ impl<S: HwgSubstrate> LwgService<S> {
                 self.packs.remove(&hwg);
                 // Any LWG still mapped there lost its transport: restart
                 // its join flow from the naming service.
-                let stranded: Vec<LwgId> = self
-                    .lwgs
-                    .iter()
-                    .filter(|(_, s)| s.hwg == Some(hwg))
-                    .map(|(&l, _)| l)
-                    .collect();
-                for lwg in stranded {
+                for lwg in self.dir.mapped_on(hwg) {
                     self.restart_join(ctx, lwg);
                 }
             }
@@ -374,39 +394,39 @@ impl<S: HwgSubstrate> LwgService<S> {
             view: hview.clone(),
         });
 
+        // Feed the directory's HWG-id allocation floor: ids re-learned
+        // after a restart must never be re-allocated.
+        self.dir.observe_hwg(hwg);
+
         // Barrier (belt and braces — the Stop upcall already flushed):
         // anything still buffered is multicast now, entirely inside the
         // new view, before any announcement below.
         self.flush_pack(ctx, hwg, FlushReason::Barrier);
 
-        // 1. Joiners waiting for this HWG ask for admission now.
-        let waiting: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.phase == Phase::JoiningHwg && s.hwg == Some(hwg))
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in waiting {
-            if hview.contains(self.me) {
+        // 1. Joiners waiting for this HWG ask for admission now (the
+        //    reverse index holds joiners under their *target* HWG).
+        for lwg in self.dir.mapped_on(hwg) {
+            if self
+                .dir
+                .get(lwg)
+                .is_some_and(|s| s.phase == Phase::JoiningHwg)
+                && hview.contains(self.me)
+            {
                 self.request_admission(ctx, lwg, hwg);
             }
         }
 
         // 2. Members following a switch to this HWG report readiness.
-        let following: Vec<(LwgId, crate::msg::LFlushId)> = self
-            .lwgs
-            .iter()
-            .filter_map(|(&l, s)| {
-                s.follow_switch
-                    .as_ref()
-                    .filter(|(_, to)| *to == hwg)
-                    .map(|(f, _)| (l, *f))
-            })
-            .collect();
-        for (lwg, flush) in following {
-            if hview.contains(self.me) {
-                self.substrate
-                    .send(ctx, hwg, wire::frame(&LwgMsg::SwitchReady { lwg, flush }));
+        for lwg in self.dir.following_to(hwg) {
+            let flush = self
+                .dir
+                .get(lwg)
+                .and_then(|s| s.follow_switch.as_ref().map(|(f, _)| *f));
+            if let Some(flush) = flush {
+                if hview.contains(self.me) {
+                    self.substrate
+                        .send(ctx, hwg, wire::frame(&LwgMsg::SwitchReady { lwg, flush }));
+                }
             }
         }
 
@@ -431,22 +451,20 @@ impl<S: HwgSubstrate> LwgService<S> {
         //    arrives, members buffer their sends (`awaiting_prune`). This
         //    is the resource sharing the paper measures in Figure 2's
         //    recovery panel: one HWG flush serves every co-mapped group.
-        let mapped: Vec<LwgId> = self
-            .lwgs
-            .iter()
-            .filter(|(_, s)| s.hwg == Some(hwg) && s.view.is_some())
-            .map(|(&l, _)| l)
-            .collect();
-        for lwg in mapped {
-            let stale = {
-                let state = self.lwgs.get(&lwg).expect("listed");
-                let view = state.view.as_ref().expect("filtered");
-                view.members.iter().any(|m| !hview.contains(*m))
+        for lwg in self.dir.mapped_on(hwg) {
+            let Some(stale) = self
+                .dir
+                .get(lwg)
+                .and_then(|s| s.view.as_ref())
+                .map(|view| view.members.iter().any(|m| !hview.contains(*m)))
+            else {
+                continue; // no installed view (still joining)
             };
             if stale {
-                let state = self.lwgs.get_mut(&lwg).expect("listed");
-                if state.awaiting_prune.is_none() {
-                    state.awaiting_prune = Some(ctx.now());
+                if let Some(mut state) = self.dir.get_mut(lwg) {
+                    if state.awaiting_prune.is_none() {
+                        state.awaiting_prune = Some(ctx.now());
+                    }
                 }
             }
             if self.lwg_coordinator(lwg) != Some(self.me) {
@@ -530,7 +548,7 @@ impl<S: HwgSubstrate> std::fmt::Debug for LwgService<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LwgService")
             .field("me", &self.me)
-            .field("lwgs", &self.lwgs.keys().collect::<Vec<_>>())
+            .field("groups", &self.dir.len())
             .field("hwgs", &self.hwgs())
             .finish_non_exhaustive()
     }

@@ -154,7 +154,8 @@ pub(crate) struct ForeignTag {
 }
 
 /// A snapshot of one group's state at this node (see
-/// [`crate::LwgService::stats`]).
+/// [`crate::LwgService::lwg_status`] and
+/// [`crate::LwgService::iter_status`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LwgStatus {
     /// The group.
@@ -175,11 +176,14 @@ pub struct LwgStatus {
 }
 
 /// A point-in-time summary of the whole service at this node (see
-/// [`crate::LwgService::stats`]).
+/// [`crate::LwgService::stats`]). Counts only — per-group detail comes
+/// from the indexed [`crate::LwgService::lwg_status`] /
+/// [`crate::LwgService::iter_status`] queries, so taking a summary never
+/// clones the whole table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Per-group status, ordered by group id.
-    pub lwgs: Vec<LwgStatus>,
+    /// Number of LWGs in the local directory.
+    pub groups: usize,
     /// HWGs this node is currently a member of.
     pub hwgs: Vec<HwgId>,
     /// Forward pointers held (LWGs known to have switched away).

@@ -40,7 +40,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
-        let Some(state) = self.lwgs.get(&lwg) else {
+        let Some(state) = self.dir.get(lwg) else {
             return;
         };
         if state.lflush.is_some() || state.switching.is_some() || state.hwg == Some(to) {
@@ -52,7 +52,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         let Some(hwg) = state.hwg else { return };
         let members = view.members.clone();
         let me = self.me;
-        let Ok(state) = self.state_mut(lwg) else {
+        let Ok(mut state) = self.dir.record(lwg) else {
             return;
         };
         let flush = LFlushId {
@@ -66,6 +66,7 @@ impl<S: HwgSubstrate> LwgService<S> {
             ready: BTreeSet::new(),
             started_at: ctx.now(),
         });
+        drop(state);
         ctx.emit(|| LwgProtocolEvent::SwitchStart { lwg, from: hwg, to });
         ctx.metrics().incr(keys::SWITCHES);
         if create {
@@ -97,8 +98,8 @@ impl<S: HwgSubstrate> LwgService<S> {
         from: NodeId,
     ) {
         let mut complete = false;
-        if let Some(state) = self.lwgs.get_mut(&lwg) {
-            if let Some(sw) = &mut state.switching {
+        if let Some(mut state) = self.dir.get_mut(lwg) {
+            if let Some(sw) = state.switching.as_mut() {
                 if sw.flush == flush {
                     sw.ready.insert(from);
                     complete = sw.ready.len() == sw.members.len();
@@ -113,7 +114,8 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Coordinator: every member reported ready on the target HWG —
     /// install the switched view there.
     fn complete_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
-        let Some(state) = self.lwgs.get_mut(&lwg) else {
+        let me = self.me;
+        let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
         let Some(sw) = state.switching.take() else {
@@ -123,10 +125,11 @@ impl<S: HwgSubstrate> LwgService<S> {
             return;
         };
         let new_view = View::with_predecessors(
-            ViewId::new(self.me, state.take_view_seq()),
+            ViewId::new(me, state.take_view_seq()),
             sw.members.clone(),
             vec![view.id],
         );
+        drop(state);
         ctx.emit(|| LwgProtocolEvent::SwitchComplete {
             lwg,
             to: sw.to,

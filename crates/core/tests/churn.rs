@@ -83,8 +83,12 @@ fn assert_settled(world: &mut World, apps: &[NodeId], groups: &[LwgId]) {
         if !world.is_alive(m) {
             continue;
         }
-        let stats: ServiceStats = world.inspect(m, |n: &LwgNode| n.service_ref().stats());
-        for s in &stats.lwgs {
+        let (stats, statuses): (ServiceStats, Vec<plwg_core::LwgStatus>) =
+            world.inspect(m, |n: &LwgNode| {
+                let svc = n.service_ref();
+                (svc.stats(), svc.iter_status().collect())
+            });
+        for s in &statuses {
             assert!(!s.busy, "{m} still busy on {} after settling: {s:?}", s.lwg);
             assert_eq!(s.phase, "member", "{m} stuck in {} on {}", s.phase, s.lwg);
         }

@@ -4,7 +4,10 @@
 //! LWG, moves only go up the id order, …). Seeded in-tree RNG keeps every
 //! run deterministic.
 
-use plwg_core::{closeness, is_minority, share_rule_collapses, PolicyAction};
+use plwg_core::{
+    closeness, is_minority, placement_rule, rebalance_improves, share_rule_collapses, HwgLoad,
+    PolicyAction,
+};
 use plwg_hwg::HwgId;
 use plwg_sim::{NodeId, SimRng};
 use std::collections::BTreeSet;
@@ -133,6 +136,102 @@ fn interference_rule_is_sound() {
                 closeness(lwg.len(), members.len(), k_c),
                 "case {case}: target must be close enough"
             );
+        }
+    }
+}
+
+fn random_loads(rng: &mut SimRng) -> Vec<HwgLoad> {
+    let count = rng.range(0, 8);
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let id = rng.range(1, 50);
+        if seen.insert(id) {
+            out.push(HwgLoad {
+                hwg: HwgId(id),
+                lwgs: rng.range(0, 12) as usize,
+                traffic: rng.range(0, 100),
+            });
+        }
+    }
+    out
+}
+
+/// The placement rule is deterministic, total over non-empty candidate
+/// sets, order-insensitive, and genuinely minimal: no candidate carries a
+/// strictly smaller (membership, traffic) load than the pick.
+#[test]
+fn placement_picks_a_minimal_candidate() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_7700 ^ case);
+        let loads = random_loads(&mut rng);
+        let pick = placement_rule(&loads);
+        assert_eq!(pick, placement_rule(&loads), "case {case}: determinism");
+        let mut reversed = loads.clone();
+        reversed.reverse();
+        assert_eq!(
+            pick,
+            placement_rule(&reversed),
+            "case {case}: order-insensitive"
+        );
+        let Some(target) = pick else {
+            assert!(loads.is_empty(), "case {case}: None only for no candidates");
+            continue;
+        };
+        let chosen = loads
+            .iter()
+            .find(|c| c.hwg == target)
+            .unwrap_or_else(|| panic!("case {case}: pick must be a candidate"));
+        for c in &loads {
+            assert!(
+                (c.lwgs, c.traffic) >= (chosen.lwgs, chosen.traffic),
+                "case {case}: {c:?} beats the pick {chosen:?}"
+            );
+        }
+    }
+}
+
+/// Equal membership loads degrade the placement rule to the legacy
+/// highest-id pick (what `continue_join` used before load awareness), so
+/// load-blind workloads see identical placement decisions.
+#[test]
+fn placement_degenerates_to_highest_id_under_equal_load() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_8800 ^ case);
+        let mut loads = random_loads(&mut rng);
+        let lwgs = rng.range(0, 12) as usize;
+        for c in &mut loads {
+            c.lwgs = lwgs;
+            c.traffic = 0;
+        }
+        assert_eq!(
+            placement_rule(&loads),
+            loads.iter().map(|c| c.hwg).max(),
+            "case {case}"
+        );
+    }
+}
+
+/// Strict improvement means moving one group can never invert the
+/// ordering: after a planned move the donor still carries at least as
+/// many groups as the receiver, which is what makes the rebalancer
+/// converge instead of oscillate.
+#[test]
+fn rebalance_improvement_never_inverts() {
+    for case in 0..CASES {
+        let mut rng = SimRng::from_seed(0x70_9900 ^ case);
+        let from = rng.range(0, 20) as usize;
+        let to = rng.range(0, 20) as usize;
+        if rebalance_improves(from, to) {
+            assert!(from > to + 1, "case {case}: move inverted the load");
+            assert!(
+                !rebalance_improves(to + 1, from - 1),
+                "case {case}: the reverse move must not also improve"
+            );
+        }
+        // Balanced (spread <= 1) systems never move.
+        if from.abs_diff(to) <= 1 {
+            assert!(!rebalance_improves(from, to), "case {case}");
         }
     }
 }

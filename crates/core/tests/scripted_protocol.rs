@@ -240,12 +240,7 @@ fn hwg_stop_is_answered_while_lwg_flush_in_flight() {
         n.service().pump(ctx);
         let after = n.service_ref().hwg_stack().stop_oks(H1);
         let stopping = n.service_ref().hwg_stack().is_stopping(H1);
-        let busy = n
-            .service_ref()
-            .stats()
-            .lwgs
-            .iter()
-            .any(|s| s.lwg == L && s.busy);
+        let busy = n.service_ref().lwg_status(L).is_some_and(|s| s.busy);
         (before, after, stopping, busy)
     });
     assert!(busy, "the LWG flush was still in flight when Stop arrived");

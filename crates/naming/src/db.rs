@@ -119,6 +119,12 @@ impl LwgEntry {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MappingDb {
     entries: BTreeMap<LwgId, LwgEntry>,
+    /// LWGs whose entry currently holds more than one concurrent mapping,
+    /// maintained incrementally by every mutation. `inconsistent()` used
+    /// to scan all entries — O(L) per naming *write*, because the server
+    /// re-notifies callbacks after each one — which made registering L
+    /// groups O(L²). Not serialised: the codec rebuilds it on decode.
+    multi: BTreeSet<LwgId>,
 }
 
 impl MappingDb {
@@ -145,6 +151,18 @@ impl MappingDb {
             entry.current.insert(mapping.lwg_view, mapping);
         }
         entry.gc();
+        self.resync(lwg);
+    }
+
+    /// Re-derives `lwg`'s membership in the inconsistency index after its
+    /// entry was mutated.
+    fn resync(&mut self, lwg: LwgId) {
+        let multi = self.entries.get(&lwg).is_some_and(|e| e.current.len() > 1);
+        if multi {
+            self.multi.insert(lwg);
+        } else {
+            self.multi.remove(&lwg);
+        }
     }
 
     /// The current (non-obsolete) mappings for `lwg`, in view-id order.
@@ -178,6 +196,7 @@ impl MappingDb {
         let entry = self.entries.entry(lwg).or_default();
         entry.current.remove(&lwg_view);
         entry.tombstones.insert(lwg_view);
+        self.resync(lwg);
     }
 
     /// Merges `other` into `self` (set-union of mappings and of the view
@@ -219,18 +238,17 @@ impl MappingDb {
             if *entry != before {
                 changed.push(lwg);
             }
+            self.resync(lwg);
         }
         changed
     }
 
     /// LWGs that currently have more than one concurrent mapping — the
     /// condition that triggers MULTIPLE-MAPPINGS callbacks (paper §6.1).
+    /// Served from the maintained index, in the same ascending id order
+    /// the historical full scan produced.
     pub fn inconsistent(&self) -> Vec<LwgId> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.current.len() > 1)
-            .map(|(&l, _)| l)
-            .collect()
+        self.multi.iter().copied().collect()
     }
 
     /// All LWGs with at least one current mapping.
@@ -330,9 +348,15 @@ impl Encode for MappingDb {
 
 impl Decode for MappingDb {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(MappingDb {
-            entries: Decode::decode_from(r)?,
-        })
+        let entries: BTreeMap<LwgId, LwgEntry> = Decode::decode_from(r)?;
+        // The inconsistency index is derived state and never travels on
+        // the wire; rebuild it from the decoded entries.
+        let multi = entries
+            .iter()
+            .filter(|(_, e)| e.current.len() > 1)
+            .map(|(&l, _)| l)
+            .collect();
+        Ok(MappingDb { entries, multi })
     }
 }
 
@@ -506,6 +530,44 @@ mod tests {
         assert!(db.read(A).is_empty());
         assert!(db.is_empty());
         assert!(db.lwgs().is_empty());
+    }
+
+    /// The maintained inconsistency index must agree with a full entry
+    /// scan after every kind of mutation — including a wire round-trip,
+    /// where the index is rebuilt rather than transmitted.
+    #[test]
+    fn inconsistency_index_tracks_every_mutation() {
+        let scan = |db: &MappingDb| -> Vec<LwgId> {
+            db.lwgs()
+                .into_iter()
+                .filter(|&l| db.read(l).len() > 1)
+                .collect()
+        };
+        let mut db = MappingDb::new();
+        let root = vid(0, 1);
+        db.set(A, map(root, 1, vid(0, 1), &[0]), &[]);
+        assert_eq!(db.inconsistent(), scan(&db));
+        // Concurrent successor: A becomes inconsistent.
+        db.set(A, map(vid(2, 1), 2, vid(2, 1), &[2]), &[root]);
+        db.set(A, map(vid(0, 2), 1, vid(0, 2), &[0]), &[root]);
+        assert_eq!(db.inconsistent(), scan(&db));
+        // Merge brings a second inconsistent group in.
+        let mut other = MappingDb::new();
+        other.set(B, map(vid(1, 1), 3, vid(1, 1), &[1]), &[]);
+        other.set(B, map(vid(3, 1), 4, vid(3, 1), &[3]), &[]);
+        db.merge(&other);
+        assert_eq!(db.inconsistent(), scan(&db));
+        assert_eq!(db.inconsistent(), vec![A, B]);
+        // Dissolving one of A's concurrent views resolves A.
+        db.unset(A, vid(2, 1));
+        assert_eq!(db.inconsistent(), scan(&db));
+        assert_eq!(db.inconsistent(), vec![B]);
+        // A decoded snapshot rebuilds the same index.
+        let mut out = Vec::new();
+        db.encode_into(&mut out);
+        let frame = plwg_sim::Frame::from_vec(out);
+        let back = MappingDb::decode_from(&mut Reader::new(&frame)).expect("roundtrip");
+        assert_eq!(back.inconsistent(), db.inconsistent());
     }
 }
 

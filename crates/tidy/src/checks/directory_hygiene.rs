@@ -1,0 +1,62 @@
+//! `directory-hygiene` — LWG lookups go through the directory's indexes.
+//!
+//! PR 9 replaced the service's flat `BTreeMap<LwgId, LwgState>` with the
+//! sharded, indexed `GroupDirectory`: every "which groups are on HWG x /
+//! in phase p / mid-flush" question is answered by a maintained reverse
+//! index instead of a full-table scan, which is what keeps protocol cost
+//! independent of the total group count. This check keeps scans from
+//! creeping back into `plwg-core`:
+//!
+//! - `.iter_all(`: the directory's one sanctioned full walk exists for
+//!   operator introspection (`iter_status`); protocol code must use an
+//!   indexed query (`mapped_on`, `following_to`, `in_phases`, `busy_ids`,
+//!   `pruning_ids`, `loads`).
+//! - `BTreeMap<LwgId, LwgState>`: a raw parallel record table outside the
+//!   directory module would bypass the indexes (and their facet
+//!   maintenance) entirely.
+//!
+//! The directory module itself is exempt — it is the one place the raw
+//! shards and the full walk are allowed to exist.
+
+use crate::diag::Diagnostic;
+use crate::walk::Workspace;
+
+pub const NAME: &str = "directory-hygiene";
+
+/// The one module allowed to hold raw LWG record storage and iterate it.
+const DIRECTORY_MODULE: &str = "crates/core/src/directory.rs";
+
+/// `(needle matched on whitespace-squeezed text, remedy)`.
+const FORBIDDEN: [(&str, &str); 2] = [
+    (
+        ".iter_all(",
+        "a full directory walk; use an indexed query — `mapped_on`, \
+         `following_to`, `in_phases`, `busy_ids`, `pruning_ids`, `loads`",
+    ),
+    (
+        "BTreeMap<LwgId,LwgState",
+        "a raw parallel record table bypasses the directory's indexes; \
+         store LWG records in the sharded `GroupDirectory`",
+    ),
+];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in ws.crate_files("core") {
+        if file.rel == DIRECTORY_MODULE {
+            continue;
+        }
+        for (line_no, line) in file.scrubbed_lines() {
+            let squeezed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+            for (pat, why) in FORBIDDEN {
+                if squeezed.contains(pat) && !file.allowed(line_no, NAME) {
+                    out.push(Diagnostic {
+                        rel: file.rel.clone(),
+                        line: line_no,
+                        check: NAME,
+                        msg: format!("`{pat}` outside the directory module ({why})"),
+                    });
+                }
+            }
+        }
+    }
+}

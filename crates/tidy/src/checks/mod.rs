@@ -9,6 +9,7 @@
 
 pub mod deps;
 pub mod determinism;
+pub mod directory_hygiene;
 pub mod events;
 pub mod metric_keys;
 pub mod module_size;
@@ -67,6 +68,13 @@ pub fn all() -> Vec<Check> {
             desc: "payloads are wire frames, never type-erased values: no \
                    Rc<dyn Any>, downcast, or payload::<T> in the data plane",
             run: wire_hygiene::run,
+        },
+        Check {
+            name: directory_hygiene::NAME,
+            desc: "LWG lookups go through the GroupDirectory's indexes: no \
+                   full-table walks or raw record maps outside the directory \
+                   module",
+            run: directory_hygiene::run,
         },
     ]
 }

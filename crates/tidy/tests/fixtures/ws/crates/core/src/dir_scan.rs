@@ -1,0 +1,10 @@
+//! directory-hygiene fixture: scans and raw tables outside directory.rs.
+
+fn scan(dir: &Dir) {
+    for _ in dir.iter_all() {}
+}
+struct Shadow {
+    table: BTreeMap<LwgId, LwgState>,
+}
+// tidy-allow(directory-hygiene): the sanctioned operator dump
+fn dump(dir: &Dir) { let _ = dir.iter_all(); }
