@@ -51,11 +51,13 @@ fn run(poll: Option<SimDuration>, lwgs: u64) -> Outcome {
     };
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     // Found the groups in two partitions → inconsistent mappings on heal.

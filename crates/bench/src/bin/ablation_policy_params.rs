@@ -43,11 +43,13 @@ fn run(k_m: u32, k_c: u32) -> (u64, bool) {
     };
     let apps: Vec<NodeId> = (0..8)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     // Big group over all 8 → one 8-member HWG.

@@ -136,7 +136,13 @@ fn setup(rebalance: bool) -> (World, NodeId) {
         vec![],
         NamingConfig::default(),
     )));
-    let app = w.add_node(Box::new(Node::new(NodeId(1), vec![server], cfg(rebalance))));
+    let app = w.add_node(Box::new(
+        Node::builder(NodeId(1))
+            .servers([server])
+            .config(cfg(rebalance))
+            .build()
+            .expect("valid sweep config"),
+    ));
     for slot in 0..HWGS {
         let view = View::initial(ViewId::new(app, 1), vec![app]);
         let h = hwg(slot);

@@ -107,11 +107,13 @@ fn run(groups: usize, cfg: &Cfg, seed: u64) -> Row {
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..8)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                lwg_cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(lwg_cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     // The big group pins the HWG at all 8 processes.

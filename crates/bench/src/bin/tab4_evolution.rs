@@ -47,11 +47,13 @@ fn main() {
     cfg.hwg.beacon_interval = SimDuration::from_millis(2_500);
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
 

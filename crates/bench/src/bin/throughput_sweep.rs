@@ -110,11 +110,13 @@ fn run(groups: usize, payload_bytes: usize, seed: u64) -> Row {
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..8)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                lwg_cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(lwg_cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     for (i, &n) in apps.iter().enumerate() {

@@ -2,10 +2,16 @@
 
 use plwg_hwg::HwgConfig;
 use plwg_naming::NamingConfig;
-use plwg_sim::SimDuration;
+use plwg_sim::{ConfigError, SimDuration};
 
 /// Tunables of the LWG service (paper §3.2 parameters plus protocol
 /// timeouts).
+///
+/// Construct with [`Default`] and the `with_*` setters, then hand the
+/// config to [`crate::LwgNode::builder`]; the builder runs
+/// [`LwgConfig::validate`] (which also validates the nested
+/// [`HwgConfig`] and [`NamingConfig`]) and surfaces rejections as
+/// [`crate::LwgError::Config`] instead of panicking.
 #[derive(Debug, Clone)]
 pub struct LwgConfig {
     /// HWG-substrate configuration. `auto_stop_ok` is forced to `false` by
@@ -96,38 +102,150 @@ impl Default for LwgConfig {
 }
 
 impl LwgConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if sub-configurations are invalid, if `k_m`/`k_c` are zero,
-    /// or any period is zero.
-    pub fn validate(&self) {
-        self.hwg.validate();
-        self.naming.validate();
-        assert!(self.k_m >= 1 && self.k_c >= 1, "k_m and k_c must be >= 1");
-        assert!(
-            self.policy_interval > SimDuration::ZERO
-                && self.tick_interval > SimDuration::ZERO
-                && self.lwg_join_timeout > SimDuration::ZERO
-                && self.lwg_flush_timeout > SimDuration::ZERO
-                && self.foreign_data_timeout > SimDuration::ZERO,
-            "LWG periods must be positive"
-        );
-        assert!(self.pack_max_msgs >= 1, "pack_max_msgs must be >= 1");
-        assert!(
-            self.pack_max_msgs == 1 || self.pack_delay > SimDuration::ZERO,
-            "pack_delay must be positive when packing is enabled"
-        );
-        assert!(
-            self.rebalance_interval
-                .is_none_or(|i| i > SimDuration::ZERO),
-            "rebalance_interval must be positive when set"
-        );
-        assert!(
-            self.rebalance_interval.is_none() || self.rebalance_max_moves >= 1,
-            "rebalance_max_moves must be >= 1 when the rebalancer is enabled"
-        );
+    /// Sets the HWG-substrate configuration.
+    pub fn with_hwg(mut self, hwg: HwgConfig) -> Self {
+        self.hwg = hwg;
+        self
+    }
+
+    /// Sets the naming-service client configuration.
+    pub fn with_naming(mut self, naming: NamingConfig) -> Self {
+        self.naming = naming;
+        self
+    }
+
+    /// Sets the mapping-policy thresholds `k_m` (minority) and `k_c`
+    /// (closeness) of paper Fig. 1. Both must be at least 1.
+    pub fn with_thresholds(mut self, k_m: u32, k_c: u32) -> Self {
+        self.k_m = k_m;
+        self.k_c = k_c;
+        self
+    }
+
+    /// Sets the mapping-heuristics period.
+    pub fn with_policy_interval(mut self, v: SimDuration) -> Self {
+        self.policy_interval = v;
+        self
+    }
+
+    /// Sets the shrink-rule grace period.
+    pub fn with_shrink_grace(mut self, v: SimDuration) -> Self {
+        self.shrink_grace = v;
+        self
+    }
+
+    /// Sets the LWG admission pair: per-attempt timeout and retries before
+    /// the joiner founds its own view.
+    pub fn with_join(mut self, timeout: SimDuration, retries: u32) -> Self {
+        self.lwg_join_timeout = timeout;
+        self.lwg_join_retries = retries;
+        self
+    }
+
+    /// Sets the LWG flush/switch watchdog.
+    pub fn with_flush_timeout(mut self, v: SimDuration) -> Self {
+        self.lwg_flush_timeout = v;
+        self
+    }
+
+    /// Sets how long a foreign view-tagged message may sit before it
+    /// triggers MERGE-VIEWS.
+    pub fn with_foreign_data_timeout(mut self, v: SimDuration) -> Self {
+        self.foreign_data_timeout = v;
+        self
+    }
+
+    /// Sets the internal housekeeping tick.
+    pub fn with_tick_interval(mut self, v: SimDuration) -> Self {
+        self.tick_interval = v;
+        self
+    }
+
+    /// Enables the §6.1 polling ablation: coordinators poll `ns.read`
+    /// every `interval` instead of relying on server callbacks.
+    pub fn with_ns_polling(mut self, interval: SimDuration) -> Self {
+        self.ns_poll_interval = Some(interval);
+        self
+    }
+
+    /// Sets the packing pair: messages per HWG multicast and the flush
+    /// delay of a partially-filled buffer. `max_msgs == 1` disables
+    /// packing; otherwise `delay` must be positive (checked by
+    /// [`LwgConfig::validate`]).
+    pub fn with_packing(mut self, max_msgs: usize, delay: SimDuration) -> Self {
+        self.pack_max_msgs = max_msgs;
+        self.pack_delay = delay;
+        self
+    }
+
+    /// Sets whether co-mapped data is addressed only to interested members.
+    pub fn with_subset_delivery(mut self, v: bool) -> Self {
+        self.subset_delivery = v;
+        self
+    }
+
+    /// Enables the rebalancer: one round every `interval`, at most
+    /// `max_moves` migrations per round (`max_moves` must be at least 1;
+    /// checked by [`LwgConfig::validate`]).
+    pub fn with_rebalancing(mut self, interval: SimDuration, max_moves: usize) -> Self {
+        self.rebalance_interval = Some(interval);
+        self.rebalance_max_moves = max_moves;
+        self
+    }
+
+    /// Validates the configuration, including the nested [`HwgConfig`] and
+    /// [`NamingConfig`]: thresholds and the pack budget must be at least 1,
+    /// every period positive, `pack_delay` positive when packing is
+    /// enabled, and the rebalancer knobs coherent when it is enabled.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.hwg.validate()?;
+        self.naming.validate()?;
+        if self.k_m < 1 || self.k_c < 1 {
+            return Err(ConfigError::new("k_m/k_c", "thresholds must be >= 1"));
+        }
+        for (field, v) in [
+            ("policy_interval", self.policy_interval),
+            ("tick_interval", self.tick_interval),
+            ("lwg_join_timeout", self.lwg_join_timeout),
+            ("lwg_flush_timeout", self.lwg_flush_timeout),
+            ("foreign_data_timeout", self.foreign_data_timeout),
+        ] {
+            if v <= SimDuration::ZERO {
+                return Err(ConfigError::new(field, "period must be positive"));
+            }
+        }
+        if let Some(poll) = self.ns_poll_interval {
+            if poll <= SimDuration::ZERO {
+                return Err(ConfigError::new(
+                    "ns_poll_interval",
+                    "period must be positive when polling is enabled",
+                ));
+            }
+        }
+        if self.pack_max_msgs < 1 {
+            return Err(ConfigError::new("pack_max_msgs", "must be >= 1"));
+        }
+        if self.pack_max_msgs > 1 && self.pack_delay <= SimDuration::ZERO {
+            return Err(ConfigError::new(
+                "pack_delay",
+                "must be positive when packing is enabled",
+            ));
+        }
+        if let Some(i) = self.rebalance_interval {
+            if i <= SimDuration::ZERO {
+                return Err(ConfigError::new(
+                    "rebalance_interval",
+                    "must be positive when set",
+                ));
+            }
+            if self.rebalance_max_moves < 1 {
+                return Err(ConfigError::new(
+                    "rebalance_max_moves",
+                    "must be >= 1 when the rebalancer is enabled",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -138,19 +256,18 @@ mod tests {
     #[test]
     fn default_is_valid_and_uses_paper_parameters() {
         let cfg = LwgConfig::default();
-        cfg.validate();
+        cfg.validate().expect("default valid");
         assert_eq!(cfg.k_m, 4);
         assert_eq!(cfg.k_c, 4);
     }
 
     #[test]
-    #[should_panic(expected = "k_m and k_c")]
     fn zero_km_rejected() {
-        LwgConfig {
-            k_m: 0,
-            ..LwgConfig::default()
-        }
-        .validate();
+        let err = LwgConfig::default()
+            .with_thresholds(0, 4)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "k_m/k_c");
     }
 
     #[test]
@@ -161,13 +278,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pack_max_msgs")]
     fn zero_pack_budget_rejected() {
-        LwgConfig {
-            pack_max_msgs: 0,
-            ..LwgConfig::default()
-        }
-        .validate();
+        let err = LwgConfig::default()
+            .with_packing(0, SimDuration::from_millis(2))
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "pack_max_msgs");
     }
 
     #[test]
@@ -177,34 +293,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rebalance_interval")]
     fn zero_rebalance_interval_rejected() {
-        LwgConfig {
-            rebalance_interval: Some(SimDuration::ZERO),
-            ..LwgConfig::default()
-        }
-        .validate();
+        let err = LwgConfig::default()
+            .with_rebalancing(SimDuration::ZERO, 4)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "rebalance_interval");
     }
 
     #[test]
-    #[should_panic(expected = "rebalance_max_moves")]
     fn zero_rebalance_moves_rejected_when_enabled() {
-        LwgConfig {
-            rebalance_interval: Some(SimDuration::from_secs(1)),
-            rebalance_max_moves: 0,
-            ..LwgConfig::default()
-        }
-        .validate();
+        let err = LwgConfig::default()
+            .with_rebalancing(SimDuration::from_secs(1), 0)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "rebalance_max_moves");
     }
 
     #[test]
-    #[should_panic(expected = "pack_delay")]
     fn zero_pack_delay_rejected_when_packing() {
-        LwgConfig {
-            pack_max_msgs: 8,
-            pack_delay: SimDuration::ZERO,
-            ..LwgConfig::default()
-        }
-        .validate();
+        let err = LwgConfig::default()
+            .with_packing(8, SimDuration::ZERO)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "pack_delay");
+    }
+
+    #[test]
+    fn nested_hwg_error_surfaces_through_lwg_validate() {
+        let err = LwgConfig::default()
+            .with_hwg(
+                plwg_hwg::HwgConfig::default()
+                    .with_heartbeat(SimDuration::from_millis(100), SimDuration::from_millis(10)),
+            )
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "hwg.suspect_timeout");
+    }
+
+    #[test]
+    fn setters_cover_every_knob() {
+        let cfg = LwgConfig::default()
+            .with_naming(NamingConfig::default().with_push_callbacks(true))
+            .with_thresholds(3, 5)
+            .with_policy_interval(SimDuration::from_secs(5))
+            .with_shrink_grace(SimDuration::from_secs(20))
+            .with_join(SimDuration::from_millis(600), 3)
+            .with_flush_timeout(SimDuration::from_secs(2))
+            .with_foreign_data_timeout(SimDuration::from_secs(1))
+            .with_tick_interval(SimDuration::from_millis(100))
+            .with_ns_polling(SimDuration::from_secs(1))
+            .with_packing(8, SimDuration::from_millis(2))
+            .with_subset_delivery(true)
+            .with_rebalancing(SimDuration::from_secs(30), 2);
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.k_m, 3);
+        assert_eq!(cfg.lwg_join_retries, 3);
+        assert_eq!(cfg.ns_poll_interval, Some(SimDuration::from_secs(1)));
+        assert!(cfg.subset_delivery);
     }
 }

@@ -17,13 +17,13 @@ use crate::state::{ForeignTag, Phase};
 use crate::wire;
 use plwg_hwg::{HwgId, HwgSubstrate, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{Context, NodeId, Payload};
+use plwg_sim::{NodeId, Payload, Transport};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
     /// Sends a multicast on `lwg` (buffered until a view is installed and
     /// no flush is in progress).
-    pub fn send(&mut self, ctx: &mut Context<'_>, lwg: LwgId, data: Payload) {
+    pub fn send(&mut self, ctx: &mut dyn Transport, lwg: LwgId, data: Payload) {
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
@@ -95,7 +95,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Multicasts a data-plane message for `lwgs` on `hwg`, addressing
     /// only the interested members when the subset path applies.
-    fn send_data_on(&mut self, ctx: &mut Context<'_>, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
+    fn send_data_on(&mut self, ctx: &mut dyn Transport, hwg: HwgId, lwgs: &[LwgId], msg: LwgMsg) {
         // One data-plane multicast on this HWG: feed its traffic window
         // (the rebalancer's hotness signal). Skipped while the rebalancer
         // is off — the window's first entry per HWG allocates, and the
@@ -120,7 +120,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// multicast. Barrier callers invoke this *before* any flush, view or
     /// merge control message so a batch never crosses a view cut on
     /// either layer.
-    pub(crate) fn flush_pack(&mut self, ctx: &mut Context<'_>, hwg: HwgId, reason: FlushReason) {
+    pub(crate) fn flush_pack(&mut self, ctx: &mut dyn Transport, hwg: HwgId, reason: FlushReason) {
         let Some(buf) = self.packs.get_mut(&hwg) else {
             return;
         };
@@ -137,7 +137,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Flushes every non-empty pack buffer (pack-delay timer path).
-    pub(crate) fn flush_all_packs(&mut self, ctx: &mut Context<'_>, reason: FlushReason) {
+    pub(crate) fn flush_all_packs(&mut self, ctx: &mut dyn Transport, reason: FlushReason) {
         let hwgs: Vec<HwgId> = self
             .packs
             .iter()
@@ -154,7 +154,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// evidence for the merge protocol).
     pub(crate) fn handle_lwg_data(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: Option<HwgId>,
         lwg: LwgId,
         lwg_view: ViewId,

@@ -20,7 +20,7 @@ use crate::state::{LwgFlush, LwgState, NsPurpose, Phase};
 use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::{LwgId, Mapping};
-use plwg_sim::{Context, NodeId};
+use plwg_sim::{NodeId, Transport, TransportExt};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -30,7 +30,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Joins light-weight group `lwg`. The `View` upcall confirms
     /// membership. No-op if already joining or a member.
-    pub fn join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub fn join(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         if self.dir.contains(lwg) {
             return;
         }
@@ -41,7 +41,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Leaves `lwg`; the `Left` upcall confirms.
-    pub fn leave(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub fn leave(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(phase) = self.dir.get(lwg).map(|s| s.phase) else {
             return;
         };
@@ -96,7 +96,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn handle_join_req(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         arrived_on: Option<HwgId>,
         lwg: LwgId,
         from: NodeId,
@@ -132,7 +132,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         }
     }
 
-    pub(crate) fn handle_leave_req(&mut self, ctx: &mut Context<'_>, lwg: LwgId, from: NodeId) {
+    pub(crate) fn handle_leave_req(&mut self, ctx: &mut dyn Transport, lwg: LwgId, from: NodeId) {
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
@@ -152,7 +152,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// start joining the target HWG.
     pub(crate) fn handle_lwg_flush(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         flush: LFlushId,
         members: Vec<NodeId>,
@@ -224,7 +224,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn handle_flush_ok(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         flush: LFlushId,
         from: NodeId,
@@ -246,7 +246,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn handle_new_lwg_view(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         flush: Option<LFlushId>,
         view: View,
@@ -311,7 +311,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Installs `view` if its flush (when any) has fully acknowledged.
-    pub(crate) fn try_conclude_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub(crate) fn try_conclude_lwg_flush(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -335,7 +335,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Coordinator: all FlushOks are in — compute and multicast the
     /// successor view (join/leave/prune path).
-    fn announce_successor_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    fn announce_successor_view(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -396,7 +396,12 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Coordinator: announce the view with the members that fell out of
     /// the HWG removed (no LWG flush needed — see
     /// `LwgService::handle_hwg_view`).
-    pub(crate) fn announce_pruned_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hview: &View) {
+    pub(crate) fn announce_pruned_view(
+        &mut self,
+        ctx: &mut dyn Transport,
+        lwg: LwgId,
+        hview: &View,
+    ) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -439,7 +444,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn install_lwg_view(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         view: View,
         on_hwg: HwgId,
@@ -509,7 +514,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Writes the current view-to-view mapping to the naming service.
-    pub(crate) fn refresh_mapping(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub(crate) fn refresh_mapping(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -530,7 +535,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Starts an LWG flush if this node coordinates `lwg` and membership
     /// changes are pending (join/leave/members fallen out of the HWG).
-    pub(crate) fn maybe_start_lwg_flush(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub(crate) fn maybe_start_lwg_flush(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         if self.lwg_coordinator(lwg) != Some(self.me) {
             return;
         }
@@ -591,7 +596,12 @@ impl<S: HwgSubstrate> LwgService<S> {
         );
     }
 
-    pub(crate) fn handle_dissolved(&mut self, ctx: &mut Context<'_>, lwg: LwgId, flush: LFlushId) {
+    pub(crate) fn handle_dissolved(
+        &mut self,
+        ctx: &mut dyn Transport,
+        lwg: LwgId,
+        flush: LFlushId,
+    ) {
         let leaving = self.dir.get(lwg).is_some_and(|s| {
             s.phase == Phase::Leaving || s.lflush.as_ref().is_some_and(|f| f.flush == flush)
         });

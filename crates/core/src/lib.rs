@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod builder;
 mod config;
 mod data_plane;
 mod directory;
@@ -64,6 +65,7 @@ mod state;
 mod switch;
 mod wire;
 
+pub use builder::{LwgBuilder, LwgNodeBuilder};
 pub use config::LwgConfig;
 pub use directory::{DirCounters, HwgLoad};
 pub use error::LwgError;

@@ -17,7 +17,7 @@ use crate::state::{LwgState, NsPurpose, Phase};
 use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, ViewId};
 use plwg_naming::{LwgId, Mapping, NsEvent};
-use plwg_sim::{Context, NodeId};
+use plwg_sim::{NodeId, Transport, TransportExt};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -25,7 +25,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // Naming events: join lookups and MULTIPLE-MAPPINGS reconciliation
     // ------------------------------------------------------------------
 
-    pub(crate) fn handle_ns_event(&mut self, ctx: &mut Context<'_>, ev: NsEvent) {
+    pub(crate) fn handle_ns_event(&mut self, ctx: &mut dyn Transport, ev: NsEvent) {
         match ev {
             NsEvent::Reply { req, lwg, mappings } => match self.ns_lookups.remove(&req) {
                 Some((_, NsPurpose::JoinLookup)) => self.continue_join(ctx, lwg, &mappings),
@@ -42,7 +42,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Join step 2: the naming lookup answered; pick the target HWG.
-    fn continue_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+    fn continue_join(&mut self, ctx: &mut dyn Transport, lwg: LwgId, mappings: &[Mapping]) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -83,7 +83,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn begin_hwg_join(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         hwg: HwgId,
         create: bool,
@@ -121,7 +121,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Join step 3: we are an HWG member; ask the LWG coordinator (if any)
     /// to admit us.
-    pub(crate) fn request_admission(&mut self, ctx: &mut Context<'_>, lwg: LwgId, hwg: HwgId) {
+    pub(crate) fn request_admission(&mut self, ctx: &mut dyn Transport, lwg: LwgId, hwg: HwgId) {
         let deadline = ctx.now() + self.cfg.lwg_join_timeout;
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
@@ -137,7 +137,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// `ns.testset` (paper Table 2) *before* founding a view. If another
     /// founder won the race we follow its mapping instead of creating a
     /// competing view.
-    fn claim_founding(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    fn claim_founding(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -163,7 +163,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Join fallback, part 2: the test-and-set answered.
-    fn resolve_found_claim(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+    fn resolve_found_claim(&mut self, ctx: &mut dyn Transport, lwg: LwgId, mappings: &[Mapping]) {
         let Some(state) = self.dir.get(lwg) else {
             return;
         };
@@ -188,7 +188,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Installs the group's founding (singleton) view on the target HWG.
-    fn found_lwg_view(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    fn found_lwg_view(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };
@@ -209,7 +209,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Step 2 of partition healing (paper §6.2): on MULTIPLE-MAPPINGS, the
     /// coordinator of each concurrent view switches deterministically to
     /// the HWG with the **highest group identifier**.
-    fn reconcile(&mut self, ctx: &mut Context<'_>, lwg: LwgId, mappings: &[Mapping]) {
+    fn reconcile(&mut self, ctx: &mut dyn Transport, lwg: LwgId, mappings: &[Mapping]) {
         ctx.metrics().incr(keys::RECONCILIATIONS);
         let Some(target) = mappings.iter().map(|m| m.hwg).max() else {
             return;
@@ -249,7 +249,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// A `Redirect` forward pointer arrived: our mapping information was
     /// outdated — retarget the join.
-    pub(crate) fn handle_redirect(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId) {
+    pub(crate) fn handle_redirect(&mut self, ctx: &mut dyn Transport, lwg: LwgId, to: HwgId) {
         let retarget = self.dir.get(lwg).is_some_and(|s| {
             matches!(s.phase, Phase::JoiningHwg | Phase::AwaitingAdmission) && s.hwg != Some(to)
         });
@@ -268,7 +268,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // Housekeeping tick
     // ------------------------------------------------------------------
 
-    pub(crate) fn tick(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn tick(&mut self, ctx: &mut dyn Transport) {
         let now = ctx.now();
 
         // Join deadlines: retry admission, then found our own view. The
@@ -448,7 +448,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // Policies (paper Fig. 1)
     // ------------------------------------------------------------------
 
-    pub(crate) fn run_policies(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn run_policies(&mut self, ctx: &mut dyn Transport) {
         let known: Vec<(HwgId, BTreeSet<NodeId>)> = self
             .hwgs()
             .into_iter()
@@ -510,13 +510,13 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.dir.hwg_in_use(hwg)
     }
 
-    pub(crate) fn note_idle_if_unused(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub(crate) fn note_idle_if_unused(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         if self.substrate.status_of(hwg) == GroupStatus::Member && !self.hwg_in_use(hwg) {
             self.idle_hwgs.entry(hwg).or_insert(ctx.now());
         }
     }
 
-    fn refresh_idle_hwgs(&mut self, ctx: &mut Context<'_>) {
+    fn refresh_idle_hwgs(&mut self, ctx: &mut dyn Transport) {
         let now = ctx.now();
         let member_hwgs: Vec<HwgId> = self.hwgs();
         for hwg in member_hwgs {
@@ -544,7 +544,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Restarts the join flow for a group whose transport vanished.
-    pub(crate) fn restart_join(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    pub(crate) fn restart_join(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;
         };

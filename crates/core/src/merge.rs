@@ -16,13 +16,13 @@ use crate::service::LwgService;
 use crate::wire;
 use plwg_hwg::{HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{Context, NodeId};
+use plwg_sim::{NodeId, Transport, TransportExt};
 use std::collections::{BTreeMap, BTreeSet};
 
 impl<S: HwgSubstrate> LwgService<S> {
     /// Requests a merge round on `hwg` (rate-limited): multicast
     /// `MergeViews` so the HWG coordinator forces the Fig. 5 flush barrier.
-    pub(crate) fn trigger_merge_views(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub(crate) fn trigger_merge_views(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         // Cooldown: repeated MERGE-VIEWS within a second only repeat the
         // same barrier flush — and a constant stream of forced flushes
         // starves the HWG layer's own beacon-driven merge (the flush
@@ -44,7 +44,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// A `MergeViews` request arrived on `hwg`: note the round and, as the
     /// coordinator's deterministic stand-in, force the flush barrier.
-    pub(crate) fn handle_merge_views_msg(&mut self, ctx: &mut Context<'_>, hwg: Option<HwgId>) {
+    pub(crate) fn handle_merge_views_msg(&mut self, ctx: &mut dyn Transport, hwg: Option<HwgId>) {
         if let Some(hwg) = hwg {
             let round = self.rounds.entry(hwg).or_default();
             if !round.triggered {
@@ -74,7 +74,12 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// After an HWG flush: merge every set of concurrent LWG views the
     /// AllViews exchange revealed.
-    pub(crate) fn complete_merge_round(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: &View) {
+    pub(crate) fn complete_merge_round(
+        &mut self,
+        ctx: &mut dyn Transport,
+        hwg: HwgId,
+        hview: &View,
+    ) {
         let Some(round) = self.rounds.remove(&hwg) else {
             return;
         };

@@ -10,7 +10,7 @@ use crate::events::LwgEvents;
 use crate::service::LwgService;
 use plwg_hwg::{HwgSubstrate, View};
 use plwg_naming::LwgId;
-use plwg_sim::{Context, NodeId, Payload, Process, TimerToken};
+use plwg_sim::{NodeId, Payload, Process, TimerToken, Transport};
 use std::any::Any;
 
 /// A simulated node running the LWG service over substrate `S`, recording
@@ -31,12 +31,44 @@ pub struct LwgNode<S: HwgSubstrate> {
 }
 
 impl<S: HwgSubstrate> LwgNode<S> {
+    /// Starts building a node for `me`: set the name servers (and
+    /// optionally a config or pre-built substrate), then call
+    /// [`crate::LwgNodeBuilder::build`]:
+    ///
+    /// ```
+    /// use plwg_core::{LwgConfig, LwgNode, ScriptedHwg};
+    /// use plwg_sim::NodeId;
+    ///
+    /// let node: LwgNode<ScriptedHwg> = LwgNode::builder(NodeId(1))
+    ///     .servers([NodeId(0)])
+    ///     .config(LwgConfig::default())
+    ///     .build()
+    ///     .expect("valid config");
+    /// # let _ = node;
+    /// ```
+    pub fn builder(me: NodeId) -> crate::LwgNodeBuilder<S> {
+        crate::LwgNodeBuilder::new(me)
+    }
+
     /// Creates a node for `me`, using the given name servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or `servers` is empty.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `LwgNode::builder(me).servers(..).config(cfg).build()`"
+    )]
     pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
-        LwgNode {
-            service: LwgService::new(me, servers, cfg),
-            events: LwgEvents::default(),
-        }
+        Self::builder(me)
+            .servers(servers)
+            .config(cfg)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub(crate) fn from_service(service: LwgService<S>, events: LwgEvents) -> Self {
+        LwgNode { service, events }
     }
 
     /// The wrapped service (join/leave/send and introspection).
@@ -74,17 +106,17 @@ impl<S: HwgSubstrate> LwgNode<S> {
 }
 
 impl<S: HwgSubstrate + 'static> Process for LwgNode<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         self.service.start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if self.service.on_message(ctx, from, &msg) {
             self.pump_events();
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if self.service.on_timer(ctx, token) {
             self.pump_events();
         }

@@ -21,7 +21,7 @@ use crate::protocol_events::LwgProtocolEvent;
 use crate::service::LwgService;
 use plwg_hwg::{HwgId, HwgSubstrate};
 use plwg_naming::LwgId;
-use plwg_sim::Context;
+use plwg_sim::{Transport, TransportExt};
 use std::cmp::Reverse;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -29,7 +29,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// up to `rebalance_max_moves` strictly-improving migrations, and
     /// start a switch for each. Driven by the `rebalance_interval` timer;
     /// public so experiments and tests can force a round directly.
-    pub fn run_rebalance(&mut self, ctx: &mut Context<'_>) {
+    pub fn run_rebalance(&mut self, ctx: &mut dyn Transport) {
         self.last_rebalance = ctx.now();
         ctx.metrics().incr(keys::REBALANCE_ROUNDS);
         let mut loads = self.dir.loads();

@@ -28,8 +28,8 @@
 
 use plwg_hwg::{GroupStatus, HwgConfig, HwgEvent, HwgId, HwgSubstrate, View, ViewId};
 use plwg_sim::{
-    decode_frame, encode_frame, family, peek_family, Context, Decode, Encode, NodeId, Payload,
-    Reader, TimerToken, WireError,
+    decode_frame, encode_frame, family, peek_family, Decode, Encode, NodeId, Payload, Reader,
+    TimerToken, Transport, WireError,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -246,7 +246,7 @@ impl ScriptedHwg {
     // Internals
     // ------------------------------------------------------------------
 
-    fn multicast(&mut self, ctx: &mut Context<'_>, hwg: HwgId, msg: ScriptedMsg) {
+    fn multicast(&mut self, ctx: &mut dyn Transport, hwg: HwgId, msg: ScriptedMsg) {
         let Some(view) = self.groups.get(&hwg).and_then(|g| g.view.clone()) else {
             return;
         };
@@ -259,7 +259,7 @@ impl ScriptedHwg {
         self.deliver(ctx, self.me, &msg);
     }
 
-    fn deliver(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &ScriptedMsg) {
+    fn deliver(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &ScriptedMsg) {
         match msg {
             ScriptedMsg::Data { hwg, view_id, data } => {
                 let member = self
@@ -307,7 +307,7 @@ impl ScriptedHwg {
     }
 
     /// All members acked: install and multicast the successor view.
-    fn conclude_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn conclude_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         let Some(g) = self.groups.get_mut(&hwg) else {
             return;
         };
@@ -332,9 +332,9 @@ impl HwgSubstrate for ScriptedHwg {
         self.me
     }
 
-    fn start(&mut self, _ctx: &mut Context<'_>) {}
+    fn start(&mut self, _ctx: &mut dyn Transport) {}
 
-    fn join(&mut self, _ctx: &mut Context<'_>, hwg: HwgId) {
+    fn join(&mut self, _ctx: &mut dyn Transport, hwg: HwgId) {
         let g = self.groups.entry(hwg).or_insert_with(Group::new);
         if g.status != GroupStatus::Member {
             g.status = GroupStatus::Joining;
@@ -342,7 +342,7 @@ impl HwgSubstrate for ScriptedHwg {
         }
     }
 
-    fn create(&mut self, _ctx: &mut Context<'_>, hwg: HwgId) {
+    fn create(&mut self, _ctx: &mut dyn Transport, hwg: HwgId) {
         let g = self.groups.entry(hwg).or_insert_with(Group::new);
         if g.status == GroupStatus::Member {
             return;
@@ -354,13 +354,13 @@ impl HwgSubstrate for ScriptedHwg {
         self.events.push(HwgEvent::View { hwg, view });
     }
 
-    fn leave(&mut self, _ctx: &mut Context<'_>, hwg: HwgId) {
+    fn leave(&mut self, _ctx: &mut dyn Transport, hwg: HwgId) {
         if self.groups.remove(&hwg).is_some() {
             self.events.push(HwgEvent::Left { hwg });
         }
     }
 
-    fn send(&mut self, ctx: &mut Context<'_>, hwg: HwgId, data: Payload) {
+    fn send(&mut self, ctx: &mut dyn Transport, hwg: HwgId, data: Payload) {
         let Some(view_id) = self
             .groups
             .get(&hwg)
@@ -373,7 +373,7 @@ impl HwgSubstrate for ScriptedHwg {
 
     fn send_to(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: HwgId,
         targets: &BTreeSet<NodeId>,
         data: Payload,
@@ -399,7 +399,7 @@ impl HwgSubstrate for ScriptedHwg {
         }
     }
 
-    fn force_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn force_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         // Only the coordinator drives the flush (non-coordinator requests
         // are a no-op, mirroring the production stack's behaviour for the
         // MERGE-VIEWS relay).
@@ -421,7 +421,7 @@ impl HwgSubstrate for ScriptedHwg {
         self.multicast(ctx, hwg, ScriptedMsg::Flush { hwg, nonce });
     }
 
-    fn stop_ok(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn stop_ok(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         let (initiator, ack) = {
             let Some(g) = self.groups.get_mut(&hwg) else {
                 return;
@@ -468,7 +468,7 @@ impl HwgSubstrate for ScriptedHwg {
             .collect()
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         if peek_family(msg) != Some(family::SCRIPTED) {
             return false;
         }
@@ -480,7 +480,7 @@ impl HwgSubstrate for ScriptedHwg {
         true
     }
 
-    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) -> bool {
+    fn on_timer(&mut self, _ctx: &mut dyn Transport, _token: TimerToken) -> bool {
         false
     }
 

@@ -26,7 +26,10 @@ use crate::state::{ForeignTag, LwgStatus, MergeRound, NsPurpose, Phase, ServiceS
 use crate::wire;
 use plwg_hwg::{HwgEvent, HwgId, HwgSubstrate, View};
 use plwg_naming::{LwgId, NsClient, RequestId};
-use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, SimTime, TimerToken};
+use plwg_sim::{
+    decode_frame, family, peek_family, NodeId, Payload, SimTime, TimerToken, Transport,
+    TransportExt,
+};
 use std::collections::BTreeMap;
 
 pub(crate) const TOK_POLICY: TimerToken = TimerToken(0x0300_0000_0000_0001);
@@ -76,6 +79,13 @@ pub struct LwgService<S: HwgSubstrate> {
 }
 
 impl<S: HwgSubstrate> LwgService<S> {
+    /// Starts building a service for node `me`: set the name servers (and
+    /// optionally a config or pre-built substrate), then call
+    /// [`crate::LwgBuilder::build`].
+    pub fn builder(me: NodeId) -> crate::LwgBuilder<S> {
+        crate::LwgBuilder::new(me)
+    }
+
     /// Creates the service for node `me`, talking to the given name
     /// servers. The substrate is built from `cfg.hwg` via
     /// [`HwgSubstrate::build`].
@@ -83,11 +93,16 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// # Panics
     ///
     /// Panics if `cfg` is invalid or `servers` is empty.
-    pub fn new(me: NodeId, servers: Vec<NodeId>, mut cfg: LwgConfig) -> Self {
-        // The service answers Stop itself, after advertising its views.
-        cfg.hwg.auto_stop_ok = false;
-        let substrate = S::build(me, &cfg.hwg);
-        Self::with_substrate(substrate, servers, cfg)
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `LwgService::builder(me).servers(..).config(cfg).build()`"
+    )]
+    pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
+        Self::builder(me)
+            .servers(servers)
+            .config(cfg)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates the service around an already-built substrate endpoint
@@ -97,9 +112,23 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// # Panics
     ///
     /// Panics if `cfg` is invalid or `servers` is empty.
-    pub fn with_substrate(substrate: S, servers: Vec<NodeId>, mut cfg: LwgConfig) -> Self {
-        cfg.hwg.auto_stop_ok = false;
-        cfg.validate();
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `LwgService::builder(me).substrate(s).servers(..).config(cfg).build()`"
+    )]
+    pub fn with_substrate(substrate: S, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
+        Self::builder(substrate.node())
+            .substrate(substrate)
+            .servers(servers)
+            .config(cfg)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assembles the service from parts the builder has already checked:
+    /// `cfg` validated (with `auto_stop_ok` forced off), `servers`
+    /// non-empty, `substrate` belonging to this node.
+    pub(crate) fn from_parts(substrate: S, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
         let me = substrate.node();
         LwgService {
             me,
@@ -127,8 +156,14 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.me
     }
 
+    /// The configuration the service was built with (post-validation;
+    /// `hwg.auto_stop_ok` is always `false` here).
+    pub fn config(&self) -> &LwgConfig {
+        &self.cfg
+    }
+
     /// Must be called from the owner's `on_start`.
-    pub fn start(&mut self, ctx: &mut Context<'_>) {
+    pub fn start(&mut self, ctx: &mut dyn Transport) {
         self.substrate.start(ctx);
         ctx.set_timer(self.cfg.tick_interval, TOK_TICK);
         ctx.set_timer(self.cfg.policy_interval, TOK_POLICY);
@@ -244,7 +279,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // ------------------------------------------------------------------
 
     /// Routes an incoming message. Returns `true` when consumed.
-    pub fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    pub fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         if self.substrate.on_message(ctx, from, msg) {
             self.pump(ctx);
             return true;
@@ -265,7 +300,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     }
 
     /// Routes a timer. Returns `true` when consumed.
-    pub fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    pub fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         if self.substrate.on_timer(ctx, token) {
             self.pump(ctx);
             return true;
@@ -307,7 +342,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// flush which installs a view). Called automatically from the
     /// message/timer plumbing; public so tests that inject events straight
     /// into a scripted substrate can make the service observe them.
-    pub fn pump(&mut self, ctx: &mut Context<'_>) {
+    pub fn pump(&mut self, ctx: &mut dyn Transport) {
         // The scratch buffer is taken for the duration of the pump (so a
         // re-entrant pump simply allocates afresh) and put back with its
         // capacity intact: the steady-state loop allocates nothing.
@@ -325,7 +360,7 @@ impl<S: HwgSubstrate> LwgService<S> {
         self.hwg_scratch = events;
     }
 
-    fn pump_ns(&mut self, ctx: &mut Context<'_>) {
+    fn pump_ns(&mut self, ctx: &mut dyn Transport) {
         for ev in self.ns.drain_events() {
             self.handle_ns_event(ctx, ev);
         }
@@ -335,7 +370,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     // HWG upcalls
     // ------------------------------------------------------------------
 
-    fn handle_hwg_event(&mut self, ctx: &mut Context<'_>, ev: HwgEvent) {
+    fn handle_hwg_event(&mut self, ctx: &mut dyn Transport, ev: HwgEvent) {
         match ev {
             HwgEvent::Stop { hwg } => {
                 // Barrier: buffered packs must go out before stop_ok so
@@ -388,7 +423,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// Reacts to a new HWG view: complete joins/switches that were waiting
     /// for HWG membership, run the merge round, refresh naming, prune LWG
     /// members that fell out of the HWG.
-    fn handle_hwg_view(&mut self, ctx: &mut Context<'_>, hwg: HwgId, hview: View) {
+    fn handle_hwg_view(&mut self, ctx: &mut dyn Transport, hwg: HwgId, hview: View) {
         ctx.emit(|| LwgProtocolEvent::HwgView {
             hwg,
             view: hview.clone(),
@@ -487,7 +522,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     pub(crate) fn handle_lwg_msg(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: Option<HwgId>,
         from: NodeId,
         msg: &LwgMsg,
@@ -561,15 +596,15 @@ impl<S: HwgSubstrate> std::fmt::Debug for LwgService<S> {
 impl<S: HwgSubstrate> plwg_sim::Endpoint for LwgService<S> {
     type Event = LwgEvent;
 
-    fn start(&mut self, ctx: &mut Context<'_>) {
+    fn start(&mut self, ctx: &mut dyn Transport) {
         LwgService::start(self, ctx);
     }
 
-    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    fn handle_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         LwgService::on_message(self, ctx, from, msg)
     }
 
-    fn handle_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    fn handle_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         LwgService::on_timer(self, ctx, token)
     }
 

@@ -16,7 +16,7 @@ use crate::state::SwitchState;
 use crate::wire;
 use plwg_hwg::{GroupStatus, HwgId, HwgSubstrate, View, ViewId};
 use plwg_naming::LwgId;
-use plwg_sim::{Context, NodeId};
+use plwg_sim::{NodeId, Transport, TransportExt};
 use std::collections::BTreeSet;
 
 impl<S: HwgSubstrate> LwgService<S> {
@@ -24,7 +24,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// switch the Figure-1 policies and the §6.2 reconciliation rule issue
     /// internally. No-op unless this node currently coordinates `lwg` (or
     /// while another flush/switch is in progress).
-    pub fn switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId, to: HwgId) {
+    pub fn switch(&mut self, ctx: &mut dyn Transport, lwg: LwgId, to: HwgId) {
         self.start_switch(ctx, lwg, to, false);
     }
 
@@ -32,7 +32,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// freshly allocated HWG this node should create rather than probe.
     pub(crate) fn start_switch(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         to: HwgId,
         create: bool,
@@ -92,7 +92,7 @@ impl<S: HwgSubstrate> LwgService<S> {
     /// coordinator installs the switched view.
     pub(crate) fn handle_switch_ready(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         flush: LFlushId,
         from: NodeId,
@@ -113,7 +113,7 @@ impl<S: HwgSubstrate> LwgService<S> {
 
     /// Coordinator: every member reported ready on the target HWG —
     /// install the switched view there.
-    fn complete_switch(&mut self, ctx: &mut Context<'_>, lwg: LwgId) {
+    fn complete_switch(&mut self, ctx: &mut dyn Transport, lwg: LwgId) {
         let me = self.me;
         let Some(mut state) = self.dir.get_mut(lwg) else {
             return;

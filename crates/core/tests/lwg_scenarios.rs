@@ -50,11 +50,13 @@ fn setup_cfg(n: u32, seed: u64, cfg: LwgConfig) -> (World, Vec<NodeId>, Vec<Node
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..n)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     (w, servers, apps)
@@ -517,11 +519,13 @@ fn polling_mode_reconciles_without_callbacks() {
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     // Found the group in two partitions (different HWGs per side).
@@ -589,11 +593,13 @@ fn stale_mapping_join_is_redirected_by_forward_pointer() {
     let servers = vec![s0, s1];
     let apps: Vec<NodeId> = (0..9)
         .map(|i| {
-            w.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     // Big group over the first eight; small group B of two that the

@@ -47,7 +47,13 @@ fn setup() -> (World, NodeId) {
         vec![],
         NamingConfig::default(),
     )));
-    let app = w.add_node(Box::new(Node::new(NodeId(1), vec![server], cfg())));
+    let app = w.add_node(Box::new(
+        Node::builder(NodeId(1))
+            .servers([server])
+            .config(cfg())
+            .build()
+            .expect("valid rebalance config"),
+    ));
     (w, app)
 }
 

@@ -59,11 +59,13 @@ fn setup_cfg(n: u32, cfg: LwgConfig) -> (World, Vec<NodeId>) {
     let server = w.add_node(Box::new(NameServer::new(NodeId(0), vec![], naming_cfg())));
     let apps: Vec<NodeId> = (0..n)
         .map(|i| {
-            w.add_node(Box::new(Node::new(
-                NodeId(1 + i),
-                vec![server],
-                cfg.clone(),
-            )))
+            w.add_node(Box::new(
+                Node::builder(NodeId(1 + i))
+                    .servers([server])
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid protocol config"),
+            ))
         })
         .collect();
     (w, apps)

@@ -1,18 +1,24 @@
 //! Protocol timing parameters shared by every HWG substrate.
 
-use plwg_sim::SimDuration;
+use plwg_sim::{ConfigError, SimDuration};
 
 /// Tunables of the HWG layer.
 ///
-/// Defaults are sized for the simulator's LAN-ish latency (~1 ms): failure
-/// detection within a second, beacons twice a second. A substrate is free
-/// to ignore the knobs that do not apply to it (the scripted test substrate
-/// in `plwg-core` only honours `auto_stop_ok`).
+/// Defaults are sized for LAN-ish latency (~1 ms) — they work both on the
+/// simulator and on loopback/LAN sockets: failure detection within a
+/// second, beacons twice a second. A substrate is free to ignore the knobs
+/// that do not apply to it (the scripted test substrate in `plwg-core`
+/// only honours `auto_stop_ok`).
+///
+/// Construct with [`Default`] and the `with_*` setters; the invariants
+/// between knobs are checked by [`HwgConfig::validate`], which every
+/// builder in the workspace calls before using a config.
 #[derive(Debug, Clone)]
 pub struct HwgConfig {
     /// Heartbeat send period of the failure detector.
     pub hb_interval: SimDuration,
-    /// Silence after which a monitored peer is suspected.
+    /// Silence after which a monitored peer is suspected. Must exceed
+    /// `hb_interval`, or the detector would suspect healthy peers.
     pub suspect_timeout: SimDuration,
     /// Period of coordinator view beacons (peer discovery, paper §4).
     pub beacon_interval: SimDuration,
@@ -58,30 +64,83 @@ impl Default for HwgConfig {
 }
 
 impl HwgConfig {
-    /// Validates invariants between the parameters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the suspect timeout is not strictly larger than the
-    /// heartbeat interval (the detector would suspect healthy peers), or if
-    /// any period is zero.
-    pub fn validate(&self) {
-        assert!(
-            self.hb_interval > SimDuration::ZERO
-                && self.beacon_interval > SimDuration::ZERO
-                && self.probe_timeout > SimDuration::ZERO
-                && self.flush_timeout > SimDuration::ZERO
-                && self.merge_timeout > SimDuration::ZERO
-                && self.nack_delay > SimDuration::ZERO
-                && self.stability_interval > SimDuration::ZERO,
-            "hwg periods must be positive"
-        );
-        assert!(
-            self.suspect_timeout > self.hb_interval,
-            "suspect_timeout ({}) must exceed hb_interval ({})",
-            self.suspect_timeout,
-            self.hb_interval
-        );
+    /// Sets the failure-detector pair: heartbeat period and the silence
+    /// after which a peer is suspected (`suspect` must exceed `hb`; checked
+    /// by [`HwgConfig::validate`]).
+    pub fn with_heartbeat(mut self, hb: SimDuration, suspect: SimDuration) -> Self {
+        self.hb_interval = hb;
+        self.suspect_timeout = suspect;
+        self
+    }
+
+    /// Sets the coordinator view-beacon period (peer discovery, §4).
+    pub fn with_beacon_interval(mut self, v: SimDuration) -> Self {
+        self.beacon_interval = v;
+        self
+    }
+
+    /// Sets the join-probe pair: per-attempt timeout and how many attempts
+    /// run before the joiner forms a singleton view.
+    pub fn with_probe(mut self, timeout: SimDuration, retries: u32) -> Self {
+        self.probe_timeout = timeout;
+        self.probe_retries = retries;
+        self
+    }
+
+    /// Sets the coordinator-side flush-round timeout.
+    pub fn with_flush_timeout(mut self, v: SimDuration) -> Self {
+        self.flush_timeout = v;
+        self
+    }
+
+    /// Sets the leader-side merge timeout.
+    pub fn with_merge_timeout(mut self, v: SimDuration) -> Self {
+        self.merge_timeout = v;
+        self
+    }
+
+    /// Sets whether the endpoint acknowledges `Stop` upcalls itself.
+    pub fn with_auto_stop_ok(mut self, v: bool) -> Self {
+        self.auto_stop_ok = v;
+        self
+    }
+
+    /// Sets the hold-back NACK delay.
+    pub fn with_nack_delay(mut self, v: SimDuration) -> Self {
+        self.nack_delay = v;
+        self
+    }
+
+    /// Sets the stability-exchange period.
+    pub fn with_stability_interval(mut self, v: SimDuration) -> Self {
+        self.stability_interval = v;
+        self
+    }
+
+    /// Validates invariants between the parameters: every period must be
+    /// positive, and the suspect timeout must be strictly larger than the
+    /// heartbeat interval.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("hwg.hb_interval", self.hb_interval),
+            ("hwg.beacon_interval", self.beacon_interval),
+            ("hwg.probe_timeout", self.probe_timeout),
+            ("hwg.flush_timeout", self.flush_timeout),
+            ("hwg.merge_timeout", self.merge_timeout),
+            ("hwg.nack_delay", self.nack_delay),
+            ("hwg.stability_interval", self.stability_interval),
+        ] {
+            if v <= SimDuration::ZERO {
+                return Err(ConfigError::new(field, "period must be positive"));
+            }
+        }
+        if self.suspect_timeout <= self.hb_interval {
+            return Err(ConfigError::new(
+                "hwg.suspect_timeout",
+                "must exceed hb_interval, or healthy peers get suspected",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -91,16 +150,38 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        HwgConfig::default().validate();
+        HwgConfig::default().validate().expect("default valid");
     }
 
     #[test]
-    #[should_panic(expected = "suspect_timeout")]
     fn tight_suspicion_rejected() {
-        HwgConfig {
-            suspect_timeout: SimDuration::from_millis(50),
-            ..HwgConfig::default()
-        }
-        .validate();
+        let err = HwgConfig::default()
+            .with_heartbeat(SimDuration::from_millis(100), SimDuration::from_millis(50))
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "hwg.suspect_timeout");
+    }
+
+    #[test]
+    fn zero_period_rejected_with_field_name() {
+        let err = HwgConfig::default()
+            .with_nack_delay(SimDuration::ZERO)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "hwg.nack_delay");
+    }
+
+    #[test]
+    fn setters_chain() {
+        let cfg = HwgConfig::default()
+            .with_beacon_interval(SimDuration::from_millis(250))
+            .with_probe(SimDuration::from_millis(100), 5)
+            .with_flush_timeout(SimDuration::from_secs(2))
+            .with_merge_timeout(SimDuration::from_secs(5))
+            .with_auto_stop_ok(false)
+            .with_stability_interval(SimDuration::from_secs(1));
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.probe_retries, 5);
+        assert!(!cfg.auto_stop_ok);
     }
 }

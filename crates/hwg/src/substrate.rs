@@ -14,7 +14,7 @@
 use crate::id::{HwgId, ViewId};
 use crate::view::View;
 use crate::HwgConfig;
-use plwg_sim::{Context, NodeId, Payload, TimerToken};
+use plwg_sim::{NodeId, Payload, TimerToken, Transport};
 use std::collections::BTreeSet;
 
 /// Externally observable state of a group endpoint.
@@ -97,26 +97,26 @@ pub trait HwgSubstrate {
 
     /// Arms the substrate's periodic timers. Call once from
     /// [`plwg_sim::Process::on_start`].
-    fn start(&mut self, ctx: &mut Context<'_>);
+    fn start(&mut self, ctx: &mut dyn Transport);
 
     /// Table 1 down-call `Join(g)`: become a member of `hwg`, discovering
     /// an existing view if one is reachable. Membership is reported
     /// asynchronously via [`HwgEvent::View`].
-    fn join(&mut self, ctx: &mut Context<'_>, hwg: HwgId);
+    fn join(&mut self, ctx: &mut dyn Transport, hwg: HwgId);
 
     /// Variant of `Join(g)` for a group known to be new: installs a
     /// singleton view immediately instead of probing for peers (the LWG
     /// layer uses this when it allocates a fresh HWG, §5.2).
-    fn create(&mut self, ctx: &mut Context<'_>, hwg: HwgId);
+    fn create(&mut self, ctx: &mut dyn Transport, hwg: HwgId);
 
     /// Table 1 down-call `Leave(g)`: withdraw from `hwg`. Completion is
     /// reported via [`HwgEvent::Left`].
-    fn leave(&mut self, ctx: &mut Context<'_>, hwg: HwgId);
+    fn leave(&mut self, ctx: &mut dyn Transport, hwg: HwgId);
 
     /// Table 1 down-call `Send(g, m)`: virtually-synchronous multicast on
     /// `hwg`. Messages sent while no view is installed are buffered for
     /// the next view; silently ignored if not a member.
-    fn send(&mut self, ctx: &mut Context<'_>, hwg: HwgId, data: Payload);
+    fn send(&mut self, ctx: &mut dyn Transport, hwg: HwgId, data: Payload);
 
     /// `Send(g, m)` restricted to a subset: the payload is delivered only
     /// to `targets` (the sender always self-delivers), while ordering,
@@ -125,7 +125,7 @@ pub trait HwgSubstrate {
     /// LWGs smaller than their backing HWG (paper §3).
     fn send_to(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: HwgId,
         targets: &BTreeSet<NodeId>,
         data: Payload,
@@ -136,12 +136,12 @@ pub trait HwgSubstrate {
     /// and installs a successor view with the same membership. The LWG
     /// merge protocol uses this to place its MERGE-VIEWS message in a
     /// single flush (paper Fig. 5). Honoured only by the coordinator.
-    fn force_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId);
+    fn force_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId);
 
     /// Table 1 down-call `StopOk(g)`: confirms a [`HwgEvent::Stop`] upcall,
     /// releasing the view change (only needed when
     /// [`HwgConfig::auto_stop_ok`] is `false`).
-    fn stop_ok(&mut self, ctx: &mut Context<'_>, hwg: HwgId);
+    fn stop_ok(&mut self, ctx: &mut dyn Transport, hwg: HwgId);
 
     /// The currently installed view of `hwg` at this node, if any.
     fn view_of(&self, hwg: HwgId) -> Option<&View>;
@@ -162,11 +162,11 @@ pub trait HwgSubstrate {
     /// Offers an incoming simulator message to the substrate. Returns
     /// `true` if it was a substrate message (the owner should then drain
     /// events), `false` if it belongs to another layer.
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool;
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool;
 
     /// Offers a timer expiry to the substrate; same contract as
     /// [`HwgSubstrate::on_message`].
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool;
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool;
 
     /// Takes the buffered up-call events (paper Table 1's `View` / `Data` /
     /// `Stop`, plus `Left`), in occurrence order.

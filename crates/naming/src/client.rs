@@ -13,7 +13,9 @@ use crate::id::LwgId;
 use crate::msg::NsMsg;
 use crate::wire;
 use plwg_hwg::ViewId;
-use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, SimTime, TimerToken};
+use plwg_sim::{
+    decode_frame, family, peek_family, NodeId, Payload, SimTime, TimerToken, Transport,
+};
 use std::collections::BTreeMap;
 
 const TOK_NS_RETRY: TimerToken = TimerToken(0x0200_0000_0000_0002);
@@ -67,7 +69,7 @@ impl NsClient {
     ///
     /// Panics if `servers` is empty or `cfg` is invalid.
     pub fn new(me: NodeId, servers: Vec<NodeId>, cfg: NamingConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(!servers.is_empty(), "need at least one name server");
         NsClient {
             me,
@@ -80,7 +82,7 @@ impl NsClient {
     }
 
     /// `ns.read` — asynchronously fetch the current mappings of `lwg`.
-    pub fn read(&mut self, ctx: &mut Context<'_>, lwg: LwgId) -> RequestId {
+    pub fn read(&mut self, ctx: &mut dyn Transport, lwg: LwgId) -> RequestId {
         let req = self.fresh_req();
         self.dispatch(ctx, req, NsMsg::Read { req, lwg });
         req
@@ -89,7 +91,7 @@ impl NsClient {
     /// `ns.set` — register (or refresh) a view-to-view mapping.
     pub fn set(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         mapping: Mapping,
         preds: Vec<ViewId>,
@@ -111,7 +113,7 @@ impl NsClient {
     /// `ns.testset` — claim the mapping if the group has none.
     pub fn testset(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         lwg: LwgId,
         mapping: Mapping,
         preds: Vec<ViewId>,
@@ -131,7 +133,7 @@ impl NsClient {
     }
 
     /// Removes the mapping of a dissolved view.
-    pub fn unset(&mut self, ctx: &mut Context<'_>, lwg: LwgId, lwg_view: ViewId) -> RequestId {
+    pub fn unset(&mut self, ctx: &mut dyn Transport, lwg: LwgId, lwg_view: ViewId) -> RequestId {
         let req = self.fresh_req();
         self.dispatch(ctx, req, NsMsg::Unset { req, lwg, lwg_view });
         req
@@ -139,7 +141,7 @@ impl NsClient {
 
     /// Handles an incoming message if it belongs to the naming protocol.
     /// Returns `true` when consumed.
-    pub fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, msg: &Payload) -> bool {
+    pub fn on_message(&mut self, ctx: &mut dyn Transport, _from: NodeId, msg: &Payload) -> bool {
         if peek_family(msg) != Some(family::NS) {
             return false;
         }
@@ -166,7 +168,7 @@ impl NsClient {
     }
 
     /// Handles the retry timer. Returns `true` when consumed.
-    pub fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    pub fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         if token != TOK_NS_RETRY {
             return false;
         }
@@ -207,7 +209,7 @@ impl NsClient {
         RequestId((u64::from(self.me.0) << 32) | self.next_req)
     }
 
-    fn dispatch(&mut self, ctx: &mut Context<'_>, req: RequestId, msg: NsMsg) {
+    fn dispatch(&mut self, ctx: &mut dyn Transport, req: RequestId, msg: NsMsg) {
         // Spread load: each client starts from a home server and rotates on
         // failure.
         let idx = self.me.index() % self.servers.len();

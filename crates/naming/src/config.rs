@@ -1,8 +1,11 @@
 //! Naming-service timing parameters.
 
-use plwg_sim::SimDuration;
+use plwg_sim::{ConfigError, SimDuration};
 
 /// Tunables of the naming service.
+///
+/// Construct with [`Default`] and the `with_*` setters; invariants are
+/// checked by [`NamingConfig::validate`].
 #[derive(Debug, Clone)]
 pub struct NamingConfig {
     /// Anti-entropy period between name servers.
@@ -27,16 +30,39 @@ impl Default for NamingConfig {
 }
 
 impl NamingConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any period is zero.
-    pub fn validate(&self) {
-        assert!(
-            self.gossip_interval > SimDuration::ZERO && self.request_timeout > SimDuration::ZERO,
-            "naming periods must be positive"
-        );
+    /// Sets the anti-entropy gossip period between name servers.
+    pub fn with_gossip_interval(mut self, v: SimDuration) -> Self {
+        self.gossip_interval = v;
+        self
+    }
+
+    /// Sets the client-side request timeout.
+    pub fn with_request_timeout(mut self, v: SimDuration) -> Self {
+        self.request_timeout = v;
+        self
+    }
+
+    /// Sets whether servers push MULTIPLE-MAPPINGS callbacks (§6.1).
+    pub fn with_push_callbacks(mut self, v: bool) -> Self {
+        self.push_callbacks = v;
+        self
+    }
+
+    /// Validates the configuration: every period must be positive.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gossip_interval <= SimDuration::ZERO {
+            return Err(ConfigError::new(
+                "naming.gossip_interval",
+                "period must be positive",
+            ));
+        }
+        if self.request_timeout <= SimDuration::ZERO {
+            return Err(ConfigError::new(
+                "naming.request_timeout",
+                "period must be positive",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -46,16 +72,24 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        NamingConfig::default().validate();
+        NamingConfig::default().validate().expect("default valid");
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_period_rejected() {
-        NamingConfig {
-            gossip_interval: SimDuration::ZERO,
-            ..NamingConfig::default()
-        }
-        .validate();
+        let err = NamingConfig::default()
+            .with_gossip_interval(SimDuration::ZERO)
+            .validate()
+            .expect_err("must reject");
+        assert_eq!(err.field, "naming.gossip_interval");
+    }
+
+    #[test]
+    fn setters_chain() {
+        let cfg = NamingConfig::default()
+            .with_request_timeout(SimDuration::from_millis(250))
+            .with_push_callbacks(false);
+        cfg.validate().expect("valid");
+        assert!(!cfg.push_callbacks);
     }
 }

@@ -13,7 +13,10 @@ use crate::id::LwgId;
 use crate::keys;
 use crate::msg::NsMsg;
 use crate::wire;
-use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, Process, TimerToken};
+use plwg_sim::{
+    decode_frame, family, peek_family, NodeId, Payload, Process, TimerToken, Transport,
+    TransportExt,
+};
 use std::any::Any;
 use std::collections::BTreeSet;
 
@@ -36,7 +39,7 @@ impl NameServer {
     ///
     /// Panics if `cfg` is invalid or `peers` contains `me`.
     pub fn new(me: NodeId, peers: Vec<NodeId>, cfg: NamingConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(!peers.contains(&me), "peer list must not include self");
         NameServer {
             me,
@@ -58,7 +61,7 @@ impl NameServer {
     /// Callbacks are re-sent on every gossip tick while the inconsistency
     /// persists: they are idempotent triggers, and repetition makes the
     /// mechanism robust to callback loss during the heal itself.
-    fn notify_inconsistencies(&mut self, ctx: &mut Context<'_>) {
+    fn notify_inconsistencies(&mut self, ctx: &mut dyn Transport) {
         if !self.cfg.push_callbacks {
             return;
         }
@@ -83,18 +86,18 @@ impl NameServer {
         }
     }
 
-    fn reply(&mut self, ctx: &mut Context<'_>, to: NodeId, req: crate::RequestId, lwg: LwgId) {
+    fn reply(&mut self, ctx: &mut dyn Transport, to: NodeId, req: crate::RequestId, lwg: LwgId) {
         let mappings = self.db.read(lwg);
         ctx.send(to, wire::frame(&NsMsg::Reply { req, lwg, mappings }));
     }
 }
 
 impl Process for NameServer {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         ctx.set_timer(self.cfg.gossip_interval, TOK_GOSSIP);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if peek_family(&msg) != Some(family::NS) {
             return;
         }
@@ -160,7 +163,7 @@ impl Process for NameServer {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if token != TOK_GOSSIP {
             return;
         }

@@ -4,7 +4,7 @@
 use plwg_hwg::{HwgId, ViewId};
 use plwg_naming::{LwgId, Mapping, NameServer, NamingConfig, NsClient, NsEvent, RequestId};
 use plwg_sim::{
-    Context, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
+    NodeId, Payload, Process, SimDuration, SimTime, TimerToken, Transport, World, WorldConfig,
 };
 use std::any::Any;
 
@@ -34,12 +34,12 @@ impl ClientApp {
 }
 
 impl Process for ClientApp {
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if self.ns.on_message(ctx, from, &msg) {
             self.drain();
         }
     }
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if self.ns.on_timer(ctx, token) {
             self.drain();
         }

@@ -1,0 +1,90 @@
+//! Typed protocol events of the net runtime.
+//!
+//! These slot into the same [`ProtocolEvent`] trace machinery the
+//! protocol layers use, under [`TraceLayer::Net`], so a run over real
+//! sockets produces the same kind of evidence a simulated run does: the
+//! multi-process harness collects each process's events and stitches one
+//! cross-process timeline out of them.
+
+use plwg_sim::{NodeId, ProtocolEvent, TraceLayer};
+
+/// One transition of the net runtime's peer/connection state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A peer answered and is now exchanging traffic.
+    PeerUp {
+        /// The peer that came up.
+        peer: NodeId,
+    },
+    /// A peer went silent past the suspect timeout, or said bye.
+    PeerDown {
+        /// The peer that went down.
+        peer: NodeId,
+    },
+    /// A frame for a not-up peer was dropped because its bounded send
+    /// queue was full (`dropped` is the running count for that peer).
+    QueueDrop {
+        /// The congested peer.
+        peer: NodeId,
+        /// Total frames dropped towards that peer so far.
+        dropped: u64,
+    },
+    /// The harness installed a socket-level drop filter against `peers`.
+    Blocked {
+        /// The peers now cut off.
+        peers: Vec<NodeId>,
+    },
+    /// The harness lifted the drop filter for `peers`.
+    Unblocked {
+        /// The peers now reachable again.
+        peers: Vec<NodeId>,
+    },
+}
+
+impl ProtocolEvent for NetEvent {
+    fn layer(&self) -> TraceLayer {
+        TraceLayer::Net
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            NetEvent::PeerUp { .. } => "net.peer.up",
+            NetEvent::PeerDown { .. } => "net.peer.down",
+            NetEvent::QueueDrop { .. } => "net.queue.drop",
+            NetEvent::Blocked { .. } => "net.ctrl.block",
+            NetEvent::Unblocked { .. } => "net.ctrl.unblock",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            NetEvent::PeerUp { peer } => format!("{peer}"),
+            NetEvent::PeerDown { peer } => format!("{peer}"),
+            NetEvent::QueueDrop { peer, dropped } => {
+                format!("{peer} total={dropped}")
+            }
+            NetEvent::Blocked { peers } => format!("{peers:?}"),
+            NetEvent::Unblocked { peers } => format!("{peers:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_layer() {
+        let ev = NetEvent::PeerUp { peer: NodeId(1) };
+        assert_eq!(ev.layer(), TraceLayer::Net);
+        assert_eq!(ev.kind(), "net.peer.up");
+        assert_eq!(ev.detail(), "n1");
+        let ev = NetEvent::QueueDrop {
+            peer: NodeId(2),
+            dropped: 7,
+        };
+        assert_eq!(ev.kind(), "net.queue.drop");
+        assert_eq!(ev.detail(), "n2 total=7");
+        assert!(ev.refs().is_empty());
+    }
+}

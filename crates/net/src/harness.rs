@@ -1,0 +1,359 @@
+//! Multi-process orchestration: spawn real OS processes, wire their
+//! sockets together, inject partitions, and collect their evidence.
+//!
+//! The protocol is three small line formats over stdio plus one control
+//! datagram, so an example or integration test can re-exec *itself* as
+//! the children (never a nested `cargo run`, which deadlocks on the
+//! build lock):
+//!
+//! * child → parent on stdout: `PORT <addr>` once after binding, then
+//!   optional `MARK <word>` progress lines, then `EVT <...>` trace lines
+//!   at exit (see [`format_event`]);
+//! * parent → child on stdin: `PEER <id> <addr>` lines, one per process,
+//!   terminated by `GO` ([`read_book`]);
+//! * parent → child over UDP: [`NetMsg::Block`] / [`NetMsg::Unblock`]
+//!   from the [`Controller`], installing the socket-level drop filter
+//!   that stands in for a network partition.
+//!
+//! Trace events cross the process boundary as text and are rebuilt with
+//! [`parse_event`]; the parent merges every child's events into one
+//! corpus and asserts on it exactly as the simulator tests assert on a
+//! `World`'s trace (e.g. "exactly one `lwg.merge` for the heal").
+
+use crate::msg::{net_frame, pack_datagram, NetMsg};
+use plwg_sim::{EventRefs, NodeId, SimTime, TraceEvent, TraceLayer};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, UdpSocket};
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+
+/// The reserved node id the [`Controller`] signs its datagrams with.
+pub const CONTROLLER: NodeId = NodeId(u32::MAX);
+
+// ---------------------------------------------------------------- child side
+
+/// Child: publishes the bound socket address to the parent (line 1 of the
+/// stdout protocol).
+pub fn announce(addr: SocketAddr) {
+    println!("PORT {addr}");
+    let _ = io::stdout().flush();
+}
+
+/// Child: publishes a progress milestone the parent can wait on.
+pub fn mark(word: &str) {
+    println!("MARK {word}");
+    let _ = io::stdout().flush();
+}
+
+/// Child: reads the address book from stdin (`PEER <id> <addr>` lines
+/// until `GO`).
+pub fn read_book() -> io::Result<Vec<(NodeId, SocketAddr)>> {
+    let stdin = io::stdin();
+    let mut book = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim() == "GO" {
+            return Ok(book);
+        }
+        if let Some(entry) = parse_book_line(&line) {
+            book.push(entry);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "stdin closed before GO",
+    ))
+}
+
+/// Child: dumps trace events as `EVT` lines for the parent to collect.
+pub fn emit_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) {
+    let out = io::stdout();
+    let mut out = out.lock();
+    for e in events {
+        let _ = writeln!(out, "{}", format_event(e));
+    }
+    let _ = out.flush();
+}
+
+fn parse_book_line(line: &str) -> Option<(NodeId, SocketAddr)> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "PEER" {
+        return None;
+    }
+    let id: u32 = it.next()?.parse().ok()?;
+    let addr: SocketAddr = it.next()?.parse().ok()?;
+    Some((NodeId(id), addr))
+}
+
+// ------------------------------------------------------------- event format
+
+/// Serializes a trace event as one `EVT` line (inverse of [`parse_event`]).
+///
+/// Causal [`EventRefs`] do not survive the trip — the cross-process
+/// assertions work on kinds, times and details.
+pub fn format_event(e: &TraceEvent) -> String {
+    let node = match e.node {
+        Some(n) => n.0.to_string(),
+        None => "-".to_string(),
+    };
+    format!(
+        "EVT {} {} {} {} {}",
+        e.time.as_micros(),
+        node,
+        e.layer,
+        e.kind,
+        e.detail
+    )
+}
+
+/// Parses one `EVT` line back into a [`TraceEvent`].
+///
+/// The kind string is interned with `Box::leak` to satisfy the
+/// `&'static str` in [`TraceEvent`] — harness processes are short-lived,
+/// and the leaked bytes are a handful of event names.
+pub fn parse_event(line: &str) -> Option<TraceEvent> {
+    let rest = line.strip_prefix("EVT ")?;
+    let mut it = rest.splitn(5, ' ');
+    let time = SimTime::from_micros(it.next()?.parse().ok()?);
+    let node = match it.next()? {
+        "-" => None,
+        n => Some(NodeId(n.parse().ok()?)),
+    };
+    let layer = TraceLayer::from_name(it.next()?)?;
+    let kind: &'static str = Box::leak(it.next()?.to_owned().into_boxed_str());
+    let detail = it.next().unwrap_or("").to_owned();
+    Some(TraceEvent {
+        time,
+        node,
+        layer,
+        kind,
+        detail,
+        refs: EventRefs::default(),
+    })
+}
+
+// --------------------------------------------------------------- parent side
+
+/// Parent: handle on one spawned child process.
+pub struct ChildProc {
+    /// The node the child hosts.
+    pub node: NodeId,
+    /// The child's bound socket address (from its `PORT` line).
+    pub addr: SocketAddr,
+    child: Child,
+    reader: BufReader<ChildStdout>,
+    stdin: Option<ChildStdin>,
+}
+
+impl ChildProc {
+    /// Spawns `cmd` with piped stdio and reads its `PORT` line.
+    pub fn spawn(node: NodeId, cmd: &mut Command) -> io::Result<ChildProc> {
+        let mut child = cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "child exited before PORT line",
+                ));
+            }
+            // Substring match: a test harness hosting the child may have
+            // printed a `test foo ...` prefix on the same line.
+            if let Some(at) = line.find("PORT ") {
+                let addr = line[at + "PORT ".len()..].trim();
+                let addr = addr.parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad PORT line: {e}"))
+                })?;
+                return Ok(ChildProc {
+                    node,
+                    addr,
+                    child,
+                    reader,
+                    stdin: Some(stdin),
+                });
+            }
+        }
+    }
+
+    /// Sends the address book (then `GO`) to the child.
+    pub fn send_book(&mut self, book: &[(NodeId, SocketAddr)]) -> io::Result<()> {
+        let stdin = self.stdin.as_mut().expect("stdin still open");
+        for (id, addr) in book {
+            writeln!(stdin, "PEER {} {}", id.0, addr)?;
+        }
+        writeln!(stdin, "GO")?;
+        stdin.flush()
+    }
+
+    /// Blocks until the child prints `MARK <word>` (EOF is an error).
+    pub fn wait_mark(&mut self, word: &str) -> io::Result<()> {
+        let want = format!("MARK {word}");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("child {} exited before {want}", self.node),
+                ));
+            }
+            if line.trim().ends_with(&want) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Waits for the child to exit and parses its `EVT` dump.
+    pub fn finish(mut self) -> io::Result<(ExitStatus, Vec<TraceEvent>)> {
+        drop(self.stdin.take());
+        let mut events = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            if let Some(e) = parse_event(line.trim_end()) {
+                events.push(e);
+            }
+        }
+        let status = self.child.wait()?;
+        Ok((status, events))
+    }
+
+    /// Kills the child (cleanup path for failed runs).
+    pub fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Parent: sends every child the full address book and starts them.
+pub fn share_books(children: &mut [ChildProc]) -> io::Result<()> {
+    let book: Vec<(NodeId, SocketAddr)> = children.iter().map(|c| (c.node, c.addr)).collect();
+    for c in children.iter_mut() {
+        c.send_book(&book)?;
+    }
+    Ok(())
+}
+
+/// Parent: the partition injector. Owns a socket of its own and speaks
+/// only [`NetMsg::Block`] / [`NetMsg::Unblock`] to the children.
+pub struct Controller {
+    socket: UdpSocket,
+}
+
+impl Controller {
+    /// Binds the controller's socket.
+    pub fn new() -> io::Result<Controller> {
+        Ok(Controller {
+            socket: UdpSocket::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// Tells the runtime at `target` to drop traffic to/from `peers`.
+    pub fn block(&self, target: SocketAddr, peers: &[NodeId]) -> io::Result<()> {
+        self.ctrl(
+            target,
+            NetMsg::Block {
+                peers: peers.to_vec(),
+            },
+        )
+    }
+
+    /// Lifts the drop filter at `target` for `peers`.
+    pub fn unblock(&self, target: SocketAddr, peers: &[NodeId]) -> io::Result<()> {
+        self.ctrl(
+            target,
+            NetMsg::Unblock {
+                peers: peers.to_vec(),
+            },
+        )
+    }
+
+    /// Installs a symmetric partition between the `left` and `right`
+    /// children (each side drops the other side's node ids).
+    pub fn split(&self, left: &[&ChildProc], right: &[&ChildProc]) -> io::Result<()> {
+        let left_ids: Vec<NodeId> = left.iter().map(|c| c.node).collect();
+        let right_ids: Vec<NodeId> = right.iter().map(|c| c.node).collect();
+        for c in left {
+            self.block(c.addr, &right_ids)?;
+        }
+        for c in right {
+            self.block(c.addr, &left_ids)?;
+        }
+        Ok(())
+    }
+
+    /// Lifts a partition previously installed with [`Controller::split`].
+    pub fn heal(&self, left: &[&ChildProc], right: &[&ChildProc]) -> io::Result<()> {
+        let left_ids: Vec<NodeId> = left.iter().map(|c| c.node).collect();
+        let right_ids: Vec<NodeId> = right.iter().map(|c| c.node).collect();
+        for c in left {
+            self.unblock(c.addr, &right_ids)?;
+        }
+        for c in right {
+            self.unblock(c.addr, &left_ids)?;
+        }
+        Ok(())
+    }
+
+    fn ctrl(&self, target: SocketAddr, msg: NetMsg) -> io::Result<()> {
+        let dgram = pack_datagram(CONTROLLER, &[net_frame(&msg)]);
+        self.socket.send_to(&dgram, target).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_line_roundtrip() {
+        let e = TraceEvent {
+            time: SimTime::from_micros(1_234),
+            node: Some(NodeId(3)),
+            layer: TraceLayer::Lwg,
+            kind: "lwg.merge",
+            detail: "views n2#4 + n5#3 (multi word detail)".into(),
+            refs: EventRefs::default(),
+        };
+        let line = format_event(&e);
+        let back = parse_event(&line).expect("parses");
+        assert_eq!(back.time, e.time);
+        assert_eq!(back.node, e.node);
+        assert_eq!(back.layer, e.layer);
+        assert_eq!(back.kind, e.kind);
+        assert_eq!(back.detail, e.detail);
+    }
+
+    #[test]
+    fn world_events_have_no_node() {
+        let e = TraceEvent {
+            time: SimTime::ZERO,
+            node: None,
+            layer: TraceLayer::Net,
+            kind: "net.ctrl.block",
+            detail: String::new(),
+            refs: EventRefs::default(),
+        };
+        let back = parse_event(&format_event(&e)).expect("parses");
+        assert_eq!(back.node, None);
+        assert_eq!(back.detail, "");
+    }
+
+    #[test]
+    fn book_lines_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_book_line("PEER 7 127.0.0.1:9000"),
+            Some((NodeId(7), "127.0.0.1:9000".parse().unwrap()))
+        );
+        assert_eq!(parse_book_line("GO"), None);
+        assert_eq!(parse_book_line("PEER x y"), None);
+        assert!(parse_event("not an event").is_none());
+    }
+}

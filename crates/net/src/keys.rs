@@ -1,0 +1,18 @@
+//! Canonical metric keys owned by the net runtime.
+//!
+//! Namespaced under `netio.*` to stay disjoint from the simulator's
+//! virtual-network `net.*` keys — a process that mixes substrates (e.g.
+//! the throughput bench comparing both) must not alias counters.
+
+use plwg_sim::{CounterKey, GaugeKey};
+
+/// Datagrams put on the wire by the runtime's socket.
+pub const NETIO_DGRAM_TX: CounterKey = CounterKey::new("netio.dgram_tx");
+/// Datagrams received and successfully unpacked.
+pub const NETIO_DGRAM_RX: CounterKey = CounterKey::new("netio.dgram_rx");
+/// Encoded datagram bytes put on the wire.
+pub const NETIO_BYTES_TX: CounterKey = CounterKey::new("netio.bytes_tx");
+/// Frames dropped by per-peer send-queue backpressure.
+pub const NETIO_QUEUE_DROPPED: CounterKey = CounterKey::new("netio.queue_dropped");
+/// Peers currently in the `Up` state.
+pub const NETIO_PEERS_UP: GaugeKey = GaugeKey::new("netio.peers_up");

@@ -1,0 +1,187 @@
+//! Wire format of the net runtime: the `NET` frame family and the
+//! datagram envelope every frame travels in.
+//!
+//! ```text
+//! datagram := from:varint repeated( len:varint frame-bytes )
+//! frame    := family-tag:varint body          (see plwg-wire)
+//! ```
+//!
+//! The envelope names the *sending node* — UDP source addresses are not
+//! identities (a node may rebind after a restart), and the protocol
+//! layers above route by [`NodeId`]. A datagram may carry several frames;
+//! the receiver slices them zero-copy out of one receive buffer.
+//!
+//! [`NetMsg`] frames (family [`family::NET`]) are the transport's own
+//! traffic: the hello/alive/bye peer lifecycle, plus the harness control
+//! messages the multi-process examples use to inject partitions at the
+//! socket level.
+
+use plwg_sim::{encode_frame, family, Decode, Encode, Frame, NodeId, Payload, Reader, WireError};
+
+/// Transport-level messages of the peer pool (never seen above the seam).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetMsg {
+    /// Peer greeting: "I am `node`, reachable at the source address of
+    /// this datagram". Sent on startup and re-sent until answered.
+    Hello {
+        /// The greeting node.
+        node: NodeId,
+    },
+    /// Heartbeat of the failure detector.
+    Alive {
+        /// The living node.
+        node: NodeId,
+    },
+    /// Graceful shutdown notice: the peer stops counting us silent.
+    Bye {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// Harness control: drop all traffic to/from `peers` at the socket
+    /// boundary (both directions) — a real-network stand-in for the
+    /// simulator's partition model.
+    Block {
+        /// The peers to cut off.
+        peers: Vec<NodeId>,
+    },
+    /// Harness control: lift the drop filter for `peers`.
+    Unblock {
+        /// The peers to reconnect.
+        peers: Vec<NodeId>,
+    },
+}
+
+// Variant tags; wire-stable, append-only.
+const T_HELLO: u8 = 0;
+const T_ALIVE: u8 = 1;
+const T_BYE: u8 = 2;
+const T_BLOCK: u8 = 3;
+const T_UNBLOCK: u8 = 4;
+
+impl Encode for NetMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            NetMsg::Hello { node } => {
+                out.push(T_HELLO);
+                node.encode_into(out);
+            }
+            NetMsg::Alive { node } => {
+                out.push(T_ALIVE);
+                node.encode_into(out);
+            }
+            NetMsg::Bye { node } => {
+                out.push(T_BYE);
+                node.encode_into(out);
+            }
+            NetMsg::Block { peers } => {
+                out.push(T_BLOCK);
+                peers.encode_into(out);
+            }
+            NetMsg::Unblock { peers } => {
+                out.push(T_UNBLOCK);
+                peers.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for NetMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8()? {
+            T_HELLO => NetMsg::Hello {
+                node: NodeId::decode_from(r)?,
+            },
+            T_ALIVE => NetMsg::Alive {
+                node: NodeId::decode_from(r)?,
+            },
+            T_BYE => NetMsg::Bye {
+                node: NodeId::decode_from(r)?,
+            },
+            T_BLOCK => NetMsg::Block {
+                peers: Vec::decode_from(r)?,
+            },
+            T_UNBLOCK => NetMsg::Unblock {
+                peers: Vec::decode_from(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "NetMsg variant",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+/// Encodes a [`NetMsg`] as a ready-to-send frame (family `NET`).
+pub fn net_frame(msg: &NetMsg) -> Payload {
+    encode_frame(family::NET, msg)
+}
+
+/// Packs `frames` into one datagram from `from`.
+pub fn pack_datagram(from: NodeId, frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + frames.iter().map(|f| f.len() + 4).sum::<usize>());
+    (from.0 as u64).encode_into(&mut out);
+    for f in frames {
+        f.encode_into(&mut out);
+    }
+    out
+}
+
+/// Unpacks a received datagram into its sender and frames. The buffer is
+/// copied once into a shared [`Frame`]; the contained frames are zero-copy
+/// sub-slices of that allocation.
+pub fn unpack_datagram(buf: &[u8]) -> Result<(NodeId, Vec<Frame>), WireError> {
+    let whole = Frame::copy_from_slice(buf);
+    let mut r = Reader::new(&whole);
+    let from = NodeId(u32::decode_from(&mut r)?);
+    let mut frames = Vec::new();
+    while r.remaining() > 0 {
+        frames.push(r.read_frame()?);
+    }
+    Ok((from, frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plwg_sim::peek_family;
+
+    #[test]
+    fn net_msg_roundtrip() {
+        let msgs = [
+            NetMsg::Hello { node: NodeId(3) },
+            NetMsg::Alive { node: NodeId(0) },
+            NetMsg::Bye { node: NodeId(9) },
+            NetMsg::Block {
+                peers: vec![NodeId(1), NodeId(2)],
+            },
+            NetMsg::Unblock { peers: vec![] },
+        ];
+        for msg in msgs {
+            let f = net_frame(&msg);
+            assert_eq!(peek_family(&f), Some(family::NET));
+            let got = plwg_sim::decode_frame::<NetMsg>(family::NET, &f).expect("decode");
+            assert_eq!(got, msg);
+        }
+    }
+
+    #[test]
+    fn datagram_roundtrip_multiframe() {
+        let a = net_frame(&NetMsg::Hello { node: NodeId(1) });
+        let b = Frame::copy_from_slice(&[9, 8, 7]);
+        let buf = pack_datagram(NodeId(1), &[a.clone(), b.clone()]);
+        let (from, frames) = unpack_datagram(&buf).expect("unpack");
+        assert_eq!(from, NodeId(1));
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].bytes(), a.bytes());
+        assert_eq!(frames[1].bytes(), b.bytes());
+    }
+
+    #[test]
+    fn truncated_datagram_rejected() {
+        let a = net_frame(&NetMsg::Alive { node: NodeId(1) });
+        let buf = pack_datagram(NodeId(1), &[a]);
+        assert!(unpack_datagram(&buf[..buf.len() - 1]).is_err());
+    }
+}

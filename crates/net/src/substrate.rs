@@ -1,0 +1,113 @@
+//! The third substrate: the real vsync protocol stack over real sockets.
+//!
+//! [`NetSubstrate`] is [`plwg_vsync::VsyncStack`] run over a
+//! [`crate::NetRuntime`] instead of the simulator — the same protocol
+//! code, byte-identical wire frames, a different [`plwg_sim::Transport`]
+//! underneath. It exists as its own type so the three substrates the
+//! workspace supports are all nameable and the choice is visible in
+//! signatures:
+//!
+//! | substrate | protocol | network |
+//! |---|---|---|
+//! | `plwg_vsync::VsyncStack` | real | simulated |
+//! | `plwg_core::ScriptedHwg` | scripted | none |
+//! | `plwg_net::NetSubstrate` | real | real UDP |
+//!
+//! Everything is pure delegation; the type adds no behaviour. That is the
+//! claim being demonstrated: nothing in the membership/flush/merge engine
+//! knows which side of the seam it is on.
+
+use plwg_hwg::{GroupStatus, HwgConfig, HwgEvent, HwgId, HwgSubstrate, View};
+use plwg_sim::{NodeId, Payload, TimerToken, Transport};
+use plwg_vsync::VsyncStack;
+use std::collections::BTreeSet;
+
+/// [`VsyncStack`] branded for use over the real-socket runtime.
+pub struct NetSubstrate(VsyncStack);
+
+impl NetSubstrate {
+    /// The wrapped protocol stack.
+    pub fn stack(&self) -> &VsyncStack {
+        &self.0
+    }
+}
+
+impl HwgSubstrate for NetSubstrate {
+    fn build(me: NodeId, cfg: &HwgConfig) -> Self {
+        NetSubstrate(VsyncStack::build(me, cfg))
+    }
+
+    fn node(&self) -> NodeId {
+        self.0.node()
+    }
+
+    fn start(&mut self, ctx: &mut dyn Transport) {
+        self.0.start(ctx);
+    }
+
+    fn join(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
+        self.0.join(ctx, hwg);
+    }
+
+    fn create(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
+        self.0.create(ctx, hwg);
+    }
+
+    fn leave(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
+        self.0.leave(ctx, hwg);
+    }
+
+    fn send(&mut self, ctx: &mut dyn Transport, hwg: HwgId, data: Payload) {
+        self.0.send(ctx, hwg, data);
+    }
+
+    fn send_to(
+        &mut self,
+        ctx: &mut dyn Transport,
+        hwg: HwgId,
+        targets: &BTreeSet<NodeId>,
+        data: Payload,
+    ) {
+        self.0.send_to(ctx, hwg, targets, data);
+    }
+
+    fn force_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
+        self.0.force_flush(ctx, hwg);
+    }
+
+    fn stop_ok(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
+        self.0.stop_ok(ctx, hwg);
+    }
+
+    fn view_of(&self, hwg: HwgId) -> Option<&View> {
+        self.0.view_of(hwg)
+    }
+
+    fn status_of(&self, hwg: HwgId) -> GroupStatus {
+        self.0.status_of(hwg)
+    }
+
+    fn is_coordinator(&self, hwg: HwgId) -> bool {
+        self.0.is_coordinator(hwg)
+    }
+
+    fn groups(&self) -> Vec<HwgId> {
+        HwgSubstrate::groups(&self.0)
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
+        self.0.on_message(ctx, from, msg)
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
+        self.0.on_timer(ctx, token)
+    }
+
+    fn drain_events(&mut self) -> Vec<HwgEvent> {
+        self.0.drain_events()
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<HwgEvent>) {
+        self.0.drain_events_into(out);
+    }
+}

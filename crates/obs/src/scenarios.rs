@@ -34,16 +34,20 @@ pub fn quickstart() -> World {
         vec![],
         NamingConfig::default(),
     )));
-    let a = world.add_node(Box::new(Node::new(
-        NodeId(1),
-        vec![ns],
-        LwgConfig::default(),
-    )));
-    let b = world.add_node(Box::new(Node::new(
-        NodeId(2),
-        vec![ns],
-        LwgConfig::default(),
-    )));
+    let a = world.add_node(Box::new(
+        Node::builder(NodeId(1))
+            .servers(vec![ns])
+            .config(LwgConfig::default())
+            .build()
+            .expect("valid LWG config"),
+    ));
+    let b = world.add_node(Box::new(
+        Node::builder(NodeId(2))
+            .servers(vec![ns])
+            .config(LwgConfig::default())
+            .build()
+            .expect("valid LWG config"),
+    ));
     let g = LwgId(7);
     world.invoke(a, move |n: &mut Node, ctx| n.service().join(ctx, g));
     world.invoke_at(at(2), b, move |n: &mut Node, ctx| n.service().join(ctx, g));
@@ -79,11 +83,13 @@ pub fn heal() -> World {
     )));
     let nodes: Vec<NodeId> = (2..6)
         .map(|i| {
-            world.add_node(Box::new(Node::new(
-                NodeId(i),
-                vec![s0, s1],
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                Node::builder(NodeId(i))
+                    .servers(vec![s0, s1])
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     let group = LwgId(9);
@@ -121,11 +127,13 @@ pub fn churn() -> World {
     )));
     let nodes: Vec<NodeId> = (1..5)
         .map(|i| {
-            world.add_node(Box::new(Node::new(
-                NodeId(i),
-                vec![ns],
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                Node::builder(NodeId(i))
+                    .servers(vec![ns])
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     let g = LwgId(3);

@@ -8,7 +8,8 @@
 //! once. Implement [`Endpoint`] for the layer and `Box<Driver<E>>` is
 //! ready for [`crate::World::add_node`].
 
-use crate::node::{Context, NodeId, Payload, Process, TimerToken};
+use crate::node::{NodeId, Payload, Process, TimerToken};
+use crate::transport::Transport;
 use std::any::Any;
 
 /// A protocol endpoint drivable by the standard message/timer plumbing.
@@ -17,13 +18,13 @@ pub trait Endpoint {
     type Event;
 
     /// Called once from the owning process's `on_start`.
-    fn start(&mut self, ctx: &mut Context<'_>);
+    fn start(&mut self, ctx: &mut dyn Transport);
 
     /// Offers an incoming message; returns `true` when consumed.
-    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool;
+    fn handle_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool;
 
     /// Offers a timer firing; returns `true` when consumed.
-    fn handle_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool;
+    fn handle_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool;
 
     /// Takes the upcalls produced since the last call.
     fn drain(&mut self) -> Vec<Self::Event>;
@@ -67,17 +68,17 @@ impl<E: Endpoint> Driver<E> {
 }
 
 impl<E: Endpoint + 'static> Process for Driver<E> {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         self.endpoint.start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if self.endpoint.handle_message(ctx, from, &msg) {
             self.events.extend(self.endpoint.drain());
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if self.endpoint.handle_timer(ctx, token) {
             self.events.extend(self.endpoint.drain());
         }

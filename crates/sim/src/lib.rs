@@ -18,18 +18,18 @@
 //! protocol crates bring their own codec (see `plwg-wire`).
 //!
 //! ```
-//! use plwg_sim::{World, WorldConfig, Process, Context, Frame, TimerToken, Payload};
+//! use plwg_sim::{World, WorldConfig, Process, Transport, Frame, TimerToken, Payload};
 //!
 //! /// A process that says hello to its peer once.
 //! struct Hello { peer: Option<plwg_sim::NodeId> }
 //!
 //! impl Process for Hello {
-//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!     fn on_start(&mut self, ctx: &mut dyn Transport) {
 //!         if let Some(peer) = self.peer {
 //!             ctx.send(peer, Frame::copy_from_slice(b"hi"));
 //!         }
 //!     }
-//!     fn on_message(&mut self, _ctx: &mut Context<'_>, from: plwg_sim::NodeId, msg: Payload) {
+//!     fn on_message(&mut self, _ctx: &mut dyn Transport, from: plwg_sim::NodeId, msg: Payload) {
 //!         assert_eq!(&msg[..], b"hi");
 //!         println!("got {} bytes from {from}", msg.len());
 //!     }
@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config_error;
 mod driver;
 mod event;
 pub mod keys;
@@ -55,8 +56,10 @@ mod rng;
 mod time;
 mod topology;
 mod trace;
+mod transport;
 mod world;
 
+pub use config_error::ConfigError;
 pub use driver::{Driver, Endpoint};
 pub use event::{EventQueue, QueuedEvent};
 pub use metrics::{
@@ -69,7 +72,8 @@ pub use plwg_wire::{
     decode_frame, encode_frame, family, peek_family, Decode, Encode, Frame, Reader, WireError,
 };
 pub use rng::SimRng;
-pub use time::{SimDuration, SimTime};
+pub use time::{Clock, ManualClock, SimDuration, SimTime};
 pub use topology::{ComponentId, LinkState, Topology};
 pub use trace::{EventRefs, ProtocolEvent, SimEvent, Trace, TraceEvent, TraceLayer};
+pub use transport::{Transport, TransportExt};
 pub use world::{World, WorldConfig};

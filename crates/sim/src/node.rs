@@ -19,6 +19,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{ProtocolEvent, Trace};
+use crate::transport::Transport;
 use plwg_wire::{Decode, Encode, Frame, Reader, WireError};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -70,22 +71,25 @@ pub struct TimerToken(pub u64);
 /// ([`plwg_wire::peek_family`]) and decode with the owning crate's codec.
 pub type Payload = Frame;
 
-/// A simulated process: the unit of computation placed on a node.
+/// A process: the unit of computation placed on a node.
 ///
-/// All callbacks run to completion atomically in virtual time; there is no
-/// preemption. State machines therefore need no internal locking.
+/// Callbacks act on the world through the [`Transport`] seam, so the same
+/// process runs on a simulated node ([`crate::World::add_node`], where the
+/// transport is a [`Context`]) or on a real-socket runtime (`plwg-net`).
+/// All callbacks run to completion atomically — both runtimes are
+/// single-threaded per node — so state machines need no internal locking.
 pub trait Process: 'static {
     /// Called once when the node starts (and again after a restart is
     /// requested via [`crate::World::restart`]).
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         let _ = ctx;
     }
 
     /// Called when a message addressed to this node is delivered.
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload);
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload);
 
     /// Called when a timer armed by this process fires.
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         let _ = (ctx, token);
     }
 
@@ -212,6 +216,42 @@ impl<'a> Context<'a> {
     /// The world's metric registry (counters, gauges and histograms).
     pub fn metrics(&mut self) -> &mut MetricsRegistry {
         self.metrics
+    }
+}
+
+/// A [`Context`] is the simulator's [`Transport`]: protocol code written
+/// against `&mut dyn Transport` runs on a simulated node unchanged.
+impl Transport for Context<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    fn send(&mut self, to: NodeId, msg: Payload) {
+        Context::send(self, to, msg);
+    }
+
+    fn broadcast(&mut self, msg: Payload) {
+        Context::broadcast(self, msg);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        Context::set_timer(self, delay, token);
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) {
+        Context::cancel_timer(self, token);
+    }
+
+    fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
+    }
+
+    fn trace(&mut self) -> &mut Trace {
+        self.trace
     }
 }
 

@@ -1,6 +1,13 @@
-//! Virtual time. The simulator advances a [`SimTime`] clock with microsecond
-//! resolution; nothing in the stack ever reads the wall clock.
+//! Protocol time. A [`SimTime`] is an instant with microsecond resolution,
+//! counted from the start of the run; nothing in the protocol stack ever
+//! reads the wall clock directly. What *advances* the instant is a
+//! [`Clock`]: the simulator's virtual event clock, `plwg-net`'s wall-clock
+//! anchor, or a test-driven [`ManualClock`]. Because every clock counts
+//! micros-since-start monotonically, deadline arithmetic written against
+//! `ctx.now()` (pack timers, flush watchdogs, heartbeat timeouts) behaves
+//! identically on simulated and real time.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -134,6 +141,67 @@ impl AddAssign for SimDuration {
     }
 }
 
+/// A source of protocol time: monotone [`SimTime`] instants counted from
+/// the start of a run.
+///
+/// Three implementations cover the workspace:
+///
+/// * the simulator's [`crate::World`] *is* a clock (its event queue
+///   advances virtual time; [`crate::Context::now`] reads it);
+/// * `plwg_net::WallClock` anchors an `Instant` at runtime start and
+///   reports elapsed wall-clock micros — the only place in the workspace
+///   that reads the OS clock;
+/// * [`ManualClock`] is hand-stepped, for deterministic unit tests of
+///   wall-clock components (failure detectors, reconnect backoff) without
+///   sleeping.
+pub trait Clock {
+    /// The current instant. Must never decrease within a run.
+    fn now(&self) -> SimTime;
+}
+
+/// A hand-stepped [`Clock`] for deterministic tests of time-driven logic.
+///
+/// Interior-mutable so the component under test can hold a shared
+/// reference while the test advances time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Cell<SimTime>,
+}
+
+impl ManualClock {
+    /// A clock starting at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A clock starting at `at`.
+    pub fn starting_at(at: SimTime) -> Self {
+        ManualClock { now: Cell::new(at) }
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.now.set(self.now.get() + d);
+    }
+
+    /// Jumps the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current instant (clocks are
+    /// monotone).
+    pub fn set(&self, t: SimTime) {
+        assert!(t >= self.now.get(), "ManualClock must not go backwards");
+        self.now.set(t);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        self.now.get()
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}s", self.as_secs_f64())
@@ -187,5 +255,22 @@ mod tests {
     #[test]
     fn display_is_seconds() {
         assert_eq!(SimTime::from_micros(1_500_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn manual_clock_steps_forward() {
+        let c = ManualClock::starting_at(SimTime::from_micros(10));
+        assert_eq!(c.now(), SimTime::from_micros(10));
+        c.advance(SimDuration::from_micros(5));
+        assert_eq!(c.now(), SimTime::from_micros(15));
+        c.set(SimTime::from_micros(20));
+        assert_eq!(c.now(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    fn manual_clock_rejects_backwards_set() {
+        let c = ManualClock::starting_at(SimTime::from_micros(10));
+        c.set(SimTime::from_micros(5));
     }
 }

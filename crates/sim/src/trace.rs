@@ -28,6 +28,24 @@ pub enum TraceLayer {
     Naming,
     /// The light-weight group service.
     Lwg,
+    /// The real-socket transport runtime (`plwg-net`).
+    Net,
+}
+
+impl TraceLayer {
+    /// The inverse of [`TraceLayer`]'s `Display`: parses the canonical
+    /// layer name. Used by the multi-process harness to reconstruct
+    /// [`TraceEvent`]s that crossed a process boundary as text.
+    pub fn from_name(name: &str) -> Option<TraceLayer> {
+        match name {
+            "world" => Some(TraceLayer::World),
+            "hwg" => Some(TraceLayer::Hwg),
+            "naming" => Some(TraceLayer::Naming),
+            "lwg" => Some(TraceLayer::Lwg),
+            "net" => Some(TraceLayer::Net),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceLayer {
@@ -37,6 +55,7 @@ impl fmt::Display for TraceLayer {
             TraceLayer::Hwg => "hwg",
             TraceLayer::Naming => "naming",
             TraceLayer::Lwg => "lwg",
+            TraceLayer::Net => "net",
         };
         f.write_str(s)
     }

@@ -389,6 +389,7 @@ impl World {
 mod tests {
     use super::*;
     use crate::node::Payload;
+    use crate::Transport;
     use plwg_wire::Frame;
     use std::any::Any;
 
@@ -413,14 +414,14 @@ mod tests {
     }
 
     impl Process for Echo {
-        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+        fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
             let v = msg.try_u64().expect("u64 payload") as u32;
             self.received.push((from, v));
             if v < 100 {
                 ctx.send(from, payload(v + 1));
             }
         }
-        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {
+        fn on_timer(&mut self, _ctx: &mut dyn Transport, _token: TimerToken) {
             self.timer_fired += 1;
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -486,7 +487,7 @@ mod tests {
             fired: Vec<u64>,
         }
         impl Process for T {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_start(&mut self, ctx: &mut dyn Transport) {
                 ctx.set_timer(SimDuration::from_millis(10), TimerToken(1));
                 ctx.set_timer(SimDuration::from_millis(20), TimerToken(2));
                 // Re-arm token 1 further out: only the re-armed instance fires.
@@ -494,8 +495,8 @@ mod tests {
                 ctx.set_timer(SimDuration::from_millis(40), TimerToken(3));
                 ctx.cancel_timer(TimerToken(3));
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Payload) {}
-            fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+            fn on_message(&mut self, _: &mut dyn Transport, _: NodeId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
                 self.fired
                     .push(token.0 * 1_000_000 + ctx.now().as_micros() / 1_000);
             }

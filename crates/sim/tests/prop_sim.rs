@@ -3,7 +3,7 @@
 //! in-tree RNG so every run is deterministic.
 
 use plwg_sim::{
-    Context, Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, Topology,
+    Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, Topology, Transport,
     World, WorldConfig,
 };
 use std::any::Any;
@@ -19,7 +19,7 @@ struct Recorder {
 }
 
 impl Process for Recorder {
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         let v = msg.try_u64().expect("u64");
         self.got.push((from, v, ctx.now()));
     }

@@ -27,7 +27,7 @@ pub const NAME: &str = "deps";
 /// `crates/<dir>` → the `plwg-*` crates its `[dependencies]` may name.
 /// Crates absent from this table (obs, workload, bench, tidy) sit above
 /// the facade line and are unconstrained.
-const ALLOWED: [(&str, &[&str]); 6] = [
+const ALLOWED: [(&str, &[&str]); 7] = [
     ("wire", &[]),
     ("sim", &["plwg-wire"]),
     ("hwg", &["plwg-wire", "plwg-sim"]),
@@ -37,6 +37,10 @@ const ALLOWED: [(&str, &[&str]); 6] = [
         "core",
         &["plwg-wire", "plwg-sim", "plwg-hwg", "plwg-naming"],
     ),
+    // The net runtime sits beside the facade: it may pin the concrete
+    // vsync substrate (it exists to run it over real sockets) but must
+    // not reach into the LWG service layer.
+    ("net", &["plwg-wire", "plwg-sim", "plwg-hwg", "plwg-vsync"]),
 ];
 
 /// Crates whose sources must stay substrate-generic.

@@ -125,4 +125,4 @@ pub fn allow_hygiene(ws: &Workspace, out: &mut Vec<Diagnostic>) {
 
 /// The crates whose `src/` trees carry protocol logic and therefore the
 /// determinism and module-size obligations.
-pub const PROTOCOL_CRATES: [&str; 5] = ["core", "hwg", "naming", "sim", "vsync"];
+pub const PROTOCOL_CRATES: [&str; 6] = ["core", "hwg", "naming", "net", "sim", "vsync"];

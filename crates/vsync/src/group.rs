@@ -39,7 +39,7 @@ use crate::msg::{FlushId, FlushPurpose, Slot, VsMsg};
 use crate::wire;
 use crate::{GroupStatus, VsEvent, VsyncConfig};
 use plwg_hwg::{keys, HwgId, HwgTraceEvent, View, ViewId};
-use plwg_sim::{Context, NodeId, Payload, SimTime};
+use plwg_sim::{NodeId, Payload, SimTime, Transport, TransportExt};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Member-side state of an in-progress flush.
@@ -147,7 +147,7 @@ impl GroupEndpoint {
     pub(crate) fn new_joining(
         hwg: HwgId,
         me: NodeId,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         cfg: &VsyncConfig,
     ) -> Self {
         let mut ep = GroupEndpoint::blank(hwg, me);
@@ -161,7 +161,7 @@ impl GroupEndpoint {
     pub(crate) fn new_created(
         hwg: HwgId,
         me: NodeId,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         events: &mut Vec<VsEvent>,
     ) -> Self {
         let mut ep = GroupEndpoint::blank(hwg, me);
@@ -246,7 +246,7 @@ impl GroupEndpoint {
 
     /// Sends one already-encoded frame to every node in `to`. The frame is
     /// encoded exactly once by the caller; each copy is a refcount bump.
-    fn multicast(&self, ctx: &mut Context<'_>, to: &[NodeId], frame: &Payload) {
+    fn multicast(&self, ctx: &mut dyn Transport, to: &[NodeId], frame: &Payload) {
         for &m in to {
             ctx.send(m, frame.clone());
         }
@@ -265,7 +265,7 @@ impl GroupEndpoint {
     /// buffered and released in the next view.
     pub(crate) fn send_payload(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         data: Payload,
         events: &mut Vec<VsEvent>,
     ) {
@@ -315,7 +315,7 @@ impl GroupEndpoint {
     /// subset is an optimisation, never required for correctness).
     pub(crate) fn send_payload_to(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         targets: &BTreeSet<NodeId>,
         data: Payload,
         events: &mut Vec<VsEvent>,
@@ -370,7 +370,7 @@ impl GroupEndpoint {
     /// Asks to leave the group.
     pub(crate) fn leave(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         fd: &FailureDetector,
         events: &mut Vec<VsEvent>,
     ) {
@@ -397,7 +397,7 @@ impl GroupEndpoint {
         }
     }
 
-    fn request_leave(&mut self, ctx: &mut Context<'_>, fd: &FailureDetector) {
+    fn request_leave(&mut self, ctx: &mut dyn Transport, fd: &FailureDetector) {
         if let Some(coord) = self.acting_coordinator(fd) {
             if coord != self.me {
                 ctx.send(coord, wire::frame(&VsMsg::LeaveReq { hwg: self.hwg }));
@@ -406,7 +406,7 @@ impl GroupEndpoint {
     }
 
     /// Owner acknowledges the `Stop` upcall; the digest can now be sent.
-    pub(crate) fn stop_ok(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn stop_ok(&mut self, ctx: &mut dyn Transport) {
         let Some(f) = &mut self.flush else { return };
         if f.awaiting_stop_ok {
             f.awaiting_stop_ok = false;
@@ -420,7 +420,7 @@ impl GroupEndpoint {
 
     pub(crate) fn on_tick(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         now: SimTime,
         fd: &FailureDetector,
         cfg: &VsyncConfig,
@@ -517,7 +517,7 @@ impl GroupEndpoint {
     }
 
     /// Sends the coordinator's periodic view beacon (peer discovery).
-    pub(crate) fn send_beacon(&self, ctx: &mut Context<'_>, fd: &FailureDetector) {
+    pub(crate) fn send_beacon(&self, ctx: &mut dyn Transport, fd: &FailureDetector) {
         if self.status != GroupStatus::Member && self.status != GroupStatus::Leaving {
             return;
         }
@@ -532,7 +532,7 @@ impl GroupEndpoint {
         }));
     }
 
-    fn send_probe(&mut self, ctx: &mut Context<'_>, cfg: &VsyncConfig) {
+    fn send_probe(&mut self, ctx: &mut dyn Transport, cfg: &VsyncConfig) {
         self.probe_attempts += 1;
         self.join_target = None;
         ctx.metrics().incr(keys::JOIN_PROBES);
@@ -542,7 +542,7 @@ impl GroupEndpoint {
         self.probe_deadline = Some(ctx.now() + cfg.probe_timeout);
     }
 
-    fn form_singleton(&mut self, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
+    fn form_singleton(&mut self, ctx: &mut dyn Transport, events: &mut Vec<VsEvent>) {
         self.status = GroupStatus::Member;
         self.probe_deadline = None;
         let view = View::initial(ViewId::new(self.me, self.take_view_seq()), vec![self.me]);
@@ -560,7 +560,7 @@ impl GroupEndpoint {
     #[allow(clippy::too_many_lines)]
     pub(crate) fn on_msg(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         msg: &VsMsg,
         fd: &FailureDetector,
@@ -642,7 +642,7 @@ impl GroupEndpoint {
         }
     }
 
-    fn on_join_probe(&mut self, ctx: &mut Context<'_>, from: NodeId, fd: &FailureDetector) {
+    fn on_join_probe(&mut self, ctx: &mut dyn Transport, from: NodeId, fd: &FailureDetector) {
         if self.status != GroupStatus::Member || !self.i_am_acting_coordinator(fd) {
             return;
         }
@@ -661,7 +661,7 @@ impl GroupEndpoint {
 
     fn on_join_offer(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         _view_id: ViewId,
         cfg: &VsyncConfig,
@@ -680,7 +680,7 @@ impl GroupEndpoint {
 
     fn on_data(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         view_id: ViewId,
         sender: NodeId,
         seq: u64,
@@ -706,7 +706,7 @@ impl GroupEndpoint {
 
     /// Delivers from the hold-back queue every message that is in FIFO
     /// order and allowed by the current flush phase.
-    fn try_drain(&mut self, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
+    fn try_drain(&mut self, ctx: &mut dyn Transport, events: &mut Vec<VsEvent>) {
         if self.delivery_frozen() {
             return;
         }
@@ -759,7 +759,7 @@ impl GroupEndpoint {
     #[allow(clippy::too_many_arguments)]
     fn on_flush_req(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         view_id: ViewId,
         flush: FlushId,
@@ -802,7 +802,7 @@ impl GroupEndpoint {
         }
     }
 
-    fn send_digest(&mut self, ctx: &mut Context<'_>) {
+    fn send_digest(&mut self, ctx: &mut dyn Transport) {
         let Some(f) = &mut self.flush else { return };
         if f.digest_sent {
             return;
@@ -840,7 +840,7 @@ impl GroupEndpoint {
 
     fn on_flush_target(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         flush: FlushId,
         target: BTreeMap<NodeId, u64>,
         events: &mut Vec<VsEvent>,
@@ -857,7 +857,7 @@ impl GroupEndpoint {
         self.check_flush_target_reached(ctx);
     }
 
-    fn on_flush_pull(&mut self, ctx: &mut Context<'_>, wants: &[(NodeId, u64)]) {
+    fn on_flush_pull(&mut self, ctx: &mut dyn Transport, wants: &[(NodeId, u64)]) {
         let Some(view) = &self.view else { return };
         let view_id = view.id;
         for &(sender, seq) in wants {
@@ -884,7 +884,7 @@ impl GroupEndpoint {
 
     fn on_flush_fill(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         view_id: ViewId,
         sender: NodeId,
         seq: u64,
@@ -919,7 +919,7 @@ impl GroupEndpoint {
     }
 
     /// Sends `FlushDone` once the delivered prefix matches the target.
-    fn check_flush_target_reached(&mut self, ctx: &mut Context<'_>) {
+    fn check_flush_target_reached(&mut self, ctx: &mut dyn Transport) {
         let Some(f) = &self.flush else { return };
         let Some(target) = &f.target else { return };
         if f.done_sent {
@@ -952,7 +952,7 @@ impl GroupEndpoint {
     /// another flush or merge is in progress.
     pub(crate) fn force_flush(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         fd: &FailureDetector,
         events: &mut Vec<VsEvent>,
     ) {
@@ -972,7 +972,7 @@ impl GroupEndpoint {
     /// reason to (suspected member, pending join/leave).
     pub(crate) fn maybe_start_flush(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         fd: &FailureDetector,
         events: &mut Vec<VsEvent>,
     ) {
@@ -1003,7 +1003,7 @@ impl GroupEndpoint {
     /// Starts a flush excluding `excluded` (plus FD-suspected members).
     fn start_flush(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         fd: &FailureDetector,
         excluded: &[NodeId],
         events: &mut Vec<VsEvent>,
@@ -1013,7 +1013,7 @@ impl GroupEndpoint {
 
     fn start_flush_with_attempts(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         fd: &FailureDetector,
         excluded: &[NodeId],
         events: &mut Vec<VsEvent>,
@@ -1089,7 +1089,7 @@ impl GroupEndpoint {
 
     fn on_flush_digest(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         flush: FlushId,
         prefix: &BTreeMap<NodeId, u64>,
@@ -1117,7 +1117,7 @@ impl GroupEndpoint {
     /// With all digests in hand: compute the delivery target (the largest
     /// gap-free prefix of messages *somebody* holds), request fills for
     /// members that lack part of it, and announce it.
-    fn compute_and_send_target(&mut self, ctx: &mut Context<'_>) {
+    fn compute_and_send_target(&mut self, ctx: &mut dyn Transport) {
         let Some(running) = &mut self.running else {
             return;
         };
@@ -1151,7 +1151,7 @@ impl GroupEndpoint {
 
     fn on_flush_done(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         flush: FlushId,
         events: &mut Vec<VsEvent>,
@@ -1170,7 +1170,7 @@ impl GroupEndpoint {
 
     /// All members reached the target: either install the successor view
     /// (ordinary view change) or freeze and report to the merge leader.
-    fn conclude_flush(&mut self, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
+    fn conclude_flush(&mut self, ctx: &mut dyn Transport, events: &mut Vec<VsEvent>) {
         let Some(running) = self.running.take() else {
             return;
         };
@@ -1230,7 +1230,7 @@ impl GroupEndpoint {
 
     /// Sends `NewView` to every member of `view` (the initiator installs
     /// its own copy through the loop-back delivery).
-    fn distribute_view(&mut self, ctx: &mut Context<'_>, view: &View) {
+    fn distribute_view(&mut self, ctx: &mut dyn Transport, view: &View) {
         ctx.emit(|| HwgTraceEvent::ViewDistribute {
             hwg: self.hwg,
             view: view.clone(),
@@ -1246,7 +1246,7 @@ impl GroupEndpoint {
 
     fn on_new_view(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         view: View,
         fd: &FailureDetector,
         events: &mut Vec<VsEvent>,
@@ -1285,7 +1285,7 @@ impl GroupEndpoint {
         self.maybe_start_flush(ctx, fd, events);
     }
 
-    fn install_view(&mut self, view: View, ctx: &mut Context<'_>, events: &mut Vec<VsEvent>) {
+    fn install_view(&mut self, view: View, ctx: &mut dyn Transport, events: &mut Vec<VsEvent>) {
         if let Some(old) = &self.view {
             self.history.insert(old.id);
         }
@@ -1326,7 +1326,7 @@ impl GroupEndpoint {
 
     /// Receiver side: detect FIFO gaps that have persisted past
     /// `nack_delay` and ask the original sender to retransmit.
-    fn check_nacks(&mut self, ctx: &mut Context<'_>, now: SimTime, cfg: &VsyncConfig) {
+    fn check_nacks(&mut self, ctx: &mut dyn Transport, now: SimTime, cfg: &VsyncConfig) {
         if self.view.is_none() || self.delivery_frozen() {
             return;
         }
@@ -1379,7 +1379,7 @@ impl GroupEndpoint {
     /// Sender side: serve a retransmission request from the local store.
     fn on_nack(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         view_id: ViewId,
         sender: NodeId,
@@ -1410,7 +1410,7 @@ impl GroupEndpoint {
 
     /// Periodically advertise the delivered prefix and garbage-collect the
     /// retransmission store below the view-wide stable point.
-    fn stability_tick(&mut self, ctx: &mut Context<'_>, now: SimTime, cfg: &VsyncConfig) {
+    fn stability_tick(&mut self, ctx: &mut dyn Transport, now: SimTime, cfg: &VsyncConfig) {
         let Some(view) = &self.view else { return };
         if view.len() < 2 || self.flush.is_some() || self.running.is_some() {
             return;
@@ -1450,7 +1450,7 @@ impl GroupEndpoint {
 
     fn on_stability(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         view_id: ViewId,
         prefix: &BTreeMap<NodeId, u64>,
@@ -1466,7 +1466,7 @@ impl GroupEndpoint {
     /// Drops stored messages that every member has contiguously delivered.
     /// Only safe once all members have reported: an unreported member's
     /// prefix is conservatively 0.
-    fn gc_store(&mut self, ctx: &mut Context<'_>) {
+    fn gc_store(&mut self, ctx: &mut dyn Transport) {
         let Some(view) = &self.view else { return };
         if view.members.len() != self.stable_info.len() {
             return;
@@ -1507,7 +1507,7 @@ impl GroupEndpoint {
 
     fn on_beacon(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         their_view: ViewId,
         fd: &FailureDetector,
@@ -1612,7 +1612,7 @@ impl GroupEndpoint {
     #[allow(clippy::too_many_arguments)]
     fn on_merge_req(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         from: NodeId,
         invitee_view: ViewId,
         _leader_view: ViewId,
@@ -1644,7 +1644,7 @@ impl GroupEndpoint {
         self.start_flush(ctx, fd, &[], events);
     }
 
-    fn on_merge_ready(&mut self, ctx: &mut Context<'_>, frozen: View, events: &mut Vec<VsEvent>) {
+    fn on_merge_ready(&mut self, ctx: &mut dyn Transport, frozen: View, events: &mut Vec<VsEvent>) {
         let Some(merge) = &mut self.merge else { return };
         if let Some(slot) = merge.participants.get_mut(&frozen.id) {
             *slot = Some(frozen);
@@ -1654,7 +1654,7 @@ impl GroupEndpoint {
 
     /// If the leader's own flush and every participant report are in,
     /// install the merged view everywhere.
-    fn try_complete_merge(&mut self, ctx: &mut Context<'_>, _events: &mut Vec<VsEvent>) {
+    fn try_complete_merge(&mut self, ctx: &mut dyn Transport, _events: &mut Vec<VsEvent>) {
         let Some(merge) = &self.merge else { return };
         let Some(my_frozen) = &merge.my_frozen else {
             return;

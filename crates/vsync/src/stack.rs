@@ -9,7 +9,9 @@ use crate::msg::VsMsg;
 use crate::wire;
 use crate::{GroupStatus, VsEvent, VsyncConfig};
 use plwg_hwg::{HwgId, HwgTraceEvent, View};
-use plwg_sim::{decode_frame, family, peek_family, Context, NodeId, Payload, TimerToken};
+use plwg_sim::{
+    decode_frame, family, peek_family, NodeId, Payload, TimerToken, Transport, TransportExt,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer token used for the failure-detector / protocol tick.
@@ -43,7 +45,7 @@ impl VsyncStack {
     ///
     /// Panics if `cfg` is invalid (see [`VsyncConfig::validate`]).
     pub fn new(me: NodeId, cfg: VsyncConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         VsyncStack {
             me,
             cfg,
@@ -65,7 +67,7 @@ impl VsyncStack {
 
     /// Must be called from the owner's [`plwg_sim::Process::on_start`]:
     /// arms the periodic protocol timers.
-    pub fn start(&mut self, ctx: &mut Context<'_>) {
+    pub fn start(&mut self, ctx: &mut dyn Transport) {
         ctx.set_timer(self.cfg.hb_interval, TOK_FD);
         ctx.set_timer(self.cfg.beacon_interval, TOK_BEACON);
     }
@@ -76,7 +78,7 @@ impl VsyncStack {
 
     /// Joins `hwg`: probes for an existing view; if none answers, forms a
     /// singleton view. No-op if already a member or joining.
-    pub fn join(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub fn join(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         match self.groups.get(&hwg).map(GroupEndpoint::status) {
             Some(GroupStatus::Member | GroupStatus::Joining | GroupStatus::Leaving) => {}
             Some(GroupStatus::Left) | None => {
@@ -91,7 +93,7 @@ impl VsyncStack {
     ///
     /// If concurrent creations race, the resulting concurrent views merge
     /// via the beacon protocol exactly like healed partitions do.
-    pub fn create(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub fn create(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         match self.groups.get(&hwg).map(GroupEndpoint::status) {
             Some(GroupStatus::Member | GroupStatus::Joining | GroupStatus::Leaving) => {}
             Some(GroupStatus::Left) | None => {
@@ -103,7 +105,7 @@ impl VsyncStack {
     }
 
     /// Leaves `hwg` (the `Left` upcall confirms completion).
-    pub fn leave(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub fn leave(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         if let Some(ep) = self.groups.get_mut(&hwg) {
             ep.leave(ctx, &self.fd, &mut self.events);
         }
@@ -113,7 +115,7 @@ impl VsyncStack {
     /// Sends a virtually-synchronous multicast on `hwg`. Messages sent
     /// while the group has no installed view or is flushing are buffered
     /// and sent in the next view. Silently ignored if not a member.
-    pub fn send(&mut self, ctx: &mut Context<'_>, hwg: HwgId, data: Payload) {
+    pub fn send(&mut self, ctx: &mut dyn Transport, hwg: HwgId, data: Payload) {
         if let Some(ep) = self.groups.get_mut(&hwg) {
             ep.send_payload(ctx, data, &mut self.events);
         }
@@ -129,7 +131,7 @@ impl VsyncStack {
     /// mid-flush) fall back to full multicasts.
     pub fn send_to(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: HwgId,
         targets: &BTreeSet<NodeId>,
         data: Payload,
@@ -142,7 +144,7 @@ impl VsyncStack {
     /// Forces a no-change flush of `hwg` (a synchronisation barrier for the
     /// layer above — the LWG merge-views protocol). Honoured only by the
     /// acting coordinator; a no-op while a flush or merge is in progress.
-    pub fn force_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub fn force_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         if let Some(ep) = self.groups.get_mut(&hwg) {
             ep.force_flush(ctx, &self.fd, &mut self.events);
         }
@@ -150,7 +152,7 @@ impl VsyncStack {
 
     /// Confirms a `Stop` upcall (only needed when
     /// [`VsyncConfig::auto_stop_ok`] is `false`).
-    pub fn stop_ok(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    pub fn stop_ok(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         if let Some(ep) = self.groups.get_mut(&hwg) {
             ep.stop_ok(ctx);
         }
@@ -212,7 +214,7 @@ impl VsyncStack {
 
     /// Handles an incoming message if it belongs to this stack.
     /// Returns `true` when consumed (the owner should then drain upcalls).
-    pub fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    pub fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         if peek_family(msg) != Some(family::VS) {
             return false;
         }
@@ -266,7 +268,7 @@ impl VsyncStack {
 
     /// Handles a timer if it belongs to this stack. Returns `true` when
     /// consumed.
-    pub fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    pub fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         match token {
             TOK_FD => {
                 self.fd_tick(ctx);
@@ -296,7 +298,7 @@ impl VsyncStack {
         out.append(&mut self.events);
     }
 
-    fn fd_tick(&mut self, ctx: &mut Context<'_>) {
+    fn fd_tick(&mut self, ctx: &mut dyn Transport) {
         // Heartbeats to everything we monitor — one encoding, n refcounts.
         let peers: Vec<NodeId> = self.fd.watched().collect();
         if !peers.is_empty() {
@@ -323,7 +325,7 @@ impl VsyncStack {
 
     /// Re-derives the failure-detector watch set from current group
     /// membership (and drops endpoints that have terminally left).
-    fn sync_watches(&mut self, ctx: &mut Context<'_>) {
+    fn sync_watches(&mut self, ctx: &mut dyn Transport) {
         let mut wanted: BTreeSet<NodeId> = BTreeSet::new();
         for ep in self.groups.values() {
             if let Some(view) = ep.view() {

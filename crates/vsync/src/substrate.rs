@@ -10,7 +10,7 @@
 use crate::stack::VsyncStack;
 use crate::{GroupStatus, VsEvent};
 use plwg_hwg::{HwgConfig, HwgId, HwgSubstrate, View};
-use plwg_sim::{Context, NodeId, Payload, TimerToken};
+use plwg_sim::{NodeId, Payload, TimerToken, Transport};
 use std::collections::BTreeSet;
 
 impl HwgSubstrate for VsyncStack {
@@ -22,29 +22,29 @@ impl HwgSubstrate for VsyncStack {
         VsyncStack::node(self)
     }
 
-    fn start(&mut self, ctx: &mut Context<'_>) {
+    fn start(&mut self, ctx: &mut dyn Transport) {
         VsyncStack::start(self, ctx);
     }
 
-    fn join(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn join(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         VsyncStack::join(self, ctx, hwg);
     }
 
-    fn create(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn create(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         VsyncStack::create(self, ctx, hwg);
     }
 
-    fn leave(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn leave(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         VsyncStack::leave(self, ctx, hwg);
     }
 
-    fn send(&mut self, ctx: &mut Context<'_>, hwg: HwgId, data: Payload) {
+    fn send(&mut self, ctx: &mut dyn Transport, hwg: HwgId, data: Payload) {
         VsyncStack::send(self, ctx, hwg, data);
     }
 
     fn send_to(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Transport,
         hwg: HwgId,
         targets: &BTreeSet<NodeId>,
         data: Payload,
@@ -52,11 +52,11 @@ impl HwgSubstrate for VsyncStack {
         VsyncStack::send_to(self, ctx, hwg, targets, data);
     }
 
-    fn force_flush(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn force_flush(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         VsyncStack::force_flush(self, ctx, hwg);
     }
 
-    fn stop_ok(&mut self, ctx: &mut Context<'_>, hwg: HwgId) {
+    fn stop_ok(&mut self, ctx: &mut dyn Transport, hwg: HwgId) {
         VsyncStack::stop_ok(self, ctx, hwg);
     }
 
@@ -76,11 +76,11 @@ impl HwgSubstrate for VsyncStack {
         VsyncStack::groups(self).collect()
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         VsyncStack::on_message(self, ctx, from, msg)
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         VsyncStack::on_timer(self, ctx, token)
     }
 
@@ -99,15 +99,15 @@ impl HwgSubstrate for VsyncStack {
 impl plwg_sim::Endpoint for VsyncStack {
     type Event = VsEvent;
 
-    fn start(&mut self, ctx: &mut Context<'_>) {
+    fn start(&mut self, ctx: &mut dyn Transport) {
         VsyncStack::start(self, ctx);
     }
 
-    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &Payload) -> bool {
+    fn handle_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: &Payload) -> bool {
         VsyncStack::on_message(self, ctx, from, msg)
     }
 
-    fn handle_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) -> bool {
+    fn handle_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) -> bool {
         VsyncStack::on_timer(self, ctx, token)
     }
 

@@ -2,7 +2,8 @@
 //! crashes, and membership operations racing view changes.
 
 use plwg_sim::{
-    Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, World, WorldConfig,
+    Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, Transport, World,
+    WorldConfig,
 };
 use plwg_vsync::{GroupStatus, HwgId, View, VsEvent, VsyncConfig, VsyncStack};
 use std::any::Any;
@@ -46,15 +47,15 @@ impl App {
 }
 
 impl Process for App {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         self.stack.start(ctx);
     }
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if self.stack.on_message(ctx, from, &msg) {
             self.drain();
         }
     }
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if self.stack.on_timer(ctx, token) {
             self.drain();
         }

@@ -5,8 +5,8 @@
 //! is deterministic.
 
 use plwg_sim::{
-    Context, Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, TimerToken,
-    World, WorldConfig,
+    Frame, NetConfig, NodeId, Payload, Process, SimDuration, SimRng, SimTime, TimerToken,
+    Transport, World, WorldConfig,
 };
 use plwg_vsync::{HwgId, ViewId, VsEvent, VsyncConfig, VsyncStack};
 use std::any::Any;
@@ -51,15 +51,15 @@ impl Harness {
 }
 
 impl Process for Harness {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         self.stack.start(ctx);
     }
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         if self.stack.on_message(ctx, from, &msg) {
             self.drain();
         }
     }
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         if self.stack.on_timer(ctx, token) {
             self.drain();
         }

@@ -51,4 +51,7 @@ pub mod family {
     pub const LWG: u64 = 3;
     /// The scripted test substrate's messages (`ScriptedMsg`).
     pub const SCRIPTED: u64 = 4;
+    /// Transport-level peer-pool messages of the real-socket runtime
+    /// (`plwg-net`'s `NetMsg`: hello/alive/bye and harness control).
+    pub const NET: u64 = 5;
 }

@@ -11,7 +11,7 @@
 
 use plwg_core::{LwgConfig, LwgId, LwgService};
 use plwg_naming::NamingConfig;
-use plwg_sim::{Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken};
+use plwg_sim::{Frame, NodeId, Payload, Process, SimDuration, SimTime, TimerToken, Transport};
 use plwg_vsync::{GroupStatus, HwgId, VsEvent, VsyncStack};
 use std::any::Any;
 
@@ -115,9 +115,13 @@ impl BenchNode {
     pub fn new(me: NodeId, mode: ServiceMode, servers: Vec<NodeId>, cfg: LwgConfig) -> Self {
         let inner = match mode {
             ServiceMode::NoLwg => Inner::Raw(Box::new(VsyncStack::new(me, cfg.hwg.clone()))),
-            ServiceMode::StaticLwg | ServiceMode::DynamicLwg => {
-                Inner::Lwg(Box::new(LwgService::new(me, servers, cfg)))
-            }
+            ServiceMode::StaticLwg | ServiceMode::DynamicLwg => Inner::Lwg(Box::new(
+                LwgService::builder(me)
+                    .servers(servers)
+                    .config(cfg)
+                    .build()
+                    .expect("valid LWG config"),
+            )),
         };
         BenchNode {
             mode,
@@ -139,7 +143,7 @@ impl BenchNode {
 
     /// Joins user group `group`. In raw mode, `found` selects create vs
     /// probe (the runner passes `true` for the first member).
-    pub fn join_group(&mut self, ctx: &mut Context<'_>, group: u64, found: bool) {
+    pub fn join_group(&mut self, ctx: &mut dyn Transport, group: u64, found: bool) {
         match &mut self.inner {
             Inner::Raw(stack) => {
                 if found {
@@ -154,7 +158,7 @@ impl BenchNode {
     }
 
     /// Leaves user group `group`.
-    pub fn leave_group(&mut self, ctx: &mut Context<'_>, group: u64) {
+    pub fn leave_group(&mut self, ctx: &mut dyn Transport, group: u64) {
         match &mut self.inner {
             Inner::Raw(stack) => stack.leave(ctx, HwgId(group)),
             Inner::Lwg(svc) => svc.leave(ctx, LwgId(group)),
@@ -163,7 +167,7 @@ impl BenchNode {
     }
 
     /// Sends a stamped message on `group`.
-    pub fn send_stamped(&mut self, ctx: &mut Context<'_>, group: u64, seq: u64) {
+    pub fn send_stamped(&mut self, ctx: &mut dyn Transport, group: u64, seq: u64) {
         let msg = Stamped {
             seq,
             sent_at: ctx.now(),
@@ -283,14 +287,14 @@ impl BenchNode {
 }
 
 impl Process for BenchNode {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport) {
         match &mut self.inner {
             Inner::Raw(stack) => stack.start(ctx),
             Inner::Lwg(svc) => svc.start(ctx),
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Payload) {
+    fn on_message(&mut self, ctx: &mut dyn Transport, from: NodeId, msg: Payload) {
         let consumed = match &mut self.inner {
             Inner::Raw(stack) => stack.on_message(ctx, from, &msg),
             Inner::Lwg(svc) => svc.on_message(ctx, from, &msg),
@@ -300,7 +304,7 @@ impl Process for BenchNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport, token: TimerToken) {
         let consumed = match &mut self.inner {
             Inner::Raw(stack) => stack.on_timer(ctx, token),
             Inner::Lwg(svc) => svc.on_timer(ctx, token),

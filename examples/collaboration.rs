@@ -31,7 +31,15 @@ fn main() {
         ..LwgConfig::default()
     };
     let users: Vec<NodeId> = (1..=8)
-        .map(|i| world.add_node(Box::new(LwgNode::new(NodeId(i), vec![ns], cfg.clone()))))
+        .map(|i| {
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(i))
+                    .servers(vec![ns])
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
+        })
         .collect();
 
     // Everyone enters the session roster.

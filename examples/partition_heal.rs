@@ -31,11 +31,13 @@ fn main() {
     )));
     let nodes: Vec<NodeId> = (2..6)
         .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(i),
-                vec![s0, s1],
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(i))
+                    .servers(vec![s0, s1])
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
 

@@ -16,11 +16,13 @@ fn main() {
     )));
     let nodes: Vec<NodeId> = (1..=3)
         .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(i),
-                vec![ns],
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(i))
+                    .servers(vec![ns])
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
 

@@ -18,6 +18,9 @@
 //!   reconciliation and MULTIPLE-MAPPINGS callbacks;
 //! * [`core`] — the light-weight group service itself (mapping policies,
 //!   switching, and the four-step partition-heal procedure);
+//! * [`net`] — the real-socket substrate: a poll-based UDP reactor and
+//!   multi-process harness running the same stack over actual datagrams
+//!   (`cargo run --example partition_heal_net`);
 //! * [`workload`] — experiment workloads and runners regenerating the
 //!   paper's evaluation;
 //! * [`obs`] — observability: causal protocol timelines built from the
@@ -35,16 +38,12 @@
 //!     vec![],
 //!     NamingConfig::default(),
 //! )));
-//! let a = world.add_node(Box::new(LwgNode::new(
-//!     NodeId(1),
-//!     vec![ns],
-//!     LwgConfig::default(),
-//! )));
-//! let b = world.add_node(Box::new(LwgNode::new(
-//!     NodeId(2),
-//!     vec![ns],
-//!     LwgConfig::default(),
-//! )));
+//! let a = world.add_node(Box::new(
+//!     LwgNode::builder(NodeId(1)).servers([ns]).build().unwrap(),
+//! ));
+//! let b = world.add_node(Box::new(
+//!     LwgNode::builder(NodeId(2)).servers([ns]).build().unwrap(),
+//! ));
 //!
 //! // Both join light-weight group 7 and exchange a message.
 //! let g = LwgId(7);
@@ -69,6 +68,7 @@
 pub use plwg_core as core;
 pub use plwg_hwg as hwg;
 pub use plwg_naming as naming;
+pub use plwg_net as net;
 pub use plwg_obs as obs;
 pub use plwg_sim as sim;
 pub use plwg_vsync as vsync;
@@ -81,8 +81,11 @@ pub use plwg_workload as workload;
 /// substrate. To swap the substrate (e.g. [`plwg_core::ScriptedHwg`] in
 /// protocol tests), use the generic types from [`plwg_core`] directly.
 pub mod prelude {
-    pub use plwg_core::{HwgId, HwgSubstrate, LwgConfig, LwgEvent, LwgEvents, LwgId, View, ViewId};
+    pub use plwg_core::{
+        HwgId, HwgSubstrate, LwgConfig, LwgError, LwgEvent, LwgEvents, LwgId, View, ViewId,
+    };
     pub use plwg_naming::{Mapping, NameServer, NamingConfig, NsClient, NsEvent};
+    pub use plwg_net::{NetOptions, NetRuntime, NetSubstrate};
     pub use plwg_sim::{
         Context, Frame, NodeId, Payload, Process, SimDuration, SimTime, World, WorldConfig,
     };
@@ -92,4 +95,6 @@ pub mod prelude {
     pub type LwgService = plwg_core::LwgService<VsyncStack>;
     /// The ready-made simulated node over the production substrate.
     pub type LwgNode = plwg_core::LwgNode<VsyncStack>;
+    /// The same node over the real-socket substrate (`plwg-net`).
+    pub type NetLwgNode = plwg_core::LwgNode<NetSubstrate>;
 }

@@ -39,11 +39,13 @@ fn fixture_cfg(seed: u64, apps: u32, cfg: LwgConfig) -> Fixture {
     let servers = vec![s0, s1];
     let apps = (0..apps)
         .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                cfg.clone(),
-            )))
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     Fixture { world, apps }

@@ -31,11 +31,13 @@ fn lwg_streams_survive_message_loss_and_a_crash() {
     )));
     let apps: Vec<NodeId> = (0..4)
         .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                vec![s0, s1],
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(vec![s0, s1])
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     let g = LwgId(1);

@@ -33,11 +33,13 @@ fn fixture(seed: u64, apps: u32) -> Fixture {
     let servers = vec![s0, s1];
     let apps = (0..apps)
         .map(|i| {
-            world.add_node(Box::new(LwgNode::new(
-                NodeId(2 + i),
-                servers.clone(),
-                LwgConfig::default(),
-            )))
+            world.add_node(Box::new(
+                LwgNode::builder(NodeId(2 + i))
+                    .servers(servers.clone())
+                    .config(LwgConfig::default())
+                    .build()
+                    .expect("valid LWG config"),
+            ))
         })
         .collect();
     Fixture {
